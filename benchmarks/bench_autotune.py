@@ -1,0 +1,58 @@
+"""Autotuning behaviour (paper Section 9.3): ~200 configurations per
+operator, searched once and cached."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table
+
+from repro.autotune import Autotuner, enumerate_valid_configs
+from repro.perf import L40S, MatmulWorkload
+
+OPERATORS = [
+    (1, 8192, 8192, "u4"),
+    (16, 8192, 28672, "u4"),
+    (16, 57344, 8192, "f6"),
+    (4096, 8192, 8192, "u4"),
+    (16, 57344, 8192, "u3"),
+]
+
+
+def tune_all():
+    tuner = Autotuner(L40S)
+    rows = []
+    for m, n, k, w in OPERATORS:
+        workload = MatmulWorkload.of(m, n, k, w)
+        result = tuner.tune(workload)
+        rows.append(
+            [
+                f"m{m}-n{n}-k{k}-{w}",
+                result.num_candidates,
+                result.config.describe(),
+                f"{result.estimated_latency * 1e6:.1f}",
+            ]
+        )
+    return rows, tuner
+
+
+def test_autotune_search(benchmark):
+    rows, _ = benchmark(tune_all)
+    emit_table("autotune", ["operator", "candidates", "best config", "est us"], rows)
+    for row in rows:
+        assert row[1] >= 100  # the paper's "~200 configurations" order
+
+
+def test_autotune_cache_amortizes(benchmark):
+    tuner = Autotuner(L40S)
+    w = MatmulWorkload.of(16, 8192, 8192, "u4")
+    tuner.tune(w)  # warm
+
+    result = benchmark(tuner.tune, w)  # cached path
+    assert result.config is tuner.tune(w).config
+
+
+def test_enumeration_speed(benchmark):
+    w = MatmulWorkload.of(16, 8192, 8192, "u4")
+    configs = benchmark(enumerate_valid_configs, w, L40S)
+    assert len(configs) > 100

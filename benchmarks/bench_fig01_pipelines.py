@@ -1,0 +1,76 @@
+"""Figure 1: the weight-loading pipelines of Triton, Ladder and Tilus.
+
+Regenerates the stage tables of the paper's motivating figure and
+quantifies each pipeline's serial (non-overlapped) cost per weight tile.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table
+
+from repro.dtypes import uint4
+from repro.perf import L40S, PIPELINES
+
+TILE_ELEMS = 64 * 64  # one staged weight tile
+
+
+def pipeline_rows() -> list[list[str]]:
+    rows = []
+    for name, factory in PIPELINES.items():
+        pipeline = factory(TILE_ELEMS, uint4)
+        for idx, stage in enumerate(pipeline.stages, 1):
+            rows.append(
+                [
+                    name,
+                    str(idx),
+                    stage.name,
+                    f"{stage.src}->{stage.dst}",
+                    "yes" if stage.pipelined else "NO",
+                    f"{stage.bytes_moved:.0f}",
+                    "<-- bottleneck" if stage.is_bottleneck else "",
+                ]
+            )
+        rows.append(
+            [
+                name,
+                "",
+                "serial bytes on critical path",
+                "",
+                "",
+                f"{pipeline.serial_bytes():.0f}",
+                f"{pipeline.critical_time(L40S) * 1e9:.0f} ns/tile",
+            ]
+        )
+    return rows
+
+
+def test_fig01_pipeline_stages(benchmark):
+    rows = benchmark(pipeline_rows)
+    emit_table(
+        "fig01_pipelines",
+        ["system", "step", "stage", "scopes", "overlaps", "bytes", "note"],
+        rows,
+    )
+    serial = {
+        name: PIPELINES[name](TILE_ELEMS, uint4).serial_bytes()
+        for name in PIPELINES
+    }
+    # Tilus: zero serial work; Ladder: everything serial; Triton: the
+    # conversion's two f16 passes.
+    assert serial["tilus"] == 0
+    assert serial["triton"] == 2 * TILE_ELEMS * 2
+    assert serial["ladder"] > serial["triton"]
+
+
+def test_fig01_critical_times(benchmark):
+    def times():
+        return {
+            name: PIPELINES[name](TILE_ELEMS, uint4).critical_time(L40S)
+            for name in PIPELINES
+        }
+
+    t = benchmark(times)
+    assert t["tilus"] < t["triton"] < t["ladder"] * 10  # tilus strictly best
+    assert t["tilus"] == 0.0

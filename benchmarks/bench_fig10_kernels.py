@@ -1,0 +1,72 @@
+"""Figure 10: speedup of low-precision kernels vs cuBLAS f16.
+
+Workloads BS-N-K are Llama-3.3-70B matmuls at batch sizes 1 and 16;
+data types u8, f6 (e3m2), u4, i4, u2, u1; systems Triton, QuantLLM,
+Ladder, Marlin and Tilus on the L40S model.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table, fmt
+
+from repro.perf import ALL_SYSTEMS, L40S, MatmulWorkload, speedup_vs_cublas
+
+SHAPES = [(8192, 8192), (8192, 28672), (57344, 8192)]
+DTYPES = ["u8", "f6", "u4", "i4", "u2", "u1"]
+SYSTEMS = ["triton", "quantllm", "ladder", "marlin", "tilus"]
+
+
+def figure10_rows(batch: int) -> list[list[str]]:
+    rows = []
+    for sysname in SYSTEMS:
+        system = ALL_SYSTEMS[sysname]
+        for n, k in SHAPES:
+            row = [system.display, f"BS{batch}-{n}-{k}"]
+            for wname in DTYPES:
+                w = MatmulWorkload.of(batch, n, k, wname)
+                if system.supports(w, L40S):
+                    row.append(fmt(speedup_vs_cublas(system, w, L40S)))
+                else:
+                    row.append("-")
+            rows.append(row)
+    return rows
+
+
+def test_fig10_bs1(benchmark):
+    rows = benchmark(figure10_rows, 1)
+    emit_table("fig10_bs1", ["system", "workload", *DTYPES], rows)
+    tilus_rows = [r for r in rows if "Tilus" in r[0]]
+    # Shape checks from the paper: u1 > u2 > u4 > f6 > u8 > 1.
+    for row in tilus_rows:
+        values = [float(v) for v in row[2:]]
+        assert values[5] > values[4] > values[2] > values[1] > values[0] > 1.0
+
+
+def test_fig10_bs16(benchmark):
+    rows = benchmark(figure10_rows, 16)
+    emit_table("fig10_bs16", ["system", "workload", *DTYPES], rows)
+    # Ladder inverts below 1.0 at BS=16 (slower than cuBLAS f16).
+    ladder_rows = [r for r in rows if r[0] == "Ladder"]
+    for row in ladder_rows:
+        assert float(row[4]) < 1.0  # u4 column
+
+
+def test_fig10_tilus_wins_everywhere(benchmark):
+    def check():
+        wins = 0
+        for batch in (1, 16):
+            for n, k in SHAPES:
+                for wname in DTYPES:
+                    w = MatmulWorkload.of(batch, n, k, wname)
+                    t = ALL_SYSTEMS["tilus"].matmul_latency(w, L40S)
+                    for sysname in ("triton", "quantllm", "ladder", "marlin"):
+                        system = ALL_SYSTEMS[sysname]
+                        if system.supports(w, L40S):
+                            assert system.matmul_latency(w, L40S) >= t
+                            wins += 1
+        return wins
+
+    wins = benchmark(check)
+    assert wins > 50

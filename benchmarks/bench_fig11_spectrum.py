@@ -1,0 +1,68 @@
+"""Figure 11: the full quantized-dtype spectrum heatmap.
+
+Speedup of Tilus over cuBLAS f16 for every weight type — uint1..8,
+int2..8, float3..8 — at BS=16, K=8192, N=57344 (the paper's setting).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table, fmt
+
+from repro.dtypes import all_weight_dtypes
+from repro.perf import ALL_SYSTEMS, L40S, MatmulWorkload, speedup_vs_cublas
+from repro.perf.workload import MatmulWorkload as WL
+
+M, N, K = 16, 57344, 8192
+
+# Paper Figure 11 reference values (uint row / int row / float row).
+PAPER = {
+    "uint": {8: 2.1, 7: 2.4, 6: 2.8, 5: 3.3, 4: 3.8, 3: 5.0, 2: 6.3, 1: 9.4},
+    "int": {8: 2.2, 7: 2.4, 6: 2.8, 5: 3.3, 4: 3.8, 3: 5.0, 2: 6.9},
+    "float": {8: 2.2, 7: 2.4, 6: 2.8, 5: 3.3, 4: 4.0, 3: 5.0},
+}
+
+
+def spectrum() -> dict[str, dict[int, float]]:
+    tilus = ALL_SYSTEMS["tilus"]
+    out: dict[str, dict[int, float]] = {"uint": {}, "int": {}, "float": {}}
+    for dtype in all_weight_dtypes():
+        kind = "float" if dtype.is_float else ("int" if dtype.is_signed else "uint")
+        w = MatmulWorkload(m=M, n=N, k=K, weight_dtype=dtype)
+        out[kind][dtype.nbits] = speedup_vs_cublas(tilus, w, L40S)
+    return out
+
+
+def test_fig11_spectrum(benchmark):
+    data = benchmark(spectrum)
+    rows = []
+    for kind in ("uint", "int", "float"):
+        row = [kind]
+        for bits in range(8, 0, -1):
+            ours = data[kind].get(bits)
+            ref = PAPER[kind].get(bits)
+            cell = f"{fmt(ours)}" + (f" ({ref})" if ref else "") if ours else "-"
+            row.append(cell)
+        rows.append(row)
+    emit_table("fig11_spectrum", ["kind", *[f"{b}b" for b in range(8, 0, -1)]], rows)
+
+    # Shape assertions: monotone in width, every cell within 35% of paper.
+    for kind, cells in data.items():
+        widths = sorted(cells)
+        values = [cells[w] for w in widths]
+        assert values == sorted(values, reverse=True), kind
+        for bits, value in cells.items():
+            ref = PAPER[kind][bits]
+            assert abs(value - ref) / ref < 0.35, (kind, bits, value, ref)
+
+
+def test_fig11_all_21_types_supported(benchmark):
+    def count_supported():
+        tilus = ALL_SYSTEMS["tilus"]
+        return sum(
+            tilus.supports(WL(m=M, n=N, k=K, weight_dtype=d), L40S)
+            for d in all_weight_dtypes()
+        )
+
+    assert benchmark(count_supported) == 21

@@ -1,0 +1,78 @@
+"""Figure 12: end-to-end LLM serving latency on the L40S.
+
+Three models x three stages (decode@1, decode@16, prefill@2048) x the
+serving systems vLLM (f16), Ladder and Tilus with u8/u4/u2 weights.
+OOM cells reproduce the paper's out-of-memory annotations.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table
+
+from repro.dtypes import float16, uint2, uint4, uint8
+from repro.llm import MODELS, ServingConfig, simulate_cell
+from repro.perf import L40S
+
+COLUMNS = [
+    ("vllm", float16),
+    ("ladder", uint8),
+    ("tilus", uint8),
+    ("ladder", uint4),
+    ("tilus", uint4),
+    ("ladder", uint2),
+    ("tilus", uint2),
+]
+STAGES = [("decode", 1), ("decode", 16), ("prefill", 2048)]
+
+
+def figure12() -> list[list[str]]:
+    rows = []
+    for model in MODELS.values():
+        for stage, tokens in STAGES:
+            row = [model.name, f"{stage}@{tokens}"]
+            for sysname, dtype in COLUMNS:
+                cell = simulate_cell(model, ServingConfig(sysname, dtype, L40S), stage, tokens)
+                row.append(f"{cell.latency_ms:.1f}" if cell.ok else cell.error)
+            rows.append(row)
+    return rows
+
+
+def test_fig12_end2end(benchmark):
+    rows = benchmark(figure12)
+    header = ["model", "stage", *[f"{s}-{d.name}" for s, d in COLUMNS]]
+    emit_table("fig12_end2end", header, rows)
+
+    table = {(r[0], r[1]): r[2:] for r in rows}
+    # OOM pattern of the paper's figure.
+    assert table[("Qwen2.5-32B", "decode@1")][0] == "OOM"      # vLLM f16
+    assert table[("Llama-3.3-70B", "decode@1")][0] == "OOM"    # vLLM f16
+    assert table[("Llama-3.3-70B", "decode@1")][1] == "OOM"    # ladder u8
+    assert table[("Llama-3.3-70B", "decode@1")][2] == "OOM"    # tilus u8
+    assert table[("Gemma-2-9B", "decode@1")][0] != "OOM"
+
+    # Decode@16: Ladder u4 slower than vLLM, Tilus u4 much faster.
+    gemma16 = table[("Gemma-2-9B", "decode@16")]
+    assert float(gemma16[3]) > float(gemma16[0])   # ladder u4 > vllm
+    assert float(gemma16[4]) < float(gemma16[0])   # tilus u4 < vllm
+
+    # Prefill: quantized paths slower than f16, Tilus ahead of Ladder.
+    gp = table[("Gemma-2-9B", "prefill@2048")]
+    assert float(gp[0]) < float(gp[4]) < float(gp[3])
+
+
+def test_fig12_tilus_vs_ladder_every_cell(benchmark):
+    def check():
+        count = 0
+        for model in MODELS.values():
+            for stage, tokens in STAGES:
+                for dtype in (uint8, uint4, uint2):
+                    t = simulate_cell(model, ServingConfig("tilus", dtype, L40S), stage, tokens)
+                    l = simulate_cell(model, ServingConfig("ladder", dtype, L40S), stage, tokens)
+                    if t.ok and l.ok:
+                        assert t.latency_ms <= l.latency_ms
+                        count += 1
+        return count
+
+    assert benchmark(check) >= 18

@@ -1,0 +1,68 @@
+"""Figure 13: Qwen2.5-32B across NVIDIA A100, L40S and H100.
+
+vLLM (f16) vs Ladder (u4) vs Tilus (u4) on decode@1, decode@16 and
+prefill@2048.  Reproduces the OOM cell (vLLM on the 48 GiB L40S) and the
+ERR cell (Ladder's illegal instruction on Hopper).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table
+
+from repro.dtypes import float16, uint4
+from repro.llm import QWEN2_5_32B, ServingConfig, simulate_cell
+from repro.perf import A100, H100, L40S
+
+GPUS = [A100, L40S, H100]
+STAGES = [("decode", 1), ("decode", 16), ("prefill", 2048)]
+SYSTEMS = [("vllm", float16), ("ladder", uint4), ("tilus", uint4)]
+
+
+def figure13() -> list[list[str]]:
+    rows = []
+    for gpu in GPUS:
+        for stage, tokens in STAGES:
+            row = [gpu.name, f"{stage}@{tokens}"]
+            for sysname, dtype in SYSTEMS:
+                cell = simulate_cell(
+                    QWEN2_5_32B, ServingConfig(sysname, dtype, gpu), stage, tokens
+                )
+                row.append(f"{cell.latency_ms:.0f}" if cell.ok else cell.error)
+            rows.append(row)
+    return rows
+
+
+def test_fig13_hardware(benchmark):
+    rows = benchmark(figure13)
+    emit_table("fig13_hardware", ["gpu", "stage", "vLLM-f16", "Ladder-u4", "Tilus-u4"], rows)
+
+    table = {(r[0], r[1]): r[2:] for r in rows}
+    # ERR on Hopper for Ladder, every stage.
+    for stage, tokens in STAGES:
+        assert table[("H100", f"{stage}@{tokens}")][1] == "ERR"
+    # OOM for vLLM f16 on the 48 GiB L40S only.
+    assert table[("L40S", "decode@1")][0] == "OOM"
+    assert table[("A100", "decode@1")][0] != "OOM"
+    assert table[("H100", "decode@1")][0] != "OOM"
+    # Tilus runs everywhere and beats Ladder wherever Ladder runs.
+    for gpu in GPUS:
+        for stage, tokens in STAGES:
+            cells = table[(gpu.name, f"{stage}@{tokens}")]
+            assert cells[2] not in ("OOM", "ERR")
+            if cells[1] not in ("OOM", "ERR"):
+                assert float(cells[2]) < float(cells[1])
+
+
+def test_fig13_decode_scales_with_bandwidth(benchmark):
+    def decode_latencies():
+        return {
+            gpu.name: simulate_cell(
+                QWEN2_5_32B, ServingConfig("tilus", uint4, gpu), "decode", 1
+            ).latency_ms
+            for gpu in GPUS
+        }
+
+    lat = benchmark(decode_latencies)
+    assert lat["H100"] < lat["A100"] < lat["L40S"]

@@ -1,0 +1,73 @@
+"""Figure 14: speedup of quantized matmuls across batch sizes.
+
+Llama-3.3-70B shape (k=8192, n=57344) with f6 and u4 weights; decode
+batches 1/4/8/16 and prefill batches 4096/8192/12288.  The headline
+shape: large speedups at decode, convergence toward parity at prefill.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table, fmt
+
+from repro.perf import ALL_SYSTEMS, L40S, MatmulWorkload, speedup_vs_cublas
+
+N, K = 57344, 8192
+DECODE_BATCHES = [1, 4, 8, 16]
+PREFILL_BATCHES = [4096, 8192, 12288]
+CURVES = [
+    ("triton", "u4"),
+    ("quantllm", "f6"),
+    ("ladder", "u4"),
+    ("tilus", "f6"),
+    ("tilus", "u4"),
+]
+
+
+def figure14() -> list[list[str]]:
+    rows = []
+    for sysname, wname in CURVES:
+        system = ALL_SYSTEMS[sysname]
+        row = [f"{system.display} ({wname})"]
+        for m in DECODE_BATCHES + PREFILL_BATCHES:
+            w = MatmulWorkload.of(m, N, K, wname)
+            row.append(
+                fmt(speedup_vs_cublas(system, w, L40S), 2)
+                if system.supports(w, L40S)
+                else "-"
+            )
+        rows.append(row)
+    return rows
+
+
+def test_fig14_batch_sweep(benchmark):
+    rows = benchmark(figure14)
+    header = ["system", *[str(b) for b in DECODE_BATCHES + PREFILL_BATCHES]]
+    emit_table("fig14_batch", header, rows)
+
+    tilus_u4 = next(r for r in rows if r[0].startswith("Tilus") and "u4" in r[0])
+    values = [float(v) for v in tilus_u4[1:]]
+    # Decode: >3x; prefill: near parity; monotone decay across the sweep.
+    assert all(v > 3.0 for v in values[:4])
+    assert all(0.8 <= v <= 1.2 for v in values[4:])
+    assert values == sorted(values, reverse=True)
+
+
+def test_fig14_tilus_leads_at_every_batch(benchmark):
+    def check():
+        count = 0
+        for m in DECODE_BATCHES + PREFILL_BATCHES:
+            for sysname, wname in CURVES:
+                if sysname == "tilus":
+                    continue
+                system = ALL_SYSTEMS[sysname]
+                w = MatmulWorkload.of(m, N, K, wname)
+                if not system.supports(w, L40S):
+                    continue
+                tilus_lat = ALL_SYSTEMS["tilus"].matmul_latency(w, L40S)
+                assert system.matmul_latency(w, L40S) >= tilus_lat, (sysname, m)
+                count += 1
+        return count
+
+    assert benchmark(check) >= 15

@@ -1,0 +1,50 @@
+"""Headline speedups (paper Abstract / Section 1): geomean improvement of
+Tilus over Triton (1.75x), Ladder (2.61x), QuantLLM (1.29x), Marlin
+(1.03x) across the Figure-10 workload population."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from helpers import emit_table, fmt
+
+from repro.perf import ALL_SYSTEMS, L40S, MatmulWorkload
+
+SHAPES = [(8192, 8192), (8192, 28672), (57344, 8192)]
+DTYPES = ["u8", "f6", "u4", "i4", "u2", "u1"]
+PAPER = {"triton": 1.75, "ladder": 2.61, "quantllm": 1.29, "marlin": 1.03}
+TOLERANCE = {"triton": 0.15, "ladder": 0.60, "quantllm": 0.15, "marlin": 0.10}
+
+
+def headline() -> dict[str, float]:
+    tilus = ALL_SYSTEMS["tilus"]
+    out = {}
+    for base in PAPER:
+        system = ALL_SYSTEMS[base]
+        ratios = []
+        for m in (1, 16):
+            for n, k in SHAPES:
+                for wname in DTYPES:
+                    w = MatmulWorkload.of(m, n, k, wname)
+                    if system.supports(w, L40S):
+                        ratios.append(
+                            system.matmul_latency(w, L40S) / tilus.matmul_latency(w, L40S)
+                        )
+        out[base] = float(np.exp(np.mean(np.log(ratios))))
+    return out
+
+
+def test_headline_geomeans(benchmark):
+    result = benchmark(headline)
+    rows = [
+        [base, fmt(result[base], 2), fmt(PAPER[base], 2),
+         fmt(abs(result[base] - PAPER[base]) / PAPER[base] * 100, 0) + "%"]
+        for base in PAPER
+    ]
+    emit_table("headline", ["baseline", "ours", "paper", "deviation"], rows)
+    for base, target in PAPER.items():
+        assert abs(result[base] - target) <= target * TOLERANCE[base], base
+    # Ordering preserved: Ladder worst, Marlin closest.
+    assert result["ladder"] > result["triton"] > result["quantllm"] > result["marlin"]

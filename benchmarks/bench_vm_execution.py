@@ -1,0 +1,85 @@
+"""Microbenchmarks of the reproduction's own machinery: VM kernel
+execution throughput, layout algebra, transform, and compilation speed.
+
+These are honest pytest-benchmark measurements of this library (the
+figures above are analytical); they guard against performance regressions
+in the interpreter and compiler.
+"""
+
+import numpy as np
+
+from repro.dtypes import float16, int6, uint8
+from repro.kernels import (
+    MatmulConfig,
+    matmul_layouts,
+    quantized_matmul_program,
+)
+from repro.compiler import compile_program
+from repro.layout import local, mma_m16n8k16, spatial
+from repro.quant import QuantScheme, quantize_weight, transform_weight
+from repro.vm import Interpreter
+
+
+def _setup_matmul(m=32, n=16, k=64, stages=1):
+    scheme = QuantScheme(int6, group_size=32)
+    cfg = MatmulConfig(16, 8, 16, num_stages=stages)
+    rng = np.random.default_rng(0)
+    a = float16.quantize(rng.standard_normal((m, k)))
+    q, scales = quantize_weight(rng.standard_normal((k, n)), scheme)
+    lay = matmul_layouts(cfg, int6)
+    packed = transform_weight(q, int6, lay.b_warp)
+    prog = quantized_matmul_program(m, n, k, float16, scheme, cfg)
+    interp = Interpreter()
+    args = [
+        interp.upload(a, float16),
+        interp.upload(packed, uint8),
+        interp.upload(float16.quantize(scales), float16),
+        interp.alloc_output([m, n], float16),
+    ]
+    return interp, prog, args
+
+
+def test_vm_matmul_direct(benchmark):
+    interp, prog, args = _setup_matmul(stages=1)
+    benchmark(interp.launch, prog, args)
+
+
+def test_vm_matmul_pipelined(benchmark):
+    interp, prog, args = _setup_matmul(stages=2)
+    benchmark(interp.launch, prog, args)
+
+
+def test_layout_compose(benchmark):
+    a = local(2, 1)
+    b = spatial(8, 4)
+    c = local(1, 2)
+    benchmark(lambda: a.compose(b).compose(c))
+
+
+def test_layout_map_batch(benchmark):
+    layout = mma_m16n8k16().a_layout
+    t = np.repeat(np.arange(32), 8)
+    i = np.tile(np.arange(8), 32)
+    benchmark(layout.map_batch, t, i)
+
+
+def test_layout_divide(benchmark):
+    from repro.layout import divide
+
+    h = local(2, 1).spatial(8, 4).local(1, 2)
+    g = local(1, 2)
+    benchmark(divide, h, g)
+
+
+def test_weight_transform_host(benchmark):
+    lay = matmul_layouts(MatmulConfig(16, 8, 16), int6)
+    q = np.random.default_rng(0).integers(-32, 32, size=(128, 64))
+    benchmark(transform_weight, q, int6, lay.b_warp)
+
+
+def test_compile_pipeline(benchmark):
+    prog = quantized_matmul_program(
+        64, 32, 64, float16, QuantScheme(int6, 32),
+        MatmulConfig(32, 16, 32, 2, 2, num_stages=2),
+    )
+    benchmark(compile_program, prog)

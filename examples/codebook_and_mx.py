@@ -1,0 +1,76 @@
+"""The paper's Section-10 extensions: codebook (LCQ) quantization via
+the Lookup instruction, and microscaling (MX) block formats.
+
+Compares three 4-bit-class schemes on the same weight matrix —
+uniform int4, a fitted Lloyd-Max codebook, and MXFP4 — then runs the
+codebook matmul kernel (which stages the codebook in shared memory and
+expands codes with ``Lookup``) on the VM.
+
+Run:  python examples/codebook_and_mx.py
+"""
+
+import numpy as np
+
+from repro.dtypes import dtype_from_name, float16, uint8
+from repro.kernels import MatmulConfig
+from repro.quant import (
+    MXFP4,
+    MXFP6,
+    QuantScheme,
+    codebook_error,
+    codebook_matmul_program,
+    encode_weight,
+    fit_codebook,
+    mx_error,
+    pack_codes,
+    quantization_error,
+)
+from repro.vm import Interpreter
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # Heavy-tailed weights, the regime where uniform grids struggle.
+    w = rng.standard_normal((256, 64)) * (1 + np.abs(rng.standard_normal((256, 64))))
+
+    print("4-bit-class quantization schemes on heavy-tailed weights:\n")
+    uniform = quantization_error(w, QuantScheme(dtype_from_name("i4"), 256))
+    codebook = fit_codebook(w, code_bits=4)
+    cb_err = codebook_error(w, codebook)
+    mx4 = mx_error(w, MXFP4)
+    mx6 = mx_error(w, MXFP6)
+    print(f"  uniform int4 (per-channel scale): rel RMS {uniform:.4f}")
+    print(f"  codebook 4-bit (Lloyd-Max, LCQ):  rel RMS {cb_err:.4f}")
+    print(f"  MXFP4 (e2m1 + e8m0 per 32):       rel RMS {mx4:.4f} "
+          f"({MXFP4.bits_per_element} effective bits)")
+    print(f"  MXFP6 (e3m2 + e8m0 per 32):       rel RMS {mx6:.4f} "
+          f"({MXFP6.bits_per_element} effective bits)")
+
+    # Run the codebook kernel end to end.
+    m, n, k = 16, 64, 256
+    cfg = MatmulConfig(16, 16, 16)
+    codes = encode_weight(w, codebook)
+    packed = pack_codes(codes, codebook, cfg)
+    table16 = float16.quantize(codebook.values)
+    a = float16.quantize(rng.standard_normal((m, k)) * 0.2)
+
+    program = codebook_matmul_program(m, n, k, codebook, cfg)
+    interp = Interpreter()
+    args = [
+        interp.upload(a, float16),
+        interp.upload(packed, uint8),
+        interp.upload(table16, float16),
+        interp.alloc_output([m, n], float16),
+    ]
+    interp.launch(program, args)
+    result = interp.download(args[-1], [m, n], float16)
+    reference = a.astype(np.float64) @ table16[codes]
+    err = np.max(np.abs(result - reference) / (np.abs(reference) + 0.5))
+    print(f"\ncodebook matmul kernel (Lookup instruction): rel err {err:.5f}")
+    assert err < 0.02
+    print("codes travel through the standard transform/View pipeline;")
+    print("the codebook is staged in shared memory once per thread block.")
+
+
+if __name__ == "__main__":
+    main()

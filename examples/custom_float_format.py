@@ -1,0 +1,62 @@
+"""Designing a custom sub-byte floating-point format.
+
+Tilus supports floats with *arbitrary* exponent/mantissa splits (paper
+Section 7).  This example compares three different 5-bit formats —
+e3m1, e2m2 and e1m3 — on a realistic weight distribution, picks the most
+accurate, and runs a matmul kernel with it end to end.
+
+Run:  python examples/custom_float_format.py
+"""
+
+import numpy as np
+
+from repro import ops
+from repro.dtypes import FloatType, float_, int_
+from repro.quant import QuantScheme, quantization_error
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # Transformer weights are roughly Gaussian with outliers.
+    weight = rng.standard_normal((512, 128))
+    weight[rng.random(weight.shape) < 0.002] *= 8  # outliers
+
+    print("5-bit format shoot-out on a Gaussian-with-outliers weight:\n")
+    candidates = {
+        "e3m1": float_(5, 3, 1),
+        "e2m2": float_(5, 2, 2),
+        "e1m3": float_(5, 1, 3),
+        "int5": int_(5),
+    }
+    errors = {}
+    for name, dtype in candidates.items():
+        scheme = QuantScheme(dtype, group_size=128)
+        errors[name] = quantization_error(weight, scheme)
+        if isinstance(dtype, FloatType):
+            values = dtype.representable_values()
+            print(
+                f"  {name}: {values.size} representable values, "
+                f"max {dtype.max_value:g}, rel RMS error {errors[name]:.4f}"
+            )
+        else:
+            print(f"  {name}: 31 uniform steps, rel RMS error {errors[name]:.4f}")
+
+    best_name = min(errors, key=errors.get)
+    best = candidates[best_name]
+    print(f"\nbest 5-bit format for this distribution: {best_name}")
+
+    # Now run an actual kernel with the winning format.
+    a = rng.standard_normal((4, 512)) * 0.3
+    result = ops.quantized_matmul(a, weight, weight_dtype=best, group_size=128)
+    reference = ops.reference_quantized_matmul(a, weight, best, 128)
+    err = np.max(np.abs(result - reference) / (np.abs(reference) + 0.5))
+    print(f"kernel output matches reference within {err:.5f} relative error")
+    assert err < 0.02
+
+    # The broader point: the format is a *parameter*, not a port.
+    print("\nevery one of these kernels came from the same program template;")
+    print("adding a new format is one FloatType(...) away.")
+
+
+if __name__ == "__main__":
+    main()

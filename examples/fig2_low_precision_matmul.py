@@ -1,0 +1,102 @@
+"""Paper Figure 2, verbatim: FP16 x INT6 matmul written in the Tilus DSL.
+
+Walks through the whole pipeline of the paper's worked example:
+
+1. ``transform_b`` (Figure 9) rearranges the int6 weight into the
+   tile-packed u8 representation — on the device, via the VM;
+2. the matmul kernel loads packed bytes, reinterprets them (``View``) to
+   int6 in the mma layout at zero cost, casts to f16 and accumulates
+   with ``Dot``;
+3. both programs are printed in the paper's surface syntax and the
+   matmul is compiled to CUDA C.
+
+Run:  python examples/fig2_low_precision_matmul.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_program
+from repro.dtypes import float16, float32, int6, uint8
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import local, mma_m16n8k16
+from repro.vm import Interpreter
+
+M, N, K = 64, 32, 64
+BM, BN, BK = 16, 8, 16
+mma = mma_m16n8k16()
+TILE_BYTES = BK * BN * 6 // 8  # 96 bytes of packed int6 per tile
+U8_LAYOUT = local(3).spatial(32)  # 32 threads x 3 bytes = 24 bits each
+
+
+def build_transform() -> "Program":
+    """Figure 9: i6[K, N] -> u8[K/BK, N/BN, 96]."""
+    pb = ProgramBuilder("transform_b", grid=[K // BK, N // BN])
+    b_ptr = pb.param("b_ptr", pointer(int6))
+    tb_ptr = pb.param("transformed_b_ptr", pointer(uint8))
+    bk, bj = pb.block_indices()
+    b_in = pb.view_global(b_ptr, dtype=int6, shape=[K, N])
+    b_out = pb.view_global(tb_ptr, dtype=uint8, shape=[K // BK, N // BN, TILE_BYTES])
+    tile = pb.load_global(b_in, layout=mma.b_layout, offset=[bk * BK, bj * BN])
+    as_bytes = pb.view(tile, dtype=uint8, layout=U8_LAYOUT)
+    pb.store_global(as_bytes, b_out, offset=[bk, bj, 0])
+    return pb.finish()
+
+
+def build_matmul() -> "Program":
+    """Figure 2(a): the low-precision matmul kernel."""
+    pb = ProgramBuilder("matmul", grid=[M // BM, N // BN])
+    a_ptr = pb.param("a_ptr", pointer(float16))
+    tb_ptr = pb.param("transformed_b_ptr", pointer(uint8))
+    c_ptr = pb.param("c_ptr", pointer(float16))
+    bi, bj = pb.block_indices()
+    ga = pb.view_global(a_ptr, dtype=float16, shape=[M, K])
+    gb = pb.view_global(tb_ptr, dtype=uint8, shape=[K // BK, N // BN, TILE_BYTES])
+    gc = pb.view_global(c_ptr, dtype=float16, shape=[M, N])
+    acc = pb.allocate_register(float32, layout=mma.c_layout, init=0.0)
+    with pb.for_range(K // BK) as bk:
+        a = pb.load_global(ga, layout=mma.a_layout, offset=[bi * BM, bk * BK])
+        b = pb.load_global(gb, layout=U8_LAYOUT, offset=[bk, bj, 0])
+        b1 = pb.view(b, dtype=int6, layout=mma.b_layout)   # zero cost
+        b2 = pb.cast(b1, float16)                          # vectorized cast
+        pb.dot(a, b2, acc, out=acc)
+    out = pb.cast(acc, float16)
+    pb.store_global(out, gc, offset=[bi * BM, bj * BN])
+    return pb.finish()
+
+
+def main() -> None:
+    transform = build_transform()
+    matmul = build_matmul()
+
+    print("--- transform_b (Figure 9) ---")
+    print(transform)
+    print("\n--- matmul (Figure 2) ---")
+    print(matmul)
+
+    rng = np.random.default_rng(0)
+    a_host = float16.quantize(rng.standard_normal((M, K)) * 0.5)
+    b_host = np.clip(rng.integers(-32, 32, size=(K, N)), -32, 31)
+
+    interp = Interpreter()
+    a_dev = interp.upload(a_host, float16)
+    b_dev = interp.upload(b_host, int6)
+    tb_dev = interp.alloc_output([K // BK, N // BN, TILE_BYTES], uint8)
+    c_dev = interp.alloc_output([M, N], float16)
+
+    interp.launch(transform, [b_dev, tb_dev])
+    interp.launch(matmul, [a_dev, tb_dev, c_dev])
+
+    result = interp.download(c_dev, [M, N], float16)
+    reference = float16.quantize(a_host.astype(np.float64) @ b_host)
+    error = np.max(np.abs(result - reference) / (np.abs(reference) + 1))
+    print(f"\nmax relative error vs float64 reference: {error:.6f}")
+    assert error < 1e-2
+
+    kernel = compile_program(matmul)
+    print("\n--- generated CUDA (first 30 lines) ---")
+    print("\n".join(kernel.source.splitlines()[:30]))
+    print(f"\nselected instructions: {kernel.selection.histogram()}")
+
+
+if __name__ == "__main__":
+    main()

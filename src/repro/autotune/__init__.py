@@ -1,0 +1,15 @@
+"""Autotuning over the matmul template's tile configurations."""
+
+from repro.autotune.tuner import (
+    AutotuneResult,
+    Autotuner,
+    config_latency_estimate,
+    enumerate_valid_configs,
+)
+
+__all__ = [
+    "Autotuner",
+    "AutotuneResult",
+    "enumerate_valid_configs",
+    "config_latency_estimate",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate paper figures without pytest.
+
+Usage::
+
+    python -m repro fig10 [--batch 1]
+    python -m repro fig11
+    python -m repro fig12
+    python -m repro fig13
+    python -m repro fig14
+    python -m repro headline
+    python -m repro demo          # run the Figure-2 kernel on the VM
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.dtypes import float16, uint2, uint4, uint8
+from repro.llm import MODELS, QWEN2_5_32B, ServingConfig, simulate_cell
+from repro.perf import A100, ALL_SYSTEMS, H100, L40S, MatmulWorkload, speedup_vs_cublas
+
+_SHAPES = [(8192, 8192), (8192, 28672), (57344, 8192)]
+_DTYPES = ["u8", "f6", "u4", "i4", "u2", "u1"]
+
+
+def _print_table(header: list[str], rows: list[list[str]]) -> None:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    rows = []
+    for name in ("triton", "quantllm", "ladder", "marlin", "tilus"):
+        system = ALL_SYSTEMS[name]
+        for n, k in _SHAPES:
+            row = [system.display, f"BS{args.batch}-{n}-{k}"]
+            for wname in _DTYPES:
+                w = MatmulWorkload.of(args.batch, n, k, wname)
+                row.append(
+                    f"{speedup_vs_cublas(system, w, L40S):.1f}"
+                    if system.supports(w, L40S)
+                    else "-"
+                )
+            rows.append(row)
+    _print_table(["system", "workload", *_DTYPES], rows)
+
+
+def cmd_fig11(args: argparse.Namespace) -> None:
+    from repro.dtypes import all_weight_dtypes
+
+    tilus = ALL_SYSTEMS["tilus"]
+    table: dict[str, dict[int, float]] = {"uint": {}, "int": {}, "float": {}}
+    for dtype in all_weight_dtypes():
+        kind = "float" if dtype.is_float else ("int" if dtype.is_signed else "uint")
+        w = MatmulWorkload(m=16, n=57344, k=8192, weight_dtype=dtype)
+        table[kind][dtype.nbits] = speedup_vs_cublas(tilus, w, L40S)
+    rows = [
+        [kind] + [f"{table[kind].get(b, float('nan')):.1f}" if b in table[kind] else "-" for b in range(8, 0, -1)]
+        for kind in ("uint", "int", "float")
+    ]
+    _print_table(["kind", *[f"{b}b" for b in range(8, 0, -1)]], rows)
+
+
+def cmd_fig12(args: argparse.Namespace) -> None:
+    columns = [("vllm", float16), ("ladder", uint8), ("tilus", uint8),
+               ("ladder", uint4), ("tilus", uint4), ("ladder", uint2), ("tilus", uint2)]
+    rows = []
+    for model in MODELS.values():
+        for stage, tokens in (("decode", 1), ("decode", 16), ("prefill", 2048)):
+            row = [model.name, f"{stage}@{tokens}"]
+            for sysname, dtype in columns:
+                cell = simulate_cell(model, ServingConfig(sysname, dtype, L40S), stage, tokens)
+                row.append(f"{cell.latency_ms:.1f}" if cell.ok else cell.error)
+            rows.append(row)
+    _print_table(["model", "stage", *[f"{s}-{d.name}" for s, d in columns]], rows)
+
+
+def cmd_fig13(args: argparse.Namespace) -> None:
+    rows = []
+    for gpu in (A100, L40S, H100):
+        for stage, tokens in (("decode", 1), ("decode", 16), ("prefill", 2048)):
+            row = [gpu.name, f"{stage}@{tokens}"]
+            for sysname, dtype in (("vllm", float16), ("ladder", uint4), ("tilus", uint4)):
+                cell = simulate_cell(QWEN2_5_32B, ServingConfig(sysname, dtype, gpu), stage, tokens)
+                row.append(f"{cell.latency_ms:.0f}" if cell.ok else cell.error)
+            rows.append(row)
+    _print_table(["gpu", "stage", "vLLM-f16", "Ladder-u4", "Tilus-u4"], rows)
+
+
+def cmd_fig14(args: argparse.Namespace) -> None:
+    batches = [1, 4, 8, 16, 4096, 8192, 12288]
+    curves = [("triton", "u4"), ("quantllm", "f6"), ("ladder", "u4"),
+              ("tilus", "f6"), ("tilus", "u4")]
+    rows = []
+    for sysname, wname in curves:
+        system = ALL_SYSTEMS[sysname]
+        row = [f"{system.display} ({wname})"]
+        for m in batches:
+            w = MatmulWorkload.of(m, 57344, 8192, wname)
+            row.append(
+                f"{speedup_vs_cublas(system, w, L40S):.2f}"
+                if system.supports(w, L40S)
+                else "-"
+            )
+        rows.append(row)
+    _print_table(["system", *[str(b) for b in batches]], rows)
+
+
+def cmd_headline(args: argparse.Namespace) -> None:
+    tilus = ALL_SYSTEMS["tilus"]
+    rows = []
+    for base, paper in (("triton", 1.75), ("ladder", 2.61), ("quantllm", 1.29), ("marlin", 1.03)):
+        system = ALL_SYSTEMS[base]
+        ratios = []
+        for m in (1, 16):
+            for n, k in _SHAPES:
+                for wname in _DTYPES:
+                    w = MatmulWorkload.of(m, n, k, wname)
+                    if system.supports(w, L40S):
+                        ratios.append(
+                            system.matmul_latency(w, L40S) / tilus.matmul_latency(w, L40S)
+                        )
+        ours = float(np.exp(np.mean(np.log(ratios))))
+        rows.append([base, f"{ours:.2f}", f"{paper:.2f}"])
+    _print_table(["baseline", "ours", "paper"], rows)
+
+
+def cmd_demo(args: argparse.Namespace) -> None:
+    """Run the Figure-2 FP16xINT6 kernel end to end on the VM."""
+    from repro import ops
+    from repro.dtypes import int6
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((8, 256)) * 0.3
+    w = rng.standard_normal((256, 64))
+    out = ops.quantized_matmul(a, w, weight_dtype=int6, group_size=64)
+    ref = ops.reference_quantized_matmul(a, w, int6, 64)
+    err = float(np.max(np.abs(out - ref) / (np.abs(ref) + 0.5)))
+    print(f"fp16 x int6 matmul on the VM: shape {out.shape}, rel err {err:.5f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tilus reproduction: regenerate paper figures"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p10 = sub.add_parser("fig10", help="kernel speedups vs cuBLAS f16")
+    p10.add_argument("--batch", type=int, default=1, choices=[1, 16])
+    p10.set_defaults(func=cmd_fig10)
+    for name, func in (
+        ("fig11", cmd_fig11), ("fig12", cmd_fig12), ("fig13", cmd_fig13),
+        ("fig14", cmd_fig14), ("headline", cmd_headline), ("demo", cmd_demo),
+    ):
+        p = sub.add_parser(name)
+        p.set_defaults(func=func)
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

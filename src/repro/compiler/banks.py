@@ -1,0 +1,124 @@
+"""Shared-memory bank-conflict analysis and XOR swizzling.
+
+NVIDIA shared memory is organized as 32 banks of 4 bytes.  A warp's
+memory instruction serializes once when several lanes touch *different*
+4-byte words in the same bank; the conflict degree is the worst-case
+number of replays.  Staged mma operand tiles are the classic victim:
+column accesses of a row-major f16 tile hit one bank 8-16 ways.
+
+The standard fix is an XOR swizzle of the column group within each row
+(CUTLASS/ldmatrix style): the physical placement becomes
+``group ^ (row % rows_per_pattern)`` which spreads a column across all
+banks while keeping rows contiguous (vector loads still work).
+
+The VM does not model banks (it is functional), so this module is a pure
+compiler analysis used by instruction selection and by the performance
+model; the swizzle itself is a bijection validated by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.layout import Layout
+
+NUM_BANKS = 32
+BANK_BYTES = 4
+
+
+@dataclass(frozen=True)
+class XorSwizzle:
+    """An XOR swizzle of a 2-D row-major tile.
+
+    The tile's rows are split into vectors of ``vector_bytes``; vector
+    ``g`` of row ``r`` is stored at vector slot ``g ^ (r % repeat)``.
+    ``repeat`` is normally chosen so one pattern period covers all banks:
+    ``repeat = 128 // row_bytes`` capped to the vectors per row.
+    """
+
+    vector_bytes: int = 16
+    repeat: int = 8
+
+    def apply(self, row, byte_in_row, row_bytes: int):
+        """Physical byte offset within the tile for a logical position."""
+        row = np.asarray(row)
+        byte_in_row = np.asarray(byte_in_row)
+        group = byte_in_row // self.vector_bytes
+        within = byte_in_row % self.vector_bytes
+        vectors_per_row = max(1, row_bytes // self.vector_bytes)
+        swizzled = (group ^ (row % self.repeat)) % vectors_per_row
+        return row * row_bytes + swizzled * self.vector_bytes + within
+
+    def is_bijective(self, rows: int, row_bytes: int) -> bool:
+        """The swizzle must permute the tile's bytes exactly."""
+        r = np.repeat(np.arange(rows), row_bytes)
+        b = np.tile(np.arange(row_bytes), rows)
+        phys = self.apply(r, b, row_bytes)
+        return bool(np.unique(phys).size == rows * row_bytes)
+
+
+def default_swizzle(row_bytes: int) -> XorSwizzle:
+    """The swizzle parameters CUTLASS would pick for a row of this size."""
+    vectors_per_row = max(1, row_bytes // 16)
+    return XorSwizzle(vector_bytes=16, repeat=min(8, vectors_per_row))
+
+
+def bank_of(byte_addr: np.ndarray) -> np.ndarray:
+    """Bank index of a shared-memory byte address."""
+    return (np.asarray(byte_addr) // BANK_BYTES) % NUM_BANKS
+
+
+def conflict_degree(byte_addrs: np.ndarray) -> int:
+    """Worst-case replay count for one warp-wide access.
+
+    Lanes hitting the *same 4-byte word* broadcast (no conflict); lanes
+    hitting different words in the same bank serialize.
+    """
+    words = np.unique(np.asarray(byte_addrs) // BANK_BYTES)
+    banks = words % NUM_BANKS
+    if banks.size == 0:
+        return 1
+    return int(np.bincount(banks, minlength=NUM_BANKS).max())
+
+
+def shared_load_conflicts(
+    layout: Layout,
+    tile_shape: tuple[int, int],
+    elem_bits: int,
+    vec_elems: int = 1,
+    swizzle: XorSwizzle | None = None,
+) -> int:
+    """Worst per-issue conflict degree of a warp loading a register tile
+    from a row-major (optionally swizzled) shared tile."""
+    if layout.rank != 2:
+        raise CompilationError("bank analysis expects 2-D tiles")
+    rows, cols = tile_shape
+    row_bytes = cols * elem_bits // 8
+    worst = 1
+    lanes = np.arange(min(32, layout.num_threads))
+    for start in range(0, layout.local_size, vec_elems):
+        r, c = (np.broadcast_to(x, lanes.shape) for x in layout.map_batch(lanes, np.full_like(lanes, start)))
+        byte_in_row = c * elem_bits // 8
+        if swizzle is not None:
+            addrs = swizzle.apply(r, byte_in_row, row_bytes)
+        else:
+            addrs = r * row_bytes + byte_in_row
+        worst = max(worst, conflict_degree(addrs))
+    return worst
+
+
+def recommend_swizzle(
+    layout: Layout, tile_shape: tuple[int, int], elem_bits: int
+) -> XorSwizzle | None:
+    """Return a swizzle when it strictly reduces the conflict degree."""
+    base = shared_load_conflicts(layout, tile_shape, elem_bits)
+    if base <= 1:
+        return None
+    candidate = default_swizzle(tile_shape[1] * elem_bits // 8)
+    if not candidate.is_bijective(tile_shape[0], tile_shape[1] * elem_bits // 8):
+        return None
+    improved = shared_load_conflicts(layout, tile_shape, elem_bits, swizzle=candidate)
+    return candidate if improved < base else None

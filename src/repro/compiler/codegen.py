@@ -1,0 +1,662 @@
+"""CUDA C code generation (paper Section 8.1, steps 2-3).
+
+Translates a verified Tilus program into the CUDA C a real backend (the
+paper goes through Hidet IR and nvcc) would compile.  Register tensors
+become per-thread arrays, thread-block instructions become unrolled
+per-thread code, and instruction selection decides the PTX-level
+primitives: ``cp.async`` transactions, ``ldmatrix``/vectorized ``lds``,
+vectorized ``ldg``/``stg``, ``mma.sync`` tensor-core ops, and the
+``PRMT``/``LOP3`` cast sequences for low-precision weights.
+
+Because this environment has no NVIDIA toolchain, the emitted source is
+validated structurally (golden tests assert the selected instructions
+appear) rather than executed; functional semantics are covered by the VM.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.lowprec import build_cast_recipe
+from repro.compiler.memory_planner import MemoryPlan
+from repro.compiler.selection import SelectionReport
+from repro.dtypes import DataType
+from repro.errors import CompilationError
+from repro.ir import instructions as insts
+from repro.ir.expr import (
+    Binary,
+    CastExpr,
+    Compare,
+    Conditional,
+    Constant,
+    Expr,
+    Logical,
+    Unary,
+    Var,
+)
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignStmt,
+    BreakStmt,
+    ContinueStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+from repro.ir.types import TensorVar
+from repro.layout import Layout
+
+_CUDA_SCALAR = {
+    "f16": "__half",
+    "bf16": "__nv_bfloat16",
+    "f32": "float",
+    "f64": "double",
+    "i8": "int8_t",
+    "i16": "int16_t",
+    "i32": "int32_t",
+    "i64": "int64_t",
+    "u8": "uint8_t",
+    "u16": "uint16_t",
+    "u32": "uint32_t",
+    "u64": "uint64_t",
+    "bool": "bool",
+}
+
+_VECTOR_TYPE = {128: "uint4", 64: "uint2", 32: "uint32_t", 16: "uint16_t", 8: "uint8_t"}
+
+
+def cuda_type(dtype: DataType) -> str:
+    """CUDA C type for a data type; sub-byte types use byte containers."""
+    if dtype.is_pointer:
+        return "void*" if dtype.base is None else f"{cuda_type(dtype.base)}*"
+    if dtype.name in _CUDA_SCALAR:
+        return _CUDA_SCALAR[dtype.name]
+    if dtype.nbits <= 8:
+        return "uint8_t"  # packed container for sub-byte lanes
+    raise CompilationError(f"no CUDA type for {dtype}")
+
+
+class CodeWriter:
+    """Indented source accumulator."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.indent + text if text else "")
+
+    def block(self) -> "_Block":
+        return _Block(self)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: CodeWriter) -> None:
+        self.writer = writer
+
+    def __enter__(self) -> None:
+        self.writer.emit("{")
+        self.writer.indent += 1
+
+    def __exit__(self, *exc) -> None:
+        self.writer.indent -= 1
+        self.writer.emit("}")
+
+
+def expr_to_c(expr: Expr) -> str:
+    """Render a scalar expression as C."""
+    if isinstance(expr, Constant):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, float):
+            return f"{expr.value}f"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name.lstrip("%")
+    if isinstance(expr, Binary):
+        return f"({expr_to_c(expr.lhs)} {expr.op} {expr_to_c(expr.rhs)})"
+    if isinstance(expr, Unary):
+        return f"({expr.op}{expr_to_c(expr.operand)})"
+    if isinstance(expr, Compare):
+        return f"({expr_to_c(expr.lhs)} {expr.op} {expr_to_c(expr.rhs)})"
+    if isinstance(expr, Logical):
+        return f"({expr_to_c(expr.lhs)} {expr.op} {expr_to_c(expr.rhs)})"
+    if isinstance(expr, Conditional):
+        return (
+            f"({expr_to_c(expr.cond)} ? {expr_to_c(expr.then)} : "
+            f"{expr_to_c(expr.otherwise)})"
+        )
+    if isinstance(expr, CastExpr):
+        return f"(({cuda_type(expr.dtype)}){expr_to_c(expr.operand)})"
+    raise CompilationError(f"cannot render {type(expr).__name__} as C")
+
+
+def _layout_coord_exprs(layout: Layout, local_index: int) -> list[str]:
+    """C expressions for the logical coordinates of local element
+    ``local_index`` of the calling thread (variable ``tid``).
+
+    The unified representation turns directly into integer arithmetic:
+    each spatial mode contributes ``(tid / stride) % extent`` scaled by the
+    mode's logical weight; local modes contribute compile-time constants.
+    """
+    # Strides of spatial modes within the thread index.
+    spatial_strides: dict[int, int] = {}
+    acc = 1
+    for mode in reversed(layout.spatial_modes):
+        spatial_strides[mode] = acc
+        acc *= layout.mode_shape[mode]
+    # Local mode values for this element.
+    local_values: dict[int, int] = {}
+    rem = local_index
+    for mode in reversed(layout.local_modes):
+        extent = layout.mode_shape[mode]
+        local_values[mode] = rem % extent
+        rem //= extent
+    coords: list[str] = []
+    for group in layout._dim_modes:
+        logical = [m for m in group if m not in layout.replicated_modes]
+        terms: list[str] = []
+        weight = 1
+        const_part = 0
+        # Build weights right-to-left (least significant mode last).
+        weights: dict[int, int] = {}
+        for mode in reversed(logical):
+            weights[mode] = weight
+            weight *= layout.mode_shape[mode]
+        for mode in logical:
+            extent = layout.mode_shape[mode]
+            w = weights[mode]
+            if mode in local_values:
+                const_part += local_values[mode] * w
+            else:
+                stride = spatial_strides[mode]
+                term = f"tid / {stride} % {extent}" if stride > 1 else f"tid % {extent}"
+                terms.append(f"({term}) * {w}" if w > 1 else f"({term})")
+        if const_part or not terms:
+            terms.append(str(const_part))
+        coords.append(" + ".join(terms))
+    return coords
+
+
+class CudaCodegen:
+    """Emits one ``__global__`` kernel for a Tilus program."""
+
+    def __init__(
+        self,
+        program: Program,
+        shared_plan: MemoryPlan,
+        selection: SelectionReport,
+    ) -> None:
+        self.program = program
+        self.shared_plan = shared_plan
+        self.selection = selection
+        self.w = CodeWriter()
+        self._reg_names: dict[TensorVar, str] = {}
+        self._global_views: dict[TensorVar, str] = {}
+
+    # -- naming ------------------------------------------------------------
+    def _reg(self, tensor: TensorVar) -> str:
+        if tensor not in self._reg_names:
+            self._reg_names[tensor] = tensor.name.lstrip("%")
+        return self._reg_names[tensor]
+
+    # -- top level -----------------------------------------------------------
+    def generate(self) -> str:
+        p = self.program
+        self.w.emit("#include <cuda_fp16.h>")
+        self.w.emit("#include <cuda_bf16.h>")
+        self.w.emit("#include <cstdint>")
+        self.w.emit()
+        params = ", ".join(f"{cuda_type(q.dtype)} {q.name}" for q in p.params)
+        self.w.emit(f"// Tilus program '{p.name}', {p.num_threads} threads per block")
+        self.w.emit(
+            f"extern \"C\" __global__ void __launch_bounds__({p.num_threads}) "
+            f"{p.name}({params})"
+        )
+        with self.w.block():
+            if self.shared_plan.total_bytes:
+                self.w.emit(
+                    f"extern __shared__ uint8_t smem[];  "
+                    f"// {self.shared_plan.total_bytes} bytes planned"
+                )
+            self.w.emit("const int tid = threadIdx.x;")
+            self.w.emit("const int lane = tid % 32; (void)lane;")
+            self.w.emit("const int warp = tid / 32; (void)warp;")
+            self._emit_stmt(p.body)
+        return self.w.source()
+
+    # -- statements -------------------------------------------------------------
+    def _emit_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for child in stmt.body:
+                self._emit_stmt(child)
+        elif isinstance(stmt, InstructionStmt):
+            self._emit_instruction(stmt.instruction)
+        elif isinstance(stmt, AssignStmt):
+            self.w.emit(
+                f"{cuda_type(stmt.var.dtype)} {stmt.var.name} = {expr_to_c(stmt.value)};"
+            )
+        elif isinstance(stmt, IfStmt):
+            self.w.emit(f"if ({expr_to_c(stmt.cond)})")
+            with self.w.block():
+                self._emit_stmt(stmt.then_body)
+            if stmt.else_body is not None and stmt.else_body.body:
+                self.w.emit("else")
+                with self.w.block():
+                    self._emit_stmt(stmt.else_body)
+        elif isinstance(stmt, ForStmt):
+            if stmt.unroll:
+                self.w.emit("#pragma unroll")
+            var = stmt.var.name
+            self.w.emit(
+                f"for (int {var} = 0; {var} < {expr_to_c(stmt.extent)}; ++{var})"
+            )
+            with self.w.block():
+                self._emit_stmt(stmt.body)
+        elif isinstance(stmt, WhileStmt):
+            self.w.emit(f"while ({expr_to_c(stmt.cond)})")
+            with self.w.block():
+                self._emit_stmt(stmt.body)
+        elif isinstance(stmt, BreakStmt):
+            self.w.emit("break;")
+        elif isinstance(stmt, ContinueStmt):
+            self.w.emit("continue;")
+
+    # -- instructions -------------------------------------------------------------
+    def _emit_instruction(self, inst: insts.Instruction) -> None:
+        handler = getattr(self, f"_emit_{type(inst).__name__}", None)
+        if handler is None:
+            self.w.emit(f"// <unhandled {type(inst).__name__}>")
+            return
+        handler(inst)
+
+    def _emit_BlockIndices(self, inst: insts.BlockIndices) -> None:
+        axes = ["blockIdx.x", "blockIdx.y", "blockIdx.z"]
+        if len(inst.out_vars) > 3:
+            raise CompilationError("grids above rank 3 need linearization")
+        for var, axis in zip(inst.out_vars, axes):
+            self.w.emit(f"const int {var.name} = {axis};")
+
+    def _emit_ViewGlobal(self, inst: insts.ViewGlobal) -> None:
+        name = self._reg(inst.out)
+        ctype = cuda_type(inst.out.ttype.dtype)
+        self._global_views[inst.out] = name
+        self.w.emit(
+            f"{ctype}* {name} = ({ctype}*)({expr_to_c(inst.ptr)});  "
+            f"// global view {inst.out.ttype}"
+        )
+
+    def _declare_register(self, tensor: TensorVar) -> None:
+        """Declare the per-thread array backing a register tensor."""
+        layout = tensor.ttype.layout
+        name = self._reg(tensor)
+        count = layout.local_size
+        if tensor.ttype.dtype.is_subbyte:
+            nbytes = (count * tensor.ttype.dtype.nbits + 7) // 8
+            self.w.emit(
+                f"uint8_t {name}[{nbytes}];  // {count} x {tensor.ttype.dtype} packed"
+            )
+        else:
+            self.w.emit(f"{cuda_type(tensor.ttype.dtype)} {name}[{count}];")
+
+    def _emit_AllocateRegister(self, inst: insts.AllocateRegister) -> None:
+        tensor = inst.out
+        layout = tensor.ttype.layout
+        name = self._reg(tensor)
+        ctype = cuda_type(tensor.ttype.dtype)
+        count = layout.local_size
+        self._declare_register(tensor)
+        if inst.init is not None:
+            self.w.emit("#pragma unroll")
+            self.w.emit(f"for (int _i = 0; _i < {count}; ++_i) {name}[_i] = "
+                        f"({ctype}){inst.init};")
+
+    def _emit_AllocateShared(self, inst: insts.AllocateShared) -> None:
+        tensor = inst.out
+        name = self._reg(tensor)
+        ctype = cuda_type(tensor.ttype.dtype)
+        offset = self.shared_plan.offset_of(tensor)
+        self.w.emit(
+            f"{ctype}* {name} = ({ctype}*)(smem + {offset});  "
+            f"// shared {tensor.ttype}, planned at +{offset}"
+        )
+
+    def _emit_AllocateGlobal(self, inst: insts.AllocateGlobal) -> None:
+        name = self._reg(inst.out)
+        ctype = cuda_type(inst.out.ttype.dtype)
+        self.w.emit(
+            f"{ctype}* {name} = ({ctype}*)__tilus_workspace;  "
+            f"// runtime-provided workspace slice"
+        )
+
+    def _emit_FreeShared(self, inst: insts.FreeShared) -> None:
+        self.w.emit(f"// shared {inst.tensor.name} released for reuse")
+
+    # loads/stores -----------------------------------------------------------------
+    def _strides(self, shape) -> list[str]:
+        strides: list[str] = []
+        acc: str | int = 1
+        for extent in reversed(list(shape)):
+            strides.append(str(acc))
+            if isinstance(extent, Expr):
+                acc = f"({expr_to_c(extent)} * {acc})"
+            else:
+                acc = int(extent) * int(acc) if isinstance(acc, int) else f"({extent} * {acc})"
+        strides.reverse()
+        return strides
+
+    def _emit_transfer(
+        self,
+        inst,
+        tensor: TensorVar,
+        reg: TensorVar,
+        is_load: bool,
+        shared: bool,
+    ) -> None:
+        layout = reg.ttype.layout
+        access = self.selection.of(inst)
+        elem_bits = tensor.ttype.dtype.nbits
+        vec_elems = max(1, (access.vector_bits // elem_bits)) if access else 1
+        name = self._reg(reg)
+        mem = self._reg(tensor)
+        shape = tensor.ttype.shape
+        strides = self._strides(shape)
+        offset = list(getattr(inst, "offset", ()))
+        pad = len(shape) - layout.rank
+        masked = getattr(inst, "masked", False)
+        broadcast = getattr(inst, "broadcast_dims", frozenset())
+        if is_load:
+            self._declare_register(reg)
+        self.w.emit(
+            f"// {'load' if is_load else 'store'} via {access.instruction if access else 'scalar'}"
+            f" ({access.issues_per_thread if access else layout.local_size} issues/thread)"
+        )
+        with self.w.block():
+            vtype = _VECTOR_TYPE.get(access.vector_bits if access else elem_bits, "uint8_t")
+            for start in range(0, layout.local_size, vec_elems):
+                coords = _layout_coord_exprs(layout, start)
+                addr_terms: list[str] = []
+                guards: list[str] = []
+                for dim in range(len(shape)):
+                    if dim < pad:
+                        base = expr_to_c(offset[dim]) if offset else "0"
+                        coord = base
+                    else:
+                        lcoord = coords[dim - pad]
+                        if (dim in broadcast) or not offset:
+                            coord = expr_to_c(offset[dim]) if offset else lcoord
+                        else:
+                            coord = f"({expr_to_c(offset[dim])} + {lcoord})"
+                    addr_terms.append(
+                        coord if strides[dim] == "1" else f"({coord}) * {strides[dim]}"
+                    )
+                    if masked and not isinstance(shape[dim], Expr):
+                        guards.append(f"({coord}) < {shape[dim]}")
+                addr = " + ".join(addr_terms)
+                lhs = f"*reinterpret_cast<{vtype}*>(&{name}[{start}])"
+                rhs = f"*reinterpret_cast<const {vtype}*>(&{mem}[{addr}])"
+                if not is_load:
+                    lhs, rhs = rhs.replace("const ", ""), lhs
+                if guards:
+                    guard = " && ".join(guards)
+                    if is_load:
+                        self.w.emit(f"{lhs} = ({guard}) ? {rhs} : {vtype}{{}};")
+                    else:
+                        self.w.emit(f"if ({guard}) {lhs} = {rhs};")
+                else:
+                    self.w.emit(f"{lhs} = {rhs};")
+
+    def _emit_LoadGlobal(self, inst: insts.LoadGlobal) -> None:
+        self._emit_transfer(inst, inst.src, inst.out, is_load=True, shared=False)
+
+    def _emit_LoadShared(self, inst: insts.LoadShared) -> None:
+        access = self.selection.of(inst)
+        if access and access.instruction == "ldmatrix":
+            name = self._reg(inst.out)
+            self._declare_register(inst.out)
+            self.w.emit(f"// ldmatrix fill of {name}")
+            with self.w.block():
+                for issue in range(access.issues_per_thread):
+                    self.w.emit(
+                        'asm volatile("ldmatrix.sync.aligned.m8n8.x4.shared.b16 '
+                        f'{{%0,%1,%2,%3}}, [%4];" : "=r"(*(uint32_t*)&{name}[{issue * 8}]),'
+                        f' "=r"(*(uint32_t*)&{name}[{issue * 8 + 2}]),'
+                        f' "=r"(*(uint32_t*)&{name}[{issue * 8 + 4}]),'
+                        f' "=r"(*(uint32_t*)&{name}[{issue * 8 + 6}])'
+                        f' : "r"(__smem_addr));'
+                    )
+            return
+        self._emit_transfer(inst, inst.src, inst.out, is_load=True, shared=True)
+
+    def _emit_StoreGlobal(self, inst: insts.StoreGlobal) -> None:
+        self._emit_transfer(inst, inst.dst, inst.src, is_load=False, shared=False)
+
+    def _emit_StoreShared(self, inst: insts.StoreShared) -> None:
+        self._emit_transfer(inst, inst.dst, inst.src, is_load=False, shared=True)
+
+    def _emit_CopyAsync(self, inst: insts.CopyAsync) -> None:
+        access = self.selection.of(inst)
+        shape = inst.copy_shape()
+        total_bytes = 1
+        for extent in shape:
+            total_bytes *= extent
+        total_bytes = total_bytes * inst.src.ttype.dtype.nbits // 8
+        per_txn = access.vector_bits // 8 if access else 16
+        dst = self._reg(inst.dst)
+        src = self._reg(inst.src)
+        self.w.emit(
+            f"// {access.instruction if access else 'cp.async'}: {total_bytes} B "
+            f"global->shared, {per_txn} B per transaction"
+        )
+        with self.w.block():
+            self.w.emit(
+                f"for (int _o = tid * {per_txn}; _o < {total_bytes}; "
+                f"_o += {self.program.num_threads * per_txn})"
+            )
+            with self.w.block():
+                self.w.emit(
+                    'asm volatile("cp.async.cg.shared.global [%0], [%1], '
+                    f'{per_txn};" :: "r"(__cvta_generic_to_shared({dst}) + _o), '
+                    f'"l"((const char*)({src}) + _o));'
+                )
+
+    def _emit_CopyAsyncCommitGroup(self, inst) -> None:
+        self.w.emit('asm volatile("cp.async.commit_group;");')
+
+    def _emit_CopyAsyncWaitGroup(self, inst: insts.CopyAsyncWaitGroup) -> None:
+        self.w.emit(f'asm volatile("cp.async.wait_group {max(inst.n, 0)};");')
+
+    # computation --------------------------------------------------------------
+    def _emit_ElementwiseBinary(self, inst: insts.ElementwiseBinary) -> None:
+        a, out = self._reg(inst.a), self._reg(inst.out)
+        count = inst.out.ttype.layout.local_size
+        ctype = cuda_type(inst.out.ttype.dtype)
+        if isinstance(inst.b, TensorVar):
+            b_expr = f"{self._reg(inst.b)}[_i]"
+        else:
+            b_expr = f"({ctype})({expr_to_c(inst.b)})"
+        self.w.emit(f"{ctype} {out}[{count}];")
+        self.w.emit("#pragma unroll")
+        self.w.emit(
+            f"for (int _i = 0; _i < {count}; ++_i) "
+            f"{out}[_i] = {a}[_i] {inst.op} {b_expr};"
+        )
+
+    def _emit_Neg(self, inst: insts.Neg) -> None:
+        a, out = self._reg(inst.a), self._reg(inst.out)
+        count = inst.out.ttype.layout.local_size
+        ctype = cuda_type(inst.out.ttype.dtype)
+        self.w.emit(f"{ctype} {out}[{count}];")
+        self.w.emit("#pragma unroll")
+        self.w.emit(f"for (int _i = 0; _i < {count}; ++_i) {out}[_i] = -{a}[_i];")
+
+    def _emit_Cast(self, inst: insts.Cast) -> None:
+        src_t = inst.a.ttype.dtype
+        dst_t = inst.dtype
+        a, out = self._reg(inst.a), self._reg(inst.out)
+        count = inst.out.ttype.layout.local_size
+        ctype = cuda_type(dst_t)
+        self.w.emit(f"{ctype} {out}[{count}];")
+        if src_t.is_subbyte and dst_t.nbits == 16 and dst_t.is_float:
+            recipe = build_cast_recipe(src_t, dst_t)
+            self.w.emit(
+                f"// vectorized {src_t} -> {dst_t} cast: "
+                f"{recipe.ops_per_out_reg} ops per 2 lanes "
+                f"({', '.join(sorted(recipe.mnemonic_histogram()))})"
+            )
+            with self.w.block():
+                self.w.emit(f"uint32_t _packed, _lanes;")
+                for pair in range(0, count, 2):
+                    byte0 = pair * src_t.nbits // 8
+                    self.w.emit(f"_packed = *(const uint32_t*)&{a}[{byte0}];")
+                    for op in recipe.ops:
+                        self._emit_cast_op(op, pair, out)
+        else:
+            self.w.emit("#pragma unroll")
+            self.w.emit(
+                f"for (int _i = 0; _i < {count}; ++_i) "
+                f"{out}[_i] = ({ctype}){a}[_i];"
+            )
+
+    def _emit_cast_op(self, op, pair: int, out: str) -> None:
+        if op.opcode == "prmt":
+            self.w.emit(
+                f'asm("prmt.b32 %0, %1, 0, 0x5410;" : "=r"(_lanes) : "r"(_packed));'
+                f"  // {op.comment}"
+            )
+        elif op.opcode == "lop3":
+            self.w.emit(
+                f'asm("lop3.b32 %0, %1, %2, %3, 0xEA;" : "=r"(_lanes) : '
+                f'"r"(_lanes), "n"(0x03FF03FF), "n"(0x64006400));  // {op.comment}'
+            )
+        elif op.opcode in ("shr", "shl"):
+            self.w.emit(f"_lanes = _lanes {'>>' if op.opcode == 'shr' else '<<'} 1;"
+                        f"  // {op.comment}")
+        elif op.opcode in ("sub", "fma"):
+            self.w.emit(
+                f"*(half2*)&{out}[{pair}] = __hsub2(*(half2*)&_lanes, "
+                f"__float2half2_rn(1024.0f));  // {op.comment}"
+            )
+        elif op.opcode == "and":
+            self.w.emit(f"_lanes &= 0x80008000u;  // {op.comment}")
+        elif op.opcode == "or":
+            self.w.emit(f"_lanes |= _packed;  // {op.comment}")
+        else:
+            self.w.emit(f"// {op.opcode}: {op.comment}")
+
+    def _emit_ReduceSum(self, inst: insts.ReduceSum) -> None:
+        a, out = self._reg(inst.a), self._reg(inst.out)
+        in_layout = inst.a.ttype.layout
+        out_count = inst.out.ttype.layout.local_size
+        per_thread = in_layout.local_size
+        ctype = cuda_type(inst.out.ttype.dtype)
+        self._declare_register(inst.out)
+        self.w.emit(
+            f"// reduce-sum over axis {inst.axis}: thread-local accumulate, "
+            f"then butterfly shuffle across the warp"
+        )
+        with self.w.block():
+            self.w.emit(f"{ctype} _partial = ({ctype})0;")
+            self.w.emit("#pragma unroll")
+            self.w.emit(f"for (int _i = 0; _i < {per_thread}; ++_i) _partial += {a}[_i];")
+            self.w.emit("#pragma unroll")
+            self.w.emit("for (int _w = 16; _w > 0; _w /= 2)")
+            with self.w.block():
+                self.w.emit(
+                    '_partial += __shfl_xor_sync(0xffffffff, _partial, _w);'
+                )
+            self.w.emit("#pragma unroll")
+            self.w.emit(f"for (int _i = 0; _i < {out_count}; ++_i) {out}[_i] = _partial;")
+
+    def _emit_Lookup(self, inst: insts.Lookup) -> None:
+        codes, table, out = self._reg(inst.codes), self._reg(inst.table), self._reg(inst.out)
+        count = inst.out.ttype.layout.local_size
+        nbits = inst.codes.ttype.dtype.nbits
+        self._declare_register(inst.out)
+        self.w.emit(f"// codebook lookup: {count} x {nbits}-bit codes")
+        self.w.emit("#pragma unroll")
+        with self.w.block():
+            self.w.emit(f"for (int _i = 0; _i < {count}; ++_i)")
+            with self.w.block():
+                if nbits in (8, 16, 32):
+                    self.w.emit(f"{out}[_i] = {table}[{codes}[_i]];")
+                else:
+                    self.w.emit(
+                        f"const int _bit = _i * {nbits};"
+                    )
+                    self.w.emit(
+                        f"const unsigned _code = (*(const uint32_t*)&{codes}"
+                        f"[_bit / 8] >> (_bit % 8)) & {(1 << nbits) - 1}u;"
+                    )
+                    self.w.emit(f"{out}[_i] = {table}[_code];")
+
+    def _emit_View(self, inst: insts.View) -> None:
+        a, out = self._reg(inst.a), self._reg(inst.out)
+        out_t = inst.out.ttype
+        ctype = (
+            "uint8_t" if out_t.dtype.is_subbyte else cuda_type(out_t.dtype)
+        )
+        self.w.emit(
+            f"{ctype}* {out} = ({ctype}*){a};  // zero-cost register "
+            f"reinterpretation to {out_t.dtype} {out_t.layout.short_repr()}"
+        )
+
+    def _emit_Dot(self, inst: insts.Dot) -> None:
+        a, b, c = self._reg(inst.a), self._reg(inst.b), self._reg(inst.c)
+        out = self._reg(inst.out)
+        la = inst.a.ttype.layout
+        lb = inst.b.ttype.layout
+        m, k = la.shape
+        _, n = lb.shape
+        # Warp-level repetition counts over one m16n8k16 mma.
+        warps = max(1, la.num_threads // 32)
+        frags = (m * n * k) // (16 * 8 * 16) // warps
+        if inst.out is not inst.c:
+            count = inst.out.ttype.layout.local_size
+            ctype = cuda_type(inst.out.ttype.dtype)
+            self.w.emit(f"{ctype} {out}[{count}];")
+            self.w.emit("#pragma unroll")
+            self.w.emit(f"for (int _i = 0; _i < {count}; ++_i) {out}[_i] = {c}[_i];")
+        self.w.emit(f"// {frags} x mma.sync per warp: {m}x{n}x{k} tile")
+        self.w.emit("#pragma unroll")
+        self.w.emit(f"for (int _f = 0; _f < {frags}; ++_f)")
+        with self.w.block():
+            self.w.emit(
+                'asm volatile("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32 '
+                '{%0,%1,%2,%3}, {%4,%5,%6,%7}, {%8,%9}, {%0,%1,%2,%3};"'
+            )
+            self.w.emit(
+                f'    : "+f"({out}[_f*4+0]), "+f"({out}[_f*4+1]), '
+                f'"+f"({out}[_f*4+2]), "+f"({out}[_f*4+3])'
+            )
+            self.w.emit(
+                f'    : "r"(*(const uint32_t*)&{a}[_f*8]), '
+                f'"r"(*(const uint32_t*)&{a}[_f*8+2]), '
+                f'"r"(*(const uint32_t*)&{a}[_f*8+4]), '
+                f'"r"(*(const uint32_t*)&{a}[_f*8+6]),'
+            )
+            self.w.emit(
+                f'      "r"(*(const uint32_t*)&{b}[_f*4]), '
+                f'"r"(*(const uint32_t*)&{b}[_f*4+2]));'
+            )
+
+    # misc ---------------------------------------------------------------------
+    def _emit_Synchronize(self, inst) -> None:
+        self.w.emit("__syncthreads();")
+
+    def _emit_Exit(self, inst) -> None:
+        self.w.emit("return;")
+
+    def _emit_PrintTensor(self, inst: insts.PrintTensor) -> None:
+        self.w.emit(f'// debug print of {inst.tensor.name} elided in release codegen')
+
+
+def generate_cuda(
+    program: Program, shared_plan: MemoryPlan, selection: SelectionReport
+) -> str:
+    """Generate CUDA C source for a program."""
+    return CudaCodegen(program, shared_plan, selection).generate()

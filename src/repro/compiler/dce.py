@@ -1,0 +1,95 @@
+"""Dead code elimination (part of Section 8's "eliminating redundancies").
+
+An instruction is live when it has an observable effect (stores, copies,
+synchronization, debug output) or when its output tensor feeds a live
+instruction — computed as a fixpoint so chains and loop-carried uses are
+handled.  Dead instructions (e.g. a loaded-then-unused tile left over
+from template specialization) are removed from the statement tree.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as insts
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+from repro.ir.types import TensorVar
+
+#: Instructions whose execution is observable regardless of outputs.
+_EFFECTFUL = (
+    insts.StoreGlobal,
+    insts.StoreShared,
+    insts.CopyAsync,
+    insts.CopyAsyncCommitGroup,
+    insts.CopyAsyncWaitGroup,
+    insts.Synchronize,
+    insts.Exit,
+    insts.PrintTensor,
+    insts.BlockIndices,
+    insts.FreeShared,
+    insts.ViewGlobal,
+    insts.AllocateShared,
+    insts.AllocateGlobal,
+)
+
+
+def eliminate_dead_code(program: Program) -> int:
+    """Remove dead instructions in place; returns how many were removed."""
+    all_instructions = list(program.body.instructions())
+    live: set[int] = set()
+    live_tensors: set[TensorVar] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for inst in all_instructions:
+            if id(inst) in live:
+                continue
+            output = inst.output
+            is_live = isinstance(inst, _EFFECTFUL) or (
+                output is not None and output in live_tensors
+            )
+            # In-place updates (out aliases an input) of live tensors are
+            # live: the accumulator pattern Dot(a, b, acc, out=acc).
+            if not is_live and output is not None:
+                is_live = any(t is output for t in inst.inputs())
+                is_live = is_live and output in live_tensors
+            if is_live:
+                live.add(id(inst))
+                for tensor in inst.inputs():
+                    if tensor not in live_tensors:
+                        live_tensors.add(tensor)
+                        changed = True
+                if output is not None and output not in live_tensors:
+                    live_tensors.add(output)
+                    changed = True
+                changed = True if id(inst) in live and changed else changed
+
+    removed = _filter_stmt(program.body, live)
+    return removed
+
+
+def _filter_stmt(stmt: Stmt, live: set[int]) -> int:
+    removed = 0
+    if isinstance(stmt, SeqStmt):
+        kept = []
+        for child in stmt.body:
+            if isinstance(child, InstructionStmt) and id(child.instruction) not in live:
+                removed += 1
+                continue
+            removed += _filter_stmt(child, live)
+            kept.append(child)
+        stmt.body[:] = kept
+    elif isinstance(stmt, IfStmt):
+        removed += _filter_stmt(stmt.then_body, live)
+        if stmt.else_body is not None:
+            removed += _filter_stmt(stmt.else_body, live)
+    elif isinstance(stmt, (ForStmt, WhileStmt)):
+        removed += _filter_stmt(stmt.body, live)
+    return removed

@@ -1,0 +1,161 @@
+"""Low-precision lowering (paper Sections 7.1, 7.2 and 8.1 step 3).
+
+Two artifacts are produced here:
+
+1. **Cast recipes** — the vectorized register-only instruction sequences
+   that convert packed low-precision lanes to f16/bf16, built from ``PRMT``
+   (byte permute), ``LOP3`` (3-input logic) and shifts.  Each recipe knows
+   its instruction count per 32-bit register of output, which both the
+   code generator and the performance model consume.
+2. **Fallback bit access plans** — for a low-precision element at a given
+   index within a packed byte array, the AND/SHIFT/OR sequence of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtypes import DataType
+from repro.errors import CompilationError
+from repro.utils.bits import bit_mask
+
+
+@dataclass(frozen=True)
+class CastOp:
+    """One abstract machine op in a cast recipe."""
+
+    opcode: str   # prmt | lop3 | shr | shl | and | or | sub | fma | cvt | mov
+    comment: str = ""
+
+
+@dataclass
+class CastRecipe:
+    """Register-only conversion of packed low-precision lanes to f16.
+
+    ``ops_per_out_reg`` is the cost unit: instructions needed to produce
+    one 32-bit register holding two f16 results.
+    """
+
+    src: str
+    dst: str
+    ops: list[CastOp] = field(default_factory=list)
+
+    @property
+    def ops_per_out_reg(self) -> int:
+        return len(self.ops)
+
+    def mnemonic_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for op in self.ops:
+            hist[op.opcode] = hist.get(op.opcode, 0) + 1
+        return hist
+
+
+def _uint_to_f16_recipe(nbits: int) -> list[CastOp]:
+    """Unsigned integers: align each lane, mask, then or-in the f16
+    exponent of 1024 and subtract — the classic ``(x | 0x6400) - 1024``
+    trick done two lanes at a time with LOP3."""
+    ops: list[CastOp] = []
+    if nbits not in (1, 2, 3, 4, 5, 6, 7, 8):
+        raise CompilationError(f"no u{nbits} -> f16 recipe")
+    if nbits > 4:
+        # Lanes straddle nibbles: byte-select with PRMT first.
+        ops.append(CastOp("prmt", f"gather the bytes holding two u{nbits} lanes"))
+    ops.append(CastOp("shr", "align lane pair to bit offsets 0 and 16"))
+    ops.append(
+        CastOp("lop3", f"(x & mask({nbits})) | 0x64006400: mask and set exponent")
+    )
+    ops.append(CastOp("sub", "f16x2 subtract 0x6400 (1024.0) to remove bias"))
+    return ops
+
+
+def _int_to_f16_recipe(nbits: int) -> list[CastOp]:
+    """Signed integers add a sign-extension step before the uint path."""
+    ops = [CastOp("shl", "move sign bit of each lane to the lane top")]
+    ops += [CastOp("shr", "arithmetic shift right: sign extend within lane")]
+    ops += _uint_to_f16_recipe(nbits)[:-1]
+    ops.append(CastOp("sub", "f16x2 subtract bias including sign offset"))
+    return ops
+
+
+def _float_to_f16_recipe(exponent_bits: int, mantissa_bits: int) -> list[CastOp]:
+    """Sub-byte floats: shift sign/exp/man into f16 positions, then scale
+    by 2^(15 - bias_src) with one f16x2 multiply (exponent rebias)."""
+    ops = [CastOp("prmt", "gather bytes of two float lanes")]
+    ops.append(CastOp("shr", "align lanes"))
+    ops.append(CastOp("and", "isolate sign bits"))
+    ops.append(CastOp("shl", f"move exp+man ({exponent_bits}+{mantissa_bits} bits) to f16 field"))
+    ops.append(CastOp("lop3", "merge sign | exponent-mantissa"))
+    ops.append(CastOp("fma", "multiply by 2^(15-bias): exponent rebias"))
+    return ops
+
+
+def build_cast_recipe(src: DataType, dst: DataType) -> CastRecipe:
+    """Cast recipe from a low-precision type to a 16-bit activation type."""
+    if dst.nbits != 16 or not dst.is_float:
+        raise CompilationError(f"vectorized cast targets 16-bit floats, got {dst}")
+    if src.is_float:
+        from repro.dtypes.floats import FloatType
+
+        if not isinstance(src, FloatType):
+            raise CompilationError(f"{src} is not a parameterized float")
+        ops = _float_to_f16_recipe(src.exponent_bits, src.mantissa_bits)
+    elif src.is_signed:
+        ops = _int_to_f16_recipe(src.nbits)
+    else:
+        ops = _uint_to_f16_recipe(src.nbits)
+    return CastRecipe(src=src.name, dst=dst.name, ops=ops)
+
+
+@dataclass(frozen=True)
+class BitAccessStep:
+    """One bitwise operation of the fallback access path (Figure 8)."""
+
+    op: str        # "and" | "shr" | "shl" | "or"
+    operand: int   # mask or shift amount
+    byte_index: int
+
+
+def fallback_load_plan(nbits: int, element_index: int) -> list[BitAccessStep]:
+    """AND/SHIFT/OR plan to load element ``element_index`` from a packed
+    byte array (paper Figure 8(b))."""
+    bit_offset = element_index * nbits
+    steps: list[BitAccessStep] = []
+    taken = 0
+    while taken < nbits:
+        byte_idx = (bit_offset + taken) // 8
+        bit_in_byte = (bit_offset + taken) % 8
+        take = min(8 - bit_in_byte, nbits - taken)
+        steps.append(BitAccessStep("and", bit_mask(take) << bit_in_byte, byte_idx))
+        if bit_in_byte:
+            steps.append(BitAccessStep("shr", bit_in_byte, byte_idx))
+        if taken:
+            steps.append(BitAccessStep("shl", taken, byte_idx))
+        # Merge this part into the (zero-initialized) result register.
+        steps.append(BitAccessStep("or", 0, byte_idx))
+        taken += take
+    return steps
+
+
+def fallback_store_plan(nbits: int, element_index: int) -> list[BitAccessStep]:
+    """Mask/insert plan to store an element (paper Figure 8(c))."""
+    bit_offset = element_index * nbits
+    steps: list[BitAccessStep] = []
+    written = 0
+    while written < nbits:
+        byte_idx = (bit_offset + written) // 8
+        bit_in_byte = (bit_offset + written) % 8
+        put = min(8 - bit_in_byte, nbits - written)
+        steps.append(
+            BitAccessStep("and", (~(bit_mask(put) << bit_in_byte)) & 0xFF, byte_idx)
+        )
+        steps.append(BitAccessStep("or", 0, byte_idx))
+        written += put
+    return steps
+
+
+def cast_cost_per_element(src: DataType, dst: DataType) -> float:
+    """Instructions per element for the vectorized cast (two lanes per
+    32-bit register => half the recipe length per element)."""
+    recipe = build_cast_recipe(src, dst)
+    return recipe.ops_per_out_reg / 2.0

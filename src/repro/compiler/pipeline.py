@@ -1,0 +1,69 @@
+"""The compilation pipeline (paper Section 8.1).
+
+Steps: verify → simplify → memory planning → instruction selection →
+code generation.  The result bundles everything a runtime needs: the
+(still-interpretable) program, the generated CUDA source, the shared-
+memory size to request at launch, and the selection report the
+performance model reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.codegen import generate_cuda
+from repro.compiler.dce import eliminate_dead_code
+from repro.compiler.memory_planner import (
+    MemoryPlan,
+    plan_global_workspace,
+    plan_shared_memory,
+)
+from repro.compiler.selection import SelectionReport, select_instructions
+from repro.compiler.simplify import simplify_program
+from repro.compiler.verify import VerificationReport, verify_program
+from repro.ir.program import Program
+
+
+@dataclass
+class CompiledKernel:
+    """A fully compiled Tilus kernel."""
+
+    program: Program
+    source: str
+    shared_plan: MemoryPlan
+    workspace_plan: MemoryPlan
+    selection: SelectionReport
+    verification: VerificationReport
+
+    @property
+    def shared_bytes(self) -> int:
+        return self.shared_plan.total_bytes
+
+    @property
+    def workspace_bytes(self) -> int:
+        return self.workspace_plan.total_bytes
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def compile_program(
+    program: Program, shared_capacity: int | None = None
+) -> CompiledKernel:
+    """Run the full pipeline on ``program``."""
+    verification = verify_program(program)
+    simplify_program(program)
+    eliminate_dead_code(program)
+    shared_plan = plan_shared_memory(program, shared_capacity)
+    workspace_plan = plan_global_workspace(program)
+    selection = select_instructions(program)
+    source = generate_cuda(program, shared_plan, selection)
+    return CompiledKernel(
+        program=program,
+        source=source,
+        shared_plan=shared_plan,
+        workspace_plan=workspace_plan,
+        selection=selection,
+        verification=verification,
+    )

@@ -1,0 +1,215 @@
+"""Instruction selection and automatic vectorization (paper Section 8.1,
+step 2).
+
+For every tensor-transfer instruction we choose the most efficient
+hardware instruction available:
+
+- shared→register loads use ``ldmatrix`` when the register layout is
+  divisible by ``spatial(8, 4).repeat(1, 4)`` (16-bit elements), else
+  vectorized ``lds`` (``lds128``/``lds64``/...),
+- global→register loads use vectorized ``ldg`` (``ldg128``/...),
+- global→shared copies use ``cp.async`` with 16/8/4-byte transactions,
+- register→memory stores use vectorized ``sts``/``stg``.
+
+The vector width is the largest power-of-two run of *contiguous* memory
+addresses each thread covers with consecutive local elements, capped at
+128 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir import instructions as insts
+from repro.ir.expr import Constant
+from repro.ir.program import Program
+from repro.ir.types import TensorVar
+from repro.layout import Layout, supports_ldmatrix
+from repro.utils.indexmath import prod
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One selected memory instruction."""
+
+    instruction: str        # e.g. "ldg128", "ldmatrix", "cp.async.v4"
+    vector_bits: int        # bits moved per thread per issue
+    issues_per_thread: int  # instruction count per thread
+    coalesced: bool         # whether a warp's accesses coalesce
+
+
+def contiguous_run_elements(layout: Layout, tensor_shape: tuple[int, ...]) -> int:
+    """Longest run ``v`` such that local elements ``i .. i+v-1`` of every
+    thread sit at consecutive row-major addresses (for every aligned i)."""
+    if layout.local_size == 1:
+        return 1
+    strides = []
+    acc = 1
+    for extent in reversed(tensor_shape):
+        strides.append(acc)
+        acc *= extent
+    strides.reverse()
+    t = np.repeat(np.arange(layout.num_threads), layout.local_size)
+    i = np.tile(np.arange(layout.local_size), layout.num_threads)
+    coords = layout.map_batch(t, i)
+    # Trailing dims of the tensor correspond to the layout's dims.
+    offset = len(tensor_shape) - layout.rank
+    linear = np.zeros(t.shape, dtype=np.int64)
+    for dim in range(layout.rank):
+        linear += np.broadcast_to(coords[dim], t.shape) * strides[offset + dim]
+    linear = linear.reshape(layout.num_threads, layout.local_size)
+    run = 1
+    candidate = 2
+    while candidate <= layout.local_size and layout.local_size % candidate == 0:
+        ok = True
+        for start in range(0, layout.local_size, candidate):
+            block = linear[:, start : start + candidate]
+            if not np.array_equal(block, block[:, :1] + np.arange(candidate)):
+                ok = False
+                break
+            if (block[:, 0] % candidate).any():
+                ok = False
+                break
+        if not ok:
+            break
+        run = candidate
+        candidate *= 2
+    return run
+
+
+def _warp_coalesced(layout: Layout, tensor_shape: tuple[int, ...], elem_bits: int, run: int) -> bool:
+    """Do the 32 threads of a warp touch one contiguous 128-byte segment
+    per issue?  (Approximate: thread 0..31's first elements contiguous.)"""
+    strides = []
+    acc = 1
+    for extent in reversed(tensor_shape):
+        strides.append(acc)
+        acc *= extent
+    strides.reverse()
+    threads = np.arange(min(32, layout.num_threads))
+    coords = layout.map_batch(threads, np.zeros_like(threads))
+    offset = len(tensor_shape) - layout.rank
+    linear = np.zeros(threads.shape, dtype=np.int64)
+    for dim in range(layout.rank):
+        linear += np.broadcast_to(coords[dim], threads.shape) * strides[offset + dim]
+    span = (linear.max() - linear.min() + run) * elem_bits // 8
+    return bool(span <= 128 * max(1, (run * elem_bits) // 32))
+
+
+def select_memory_access(
+    kind: str,
+    layout: Layout,
+    tensor_shape: tuple[int, ...],
+    elem_bits: int,
+    from_shared: bool = False,
+) -> MemoryAccess:
+    """Choose the hardware instruction for one transfer.
+
+    ``kind`` is "load" or "store"; ``from_shared`` selects the
+    shared-memory instruction family and enables ``ldmatrix``.
+    """
+    run = contiguous_run_elements(layout, tensor_shape)
+    vec_bits = run * elem_bits
+    while vec_bits > 128:
+        run //= 2
+        vec_bits = run * elem_bits
+    # Round down to a hardware width.
+    for width in (128, 64, 32, 16, 8):
+        if vec_bits >= width:
+            vec_bits = width
+            break
+    else:
+        vec_bits = 8
+    issues = max(1, (layout.local_size * elem_bits) // vec_bits)
+    coalesced = _warp_coalesced(layout, tensor_shape, elem_bits, run)
+
+    if from_shared and kind == "load":
+        if elem_bits == 16 and layout.rank == 2 and supports_ldmatrix(layout):
+            n_matrices = layout.size * elem_bits // (8 * 8 * 16)
+            return MemoryAccess(
+                "ldmatrix", 128, max(1, n_matrices // 4), True
+            )
+        return MemoryAccess(f"lds{vec_bits}", vec_bits, issues, coalesced)
+    if from_shared and kind == "store":
+        return MemoryAccess(f"sts{vec_bits}", vec_bits, issues, coalesced)
+    if kind == "load":
+        return MemoryAccess(f"ldg{vec_bits}", vec_bits, issues, coalesced)
+    return MemoryAccess(f"stg{vec_bits}", vec_bits, issues, coalesced)
+
+
+def select_copy_async(shape: tuple[int, ...], elem_bits: int) -> MemoryAccess:
+    """``cp.async`` vector width: 16, 8 or 4 bytes per transaction."""
+    total_bytes = prod(shape) * elem_bits // 8
+    for nbytes, name in ((16, "cp.async.v4"), (8, "cp.async.v2"), (4, "cp.async.v1")):
+        if total_bytes % nbytes == 0:
+            return MemoryAccess(name, nbytes * 8, max(1, total_bytes // nbytes), True)
+    return MemoryAccess("cp.async.v1", 32, max(1, total_bytes // 4), False)
+
+
+@dataclass
+class SelectionReport:
+    """Instruction selection results for a whole program, keyed by the
+    instruction object identity."""
+
+    accesses: dict[int, MemoryAccess]
+
+    def of(self, inst: insts.Instruction) -> MemoryAccess | None:
+        return self.accesses.get(id(inst))
+
+    def histogram(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for access in self.accesses.values():
+            counts[access.instruction] = counts.get(access.instruction, 0) + 1
+        return counts
+
+
+def _static_shape_of(tensor: TensorVar) -> tuple[int, ...]:
+    static = tensor.ttype.static_shape()
+    if static is not None:
+        return static
+    # Parameter-dependent global views: assume large extents; only the
+    # trailing-dim contiguity matters, which shape magnitudes don't change.
+    return tuple(
+        int(s.value) if isinstance(s, Constant) else 1 << 20 for s in tensor.ttype.shape
+    )
+
+
+def select_instructions(program: Program) -> SelectionReport:
+    """Run selection over every transfer instruction of ``program``."""
+    accesses: dict[int, MemoryAccess] = {}
+    for inst in program.body.instructions():
+        if isinstance(inst, insts.LoadGlobal):
+            layout = inst.out.ttype.layout
+            accesses[id(inst)] = select_memory_access(
+                "load", layout, _static_shape_of(inst.src), inst.src.ttype.dtype.nbits
+            )
+        elif isinstance(inst, insts.LoadShared):
+            layout = inst.out.ttype.layout
+            accesses[id(inst)] = select_memory_access(
+                "load",
+                layout,
+                _static_shape_of(inst.src),
+                inst.src.ttype.dtype.nbits,
+                from_shared=True,
+            )
+        elif isinstance(inst, insts.StoreGlobal):
+            layout = inst.src.ttype.layout
+            accesses[id(inst)] = select_memory_access(
+                "store", layout, _static_shape_of(inst.dst), inst.dst.ttype.dtype.nbits
+            )
+        elif isinstance(inst, insts.StoreShared):
+            layout = inst.src.ttype.layout
+            accesses[id(inst)] = select_memory_access(
+                "store",
+                layout,
+                _static_shape_of(inst.dst),
+                inst.dst.ttype.dtype.nbits,
+                from_shared=True,
+            )
+        elif isinstance(inst, insts.CopyAsync):
+            accesses[id(inst)] = select_copy_async(
+                inst.copy_shape(), inst.src.ttype.dtype.nbits
+            )
+    return SelectionReport(accesses)

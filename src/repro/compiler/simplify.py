@@ -1,0 +1,160 @@
+"""Scalar expression simplification (paper Section 8: "optimization passes
+refine the IR by eliminating redundancies and simplifying arithmetic
+expressions").
+
+Rules implemented:
+    constant folding, ``x + 0``, ``x - 0``, ``x * 0``, ``x * 1``,
+    ``x / 1``, ``x % 1``, ``0 / x``, double negation, and folding of
+    nested constant multiplies/adds like ``(x * 4) * 2``.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as insts
+from repro.ir.evaluator import evaluate
+from repro.ir.expr import (
+    Binary,
+    CastExpr,
+    Compare,
+    Conditional,
+    Constant,
+    Expr,
+    Logical,
+    Unary,
+    Var,
+)
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+
+
+def _const(expr: Expr):
+    return expr.value if isinstance(expr, Constant) else None
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Return a simplified (possibly identical) expression."""
+    if isinstance(expr, (Constant, Var)):
+        return expr
+    if isinstance(expr, Binary):
+        lhs = simplify_expr(expr.lhs)
+        rhs = simplify_expr(expr.rhs)
+        lc, rc = _const(lhs), _const(rhs)
+        if lc is not None and rc is not None:
+            return Constant(evaluate(Binary(expr.op, lhs, rhs)), expr.dtype)
+        op = expr.op
+        if op == "+":
+            if lc == 0:
+                return rhs
+            if rc == 0:
+                return lhs
+            # (x + c1) + c2 -> x + (c1 + c2)
+            if rc is not None and isinstance(lhs, Binary) and lhs.op == "+":
+                inner_c = _const(lhs.rhs)
+                if inner_c is not None:
+                    return simplify_expr(Binary("+", lhs.lhs, Constant(inner_c + rc)))
+        elif op == "-":
+            if rc == 0:
+                return lhs
+        elif op == "*":
+            if lc == 0 or rc == 0:
+                return Constant(0, expr.dtype)
+            if lc == 1:
+                return rhs
+            if rc == 1:
+                return lhs
+            # (x * c1) * c2 -> x * (c1 * c2)
+            if rc is not None and isinstance(lhs, Binary) and lhs.op == "*":
+                inner_c = _const(lhs.rhs)
+                if inner_c is not None:
+                    return simplify_expr(Binary("*", lhs.lhs, Constant(inner_c * rc)))
+        elif op == "/":
+            if rc == 1:
+                return lhs
+            if lc == 0:
+                return Constant(0, expr.dtype)
+        elif op == "%":
+            if rc == 1:
+                return Constant(0, expr.dtype)
+        return Binary(op, lhs, rhs)
+    if isinstance(expr, Unary):
+        operand = simplify_expr(expr.operand)
+        if isinstance(operand, Constant):
+            return Constant(evaluate(Unary(expr.op, operand)), expr.dtype)
+        if expr.op == "-" and isinstance(operand, Unary) and operand.op == "-":
+            return operand.operand
+        return Unary(expr.op, operand)
+    if isinstance(expr, Compare):
+        lhs, rhs = simplify_expr(expr.lhs), simplify_expr(expr.rhs)
+        if _const(lhs) is not None and _const(rhs) is not None:
+            return Constant(bool(evaluate(Compare(expr.op, lhs, rhs))))
+        return Compare(expr.op, lhs, rhs)
+    if isinstance(expr, Logical):
+        lhs, rhs = simplify_expr(expr.lhs), simplify_expr(expr.rhs)
+        lc = _const(lhs)
+        if lc is not None:
+            if expr.op == "&&":
+                return rhs if lc else Constant(False)
+            return Constant(True) if lc else rhs
+        return Logical(expr.op, lhs, rhs)
+    if isinstance(expr, Conditional):
+        cond = simplify_expr(expr.cond)
+        then = simplify_expr(expr.then)
+        other = simplify_expr(expr.otherwise)
+        cc = _const(cond)
+        if cc is not None:
+            return then if cc else other
+        return Conditional(cond, then, other)
+    if isinstance(expr, CastExpr):
+        operand = simplify_expr(expr.operand)
+        if isinstance(operand, Constant):
+            value = evaluate(CastExpr(operand, expr.dtype))
+            return Constant(value, expr.dtype)
+        return CastExpr(operand, expr.dtype)
+    return expr
+
+
+def _simplify_instruction(inst: insts.Instruction) -> None:
+    """Simplify expressions held inside an instruction, in place."""
+    for attr in ("offset", "src_offset", "dst_offset"):
+        offsets = getattr(inst, attr, None)
+        if offsets is not None:
+            setattr(inst, attr, tuple(simplify_expr(o) for o in offsets))
+    if isinstance(inst, insts.ViewGlobal):
+        inst.ptr = simplify_expr(inst.ptr)
+    if isinstance(inst, insts.ElementwiseBinary) and isinstance(inst.b, Expr):
+        inst.b = simplify_expr(inst.b)
+
+
+def simplify_program(program: Program) -> Program:
+    """Simplify all scalar expressions in a program, in place; returns it."""
+    _simplify_stmt(program.body)
+    return program
+
+
+def _simplify_stmt(stmt: Stmt) -> None:
+    if isinstance(stmt, SeqStmt):
+        for child in stmt.body:
+            _simplify_stmt(child)
+    elif isinstance(stmt, AssignStmt):
+        stmt.value = simplify_expr(stmt.value)
+    elif isinstance(stmt, IfStmt):
+        stmt.cond = simplify_expr(stmt.cond)
+        _simplify_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            _simplify_stmt(stmt.else_body)
+    elif isinstance(stmt, ForStmt):
+        stmt.extent = simplify_expr(stmt.extent)
+        _simplify_stmt(stmt.body)
+    elif isinstance(stmt, WhileStmt):
+        stmt.cond = simplify_expr(stmt.cond)
+        _simplify_stmt(stmt.body)
+    elif isinstance(stmt, InstructionStmt):
+        _simplify_instruction(stmt.instruction)

@@ -1,0 +1,168 @@
+"""Program verifier: static checks before code generation.
+
+Catches the classes of error that would otherwise surface as miscompiled
+kernels: use-before-definition, layout/thread-count mismatches, invalid
+register reinterpretation (``View``), incompatible ``Dot`` operand
+layouts, and rank errors in memory operations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCheckError
+from repro.ir import instructions as insts
+from repro.ir.expr import Expr, Var
+from repro.ir.program import Program
+from repro.ir.scope import MemoryScope
+from repro.ir.stmt import (
+    AssignStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+from repro.ir.types import TensorVar
+
+
+class VerificationReport:
+    """Collected statistics about a verified program."""
+
+    def __init__(self) -> None:
+        self.num_instructions = 0
+        self.num_register_tensors = 0
+        self.num_shared_tensors = 0
+        self.max_register_bits_per_thread = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"VerificationReport(insts={self.num_instructions}, "
+            f"regs={self.num_register_tensors}, shared={self.num_shared_tensors}, "
+            f"max_reg_bits={self.max_register_bits_per_thread})"
+        )
+
+
+def verify_program(program: Program) -> VerificationReport:
+    """Verify ``program``; raises :class:`TypeCheckError` on the first
+    violation and returns statistics on success."""
+    report = VerificationReport()
+    defined: set[Var] = set(program.params)
+    _verify_stmt(program.body, program, defined, report)
+    return report
+
+
+def _check_expr_defined(expr: Expr, defined: set[Var], context: str) -> None:
+    for node in expr.walk():
+        if isinstance(node, Var) and not isinstance(node, TensorVar):
+            if node not in defined:
+                raise TypeCheckError(
+                    f"{context}: scalar variable {node.name!r} used before definition"
+                )
+
+
+def _verify_stmt(stmt: Stmt, program: Program, defined: set[Var], report: VerificationReport) -> None:
+    if isinstance(stmt, SeqStmt):
+        for child in stmt.body:
+            _verify_stmt(child, program, defined, report)
+    elif isinstance(stmt, AssignStmt):
+        _check_expr_defined(stmt.value, defined, "assignment")
+        defined.add(stmt.var)
+    elif isinstance(stmt, IfStmt):
+        _check_expr_defined(stmt.cond, defined, "if condition")
+        # Conservative: names defined inside a branch stay visible (the VM
+        # uses one flat environment), so verify branches against a copy and
+        # merge.
+        then_defs = set(defined)
+        _verify_stmt(stmt.then_body, program, then_defs, report)
+        else_defs = set(defined)
+        if stmt.else_body is not None:
+            _verify_stmt(stmt.else_body, program, else_defs, report)
+        defined |= then_defs & else_defs
+    elif isinstance(stmt, ForStmt):
+        _check_expr_defined(stmt.extent, defined, "for extent")
+        defined.add(stmt.var)
+        _verify_stmt(stmt.body, program, defined, report)
+    elif isinstance(stmt, WhileStmt):
+        _check_expr_defined(stmt.cond, defined, "while condition")
+        _verify_stmt(stmt.body, program, defined, report)
+    elif isinstance(stmt, InstructionStmt):
+        report.num_instructions += 1
+        _verify_instruction(stmt.instruction, program, defined, report)
+
+
+def _verify_instruction(
+    inst: insts.Instruction, program: Program, defined: set[Var], report: VerificationReport
+) -> None:
+    name = type(inst).__name__
+    for expr in inst.scalar_operands():
+        _check_expr_defined(expr, defined, name)
+    for operand in inst.inputs():
+        if operand not in defined:
+            raise TypeCheckError(f"{name}: tensor {operand.name} used before definition")
+
+    # Register layouts must match the block's thread count exactly or use a
+    # subset (one warp of several, for transform-style programs).
+    def check_layout(tensor: TensorVar) -> None:
+        if tensor.ttype.scope == MemoryScope.REGISTER:
+            threads = tensor.ttype.layout.num_threads
+            if threads > program.num_threads:
+                raise TypeCheckError(
+                    f"{name}: layout needs {threads} threads, block has "
+                    f"{program.num_threads}"
+                )
+
+    if isinstance(inst, insts.BlockIndices):
+        if len(inst.out_vars) != program.grid_rank:
+            raise TypeCheckError(
+                f"BlockIndices unpacks {len(inst.out_vars)} values for a rank-"
+                f"{program.grid_rank} grid"
+            )
+        defined.update(inst.out_vars)
+        return
+
+    if isinstance(inst, insts.View):
+        src_t, dst_t = inst.a.ttype, inst.out.ttype
+        if src_t.layout.num_threads != dst_t.layout.num_threads:
+            raise TypeCheckError("View: thread count changed")
+        src_bits = src_t.layout.local_size * src_t.dtype.nbits
+        dst_bits = dst_t.layout.local_size * dst_t.dtype.nbits
+        if src_bits != dst_bits:
+            raise TypeCheckError(
+                f"View: bits per thread changed ({src_bits} -> {dst_bits})"
+            )
+
+    if isinstance(inst, insts.Dot):
+        a_t, b_t, c_t = inst.a.ttype, inst.b.ttype, inst.c.ttype
+        m, ka = a_t.layout.shape
+        kb, n = b_t.layout.shape
+        if ka != kb:
+            raise TypeCheckError(f"Dot: inner dimensions differ ({ka} vs {kb})")
+        if (m, n) != tuple(c_t.layout.shape):
+            raise TypeCheckError("Dot: accumulator shape mismatch")
+        if not (a_t.dtype.is_float or a_t.dtype.nbits >= 8):
+            raise TypeCheckError(
+                f"Dot: operand A must be a standard type, got {a_t.dtype} "
+                f"(cast low-precision weights before Dot)"
+            )
+
+    if isinstance(inst, (insts.ElementwiseBinary,)):
+        if isinstance(inst.b, TensorVar):
+            la, lb = inst.a.ttype.layout, inst.b.ttype.layout
+            if (la.num_threads, la.local_size) != (lb.num_threads, lb.local_size):
+                raise TypeCheckError(
+                    "elementwise operands must agree on threads and locals"
+                )
+
+    if isinstance(inst, insts.AllocateRegister):
+        report.num_register_tensors += 1
+        bits = inst.out.ttype.bits_per_thread()
+        report.max_register_bits_per_thread = max(
+            report.max_register_bits_per_thread, bits
+        )
+    if isinstance(inst, insts.AllocateShared):
+        report.num_shared_tensors += 1
+
+    output = inst.output
+    if output is not None:
+        check_layout(output)
+        defined.add(output)

@@ -1,0 +1,60 @@
+"""The paper's primary contribution, re-exported as one stable surface:
+
+- the algebraic layout system (Section 4-5),
+- the thread-block-level language and its Python DSL (Section 6),
+- arbitrary low-precision data types (Section 7),
+- the compiler pipeline (Section 8).
+"""
+
+from repro.compiler import CompiledKernel, compile_program, verify_program
+from repro.dtypes import (
+    DataType,
+    all_weight_dtypes,
+    dtype_from_name,
+    float_,
+    int_,
+    uint,
+)
+from repro.ir import Program
+from repro.kernels import (
+    MatmulConfig,
+    make_transform_program,
+    quantized_matmul_program,
+)
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import (
+    Layout,
+    column_local,
+    column_spatial,
+    local,
+    replicate,
+    spatial,
+)
+from repro.runtime import Runtime
+from repro.vm import Interpreter
+
+__all__ = [
+    "Layout",
+    "local",
+    "spatial",
+    "column_local",
+    "column_spatial",
+    "replicate",
+    "DataType",
+    "uint",
+    "int_",
+    "float_",
+    "dtype_from_name",
+    "all_weight_dtypes",
+    "ProgramBuilder",
+    "pointer",
+    "Program",
+    "compile_program",
+    "verify_program",
+    "CompiledKernel",
+    "MatmulConfig",
+    "quantized_matmul_program",
+    "make_transform_program",
+    "Interpreter",
+    "Runtime",
+]

@@ -1,0 +1,147 @@
+"""Core data type abstraction.
+
+Every Tilus value has a :class:`DataType` describing its width in bits and
+its value semantics.  A data type is a *codec*: it converts between numeric
+values (held as float64 / int64 numpy arrays while inside the virtual
+machine) and raw bit patterns (held as uint64).  Keeping the two directions
+explicit is what makes bit-exact register reinterpretation (``View``)
+possible in the VM.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import DataTypeError
+
+
+class DataType(ABC):
+    """Abstract base for all Tilus data types.
+
+    Attributes:
+        name: canonical short name, e.g. ``f16``, ``i6``, ``u4``, ``f6e3m2``.
+        nbits: storage width in bits (1..64).
+    """
+
+    def __init__(self, name: str, nbits: int) -> None:
+        if not 1 <= nbits <= 64:
+            raise DataTypeError(f"data type width must be in [1, 64], got {nbits}")
+        self.name = name
+        self.nbits = nbits
+
+    # -- classification ---------------------------------------------------
+    @property
+    def is_integer(self) -> bool:
+        """True for signed and unsigned integer types."""
+        return False
+
+    @property
+    def is_signed(self) -> bool:
+        """True for signed integers and all floats."""
+        return False
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point types."""
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        """True for pointer types."""
+        return False
+
+    @property
+    def is_subbyte(self) -> bool:
+        """True when the type is narrower than one byte."""
+        return self.nbits < 8
+
+    @property
+    def is_standard(self) -> bool:
+        """True for hardware-native widths (8/16/32/64 bits)."""
+        return self.nbits in (8, 16, 32, 64)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size rounded up to whole bytes."""
+        return (self.nbits + 7) // 8
+
+    # -- codec -------------------------------------------------------------
+    @abstractmethod
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        """Encode numeric values into uint64 bit patterns (with rounding
+        and saturation as the type defines)."""
+
+    @abstractmethod
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Decode uint64 bit patterns into numeric values (float64 for
+        floats, int64 for integers)."""
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip values through this type's representable set."""
+        return self.from_bits(self.to_bits(values))
+
+    # -- ranges ------------------------------------------------------------
+    @property
+    @abstractmethod
+    def min_value(self) -> float:
+        """Smallest representable value."""
+
+    @property
+    @abstractmethod
+    def max_value(self) -> float:
+        """Largest representable value."""
+
+    def numpy_dtype(self) -> np.dtype:
+        """Closest numpy dtype for *computation* with decoded values."""
+        return np.dtype(np.float64) if self.is_float else np.dtype(np.int64)
+
+    # -- identity ----------------------------------------------------------
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DataType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("DataType", self.name))
+
+    def short_name(self) -> str:
+        return self.name
+
+
+class PointerType(DataType):
+    """A 64-bit pointer to elements of ``base`` (``void`` when None).
+
+    Pointers are opaque integers inside the VM: they index into the global
+    memory byte array.
+    """
+
+    def __init__(self, base: DataType | None = None) -> None:
+        base_name = base.name if base is not None else "void"
+        super().__init__(name=f"{base_name}*", nbits=64)
+        self.base = base
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return np.asarray(bits, dtype=np.uint64).astype(np.int64)
+
+    @property
+    def min_value(self) -> float:
+        return 0
+
+    @property
+    def max_value(self) -> float:
+        return float(2**64 - 1)
+
+
+def void_pointer() -> PointerType:
+    """The generic ``void*`` pointer type."""
+    return PointerType(None)

@@ -1,0 +1,237 @@
+"""Floating-point data types, standard and arbitrary low-precision.
+
+A :class:`FloatType` is parameterized by its exponent width ``e`` and
+mantissa width ``m`` (plus one sign bit), giving ``nbits = 1 + e + m``.
+The bias is ``2**(e-1) - 1``.  Subnormals are supported.  For widths
+below 16 bits we follow the "fn" (finite-number) convention used by FP8
+e4m3 and the FP6 formats of QuantLLM: the all-ones exponent encodes
+ordinary values rather than inf/nan, and out-of-range casts saturate.
+
+This module also defines the standard IEEE types (float16/32/64),
+bfloat16 and tfloat32 — the activation types of the paper — so that the
+entire type system flows through one codec interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.errors import DataTypeError
+
+
+class FloatType(DataType):
+    """Sign + ``exponent_bits`` + ``mantissa_bits`` floating-point format.
+
+    Decoding of a pattern ``(s, E, M)``::
+
+        E == 0:  value = (-1)^s * M * 2^(1 - bias - m)          (subnormal)
+        E  > 0:  value = (-1)^s * (1 + M / 2^m) * 2^(E - bias)  (normal)
+
+    Encoding rounds to nearest-even and saturates at ``max_value``.
+    """
+
+    def __init__(self, exponent_bits: int, mantissa_bits: int, name: str | None = None) -> None:
+        if exponent_bits < 1:
+            raise DataTypeError("float types need at least one exponent bit")
+        if mantissa_bits < 0:
+            raise DataTypeError("mantissa width cannot be negative")
+        if exponent_bits > 11 or mantissa_bits > 52:
+            raise DataTypeError("exponent/mantissa too wide to emulate via float64")
+        nbits = 1 + exponent_bits + mantissa_bits
+        if name is None:
+            name = f"f{nbits}e{exponent_bits}m{mantissa_bits}"
+        super().__init__(name=name, nbits=nbits)
+        self.exponent_bits = exponent_bits
+        self.mantissa_bits = mantissa_bits
+        self.bias = (1 << (exponent_bits - 1)) - 1
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest biased exponent (used for ordinary values: fn convention)."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def max_value(self) -> float:
+        m = self.mantissa_bits
+        return float((2.0 - 2.0 ** (-m) if m else 1.0) * 2.0 ** (self.max_exponent - self.bias))
+
+    @property
+    def min_value(self) -> float:
+        return -self.max_value
+
+    @property
+    def smallest_subnormal(self) -> float:
+        return float(2.0 ** (1 - self.bias - self.mantissa_bits))
+
+    @property
+    def smallest_normal(self) -> float:
+        return float(2.0 ** (1 - self.bias))
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.float64)
+        sign = (np.signbit(x)).astype(np.uint64)
+        a = np.abs(x)
+        a = np.where(np.isnan(a), 0.0, np.minimum(a, self.max_value))
+        m = self.mantissa_bits
+        # Scale of the subnormal grid; quantize everything below the first
+        # normal binade onto it.
+        sub_scale = 2.0 ** (1 - self.bias - m)
+        frac, exp2 = np.frexp(a)  # a = frac * 2**exp2, frac in [0.5, 1)
+        unbiased = exp2 - 1
+        biased = unbiased + self.bias
+        # Zero must use the subnormal grid (frexp reports exponent 0 for it,
+        # which would otherwise land in a normal binade).
+        is_sub = (biased <= 0) | (a == 0)
+        # Subnormal (and zero) path: round onto the fixed grid.  A value that
+        # rounds up to 2**m lands exactly on the first normal pattern because
+        # patterns are contiguous across the subnormal/normal boundary.
+        sub_q = np.rint(a / sub_scale).astype(np.uint64)
+        # Normal path.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mant = np.where(a > 0, a / np.exp2(unbiased.astype(np.float64)) - 1.0, 0.0)
+        mant_q = np.rint(mant * (1 << m)).astype(np.int64)
+        biased_adj = biased.astype(np.int64)
+        overflow = mant_q == (1 << m)
+        mant_q = np.where(overflow, 0, mant_q)
+        biased_adj = np.where(overflow, biased_adj + 1, biased_adj)
+        too_big = biased_adj > self.max_exponent
+        max_mant = (1 << m) - 1
+        mant_q = np.where(too_big, max_mant, mant_q)
+        biased_adj = np.where(too_big, self.max_exponent, biased_adj)
+        normal_pattern = (biased_adj.astype(np.uint64) << np.uint64(m)) | mant_q.astype(np.uint64)
+        pattern = np.where(is_sub, sub_q, normal_pattern)
+        return (sign << np.uint64(self.nbits - 1)) | pattern
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint64)
+        m = self.mantissa_bits
+        e = self.exponent_bits
+        mant = (bits & np.uint64((1 << m) - 1 if m else 0)).astype(np.float64)
+        exp = ((bits >> np.uint64(m)) & np.uint64((1 << e) - 1)).astype(np.int64)
+        sign = ((bits >> np.uint64(self.nbits - 1)) & np.uint64(1)).astype(np.float64)
+        sub = mant * 2.0 ** (1 - self.bias - m)
+        normal = (1.0 + mant / (1 << m)) * np.exp2((exp - self.bias).astype(np.float64))
+        mag = np.where(exp == 0, sub, normal)
+        return np.where(sign > 0, -mag, mag)
+
+    def representable_values(self) -> np.ndarray:
+        """All distinct representable values, sorted (small widths only)."""
+        if self.nbits > 16:
+            raise DataTypeError("representable_values only supported up to 16 bits")
+        patterns = np.arange(1 << self.nbits, dtype=np.uint64)
+        return np.unique(self.from_bits(patterns))
+
+
+class _NumpyFloat(DataType):
+    """Standard float backed directly by a numpy dtype (f16/f32/f64)."""
+
+    def __init__(self, name: str, np_dtype: np.dtype, uint_dtype: np.dtype) -> None:
+        super().__init__(name=name, nbits=np.dtype(np_dtype).itemsize * 8)
+        self._np_dtype = np.dtype(np_dtype)
+        self._uint_dtype = np.dtype(uint_dtype)
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    @property
+    def max_value(self) -> float:
+        return float(np.finfo(self._np_dtype).max)
+
+    @property
+    def min_value(self) -> float:
+        return float(np.finfo(self._np_dtype).min)
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=self._np_dtype)
+        return arr.view(self._uint_dtype).astype(np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        raw = np.asarray(bits, dtype=np.uint64).astype(self._uint_dtype)
+        return raw.view(self._np_dtype).astype(np.float64)
+
+
+class BFloat16Type(DataType):
+    """bfloat16: float32 truncated to the top 16 bits (round-to-nearest-even)."""
+
+    def __init__(self) -> None:
+        super().__init__(name="bf16", nbits=16)
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    @property
+    def max_value(self) -> float:
+        return float(np.uint32(0x7F7F0000).view(np.float32))
+
+    @property
+    def min_value(self) -> float:
+        return -self.max_value
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        f32 = np.asarray(values, dtype=np.float32).view(np.uint32)
+        # Round to nearest even on the truncated 16 low bits.
+        rounding = np.uint32(0x7FFF) + ((f32 >> np.uint32(16)) & np.uint32(1))
+        return ((f32 + rounding) >> np.uint32(16)).astype(np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        raw = (np.asarray(bits, dtype=np.uint64).astype(np.uint32)) << np.uint32(16)
+        return raw.view(np.float32).astype(np.float64)
+
+
+class TFloat32Type(DataType):
+    """tfloat32: 1+8+10 significant bits stored in a 32-bit container."""
+
+    def __init__(self) -> None:
+        super().__init__(name="tf32", nbits=32)
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    @property
+    def max_value(self) -> float:
+        return float(np.finfo(np.float32).max)
+
+    @property
+    def min_value(self) -> float:
+        return float(np.finfo(np.float32).min)
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        f32 = np.asarray(values, dtype=np.float32).view(np.uint32)
+        # Keep 10 mantissa bits: round-to-nearest-even on the dropped 13.
+        rounding = np.uint32(0xFFF) + ((f32 >> np.uint32(13)) & np.uint32(1))
+        return (((f32 + rounding) & np.uint32(0xFFFFE000))).astype(np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        raw = np.asarray(bits, dtype=np.uint64).astype(np.uint32)
+        return raw.view(np.float32).astype(np.float64)
+
+
+float16 = _NumpyFloat("f16", np.float16, np.uint16)
+float32 = _NumpyFloat("f32", np.float32, np.uint32)
+float64 = _NumpyFloat("f64", np.float64, np.uint64)
+bfloat16 = BFloat16Type()
+tfloat32 = TFloat32Type()

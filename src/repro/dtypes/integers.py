@@ -1,0 +1,96 @@
+"""Integer data types with arbitrary bit widths (1..64).
+
+Signed integers use two's complement within their declared width, so e.g.
+``int6`` covers [-32, 31] and the bit pattern ``0b111111`` decodes to -1.
+Encoding clamps (saturates) out-of-range values, which is the standard
+behaviour for quantized weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.errors import DataTypeError
+
+
+class IntType(DataType):
+    """Signed two's complement integer of ``nbits`` (2..64) bits."""
+
+    def __init__(self, nbits: int) -> None:
+        if nbits < 2:
+            raise DataTypeError("signed integers need at least 2 bits (sign + value)")
+        super().__init__(name=f"i{nbits}", nbits=nbits)
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+    @property
+    def is_signed(self) -> bool:
+        return True
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.nbits - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.nbits - 1)) - 1
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.dtype.kind == "f":
+            values = np.rint(values)
+        clipped = np.clip(values.astype(np.int64), self.min_value, self.max_value)
+        mask = np.uint64((1 << self.nbits) - 1) if self.nbits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+        return clipped.astype(np.uint64) & mask
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint64)
+        raw = bits.astype(np.int64)
+        if self.nbits < 64:
+            sign_bit = np.int64(1) << (self.nbits - 1)
+            raw = (raw & ((np.int64(1) << self.nbits) - 1))
+            raw = np.where(raw & sign_bit, raw - (np.int64(1) << self.nbits), raw)
+        return raw
+
+
+class UIntType(DataType):
+    """Unsigned integer of ``nbits`` (1..64) bits."""
+
+    def __init__(self, nbits: int) -> None:
+        super().__init__(name=f"u{nbits}", nbits=nbits)
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+    @property
+    def min_value(self) -> int:
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.nbits) - 1
+
+    def to_bits(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.dtype.kind == "f":
+            values = np.rint(values)
+        clipped = np.clip(values.astype(np.int64), self.min_value, self.max_value)
+        return clipped.astype(np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint64)
+        if self.nbits < 64:
+            bits = bits & np.uint64((1 << self.nbits) - 1)
+        return bits.astype(np.int64)
+
+
+class BoolType(UIntType):
+    """A 1-bit boolean, stored like ``uint1``."""
+
+    def __init__(self) -> None:
+        super().__init__(nbits=1)
+        self.name = "bool"

@@ -1,0 +1,158 @@
+"""Registry and naming for data types.
+
+Canonical names follow the paper's shorthand: ``u4`` is uint4, ``i6`` is
+int6, ``f16`` is float16, ``f6e3m2`` is a 6-bit float with 3 exponent and
+2 mantissa bits.  :func:`dtype_from_name` parses any of these plus the long
+aliases (``uint4``, ``int6``, ``float16``, ``float6_e3m2``).
+
+The *representative* exponent/mantissa splits for the bare ``float3`` ..
+``float8`` names match Section 9.3 of the paper: e1m1, e2m1, e2m2, e3m2,
+e3m3, e4m3.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dtypes.base import DataType, PointerType, void_pointer
+from repro.dtypes.floats import (
+    BFloat16Type,
+    FloatType,
+    TFloat32Type,
+    bfloat16,
+    float16,
+    float32,
+    float64,
+    tfloat32,
+)
+from repro.dtypes.integers import BoolType, IntType, UIntType
+from repro.errors import DataTypeError
+
+# Representative exponent/mantissa distributions per total width (paper 9.3).
+REPRESENTATIVE_FLOAT_SPLITS: dict[int, tuple[int, int]] = {
+    3: (1, 1),
+    4: (2, 1),
+    5: (2, 2),
+    6: (3, 2),
+    7: (3, 3),
+    8: (4, 3),
+}
+
+_CACHE: dict[str, DataType] = {}
+
+
+def _cached(dt: DataType) -> DataType:
+    return _CACHE.setdefault(dt.name, dt)
+
+
+def uint(nbits: int) -> UIntType:
+    """The unsigned integer type of the given width (1..64)."""
+    return _cached(UIntType(nbits))  # type: ignore[return-value]
+
+
+def int_(nbits: int) -> IntType:
+    """The signed integer type of the given width (2..64)."""
+    return _cached(IntType(nbits))  # type: ignore[return-value]
+
+
+def float_(nbits: int, exponent_bits: int | None = None, mantissa_bits: int | None = None) -> DataType:
+    """A floating-point type of the given total width.
+
+    With no split given, standard widths map to IEEE/bfloat-style types and
+    sub-byte widths use the representative splits of the paper.
+    """
+    if exponent_bits is None and mantissa_bits is None:
+        if nbits == 16:
+            return float16
+        if nbits == 32:
+            return float32
+        if nbits == 64:
+            return float64
+        if nbits in REPRESENTATIVE_FLOAT_SPLITS:
+            exponent_bits, mantissa_bits = REPRESENTATIVE_FLOAT_SPLITS[nbits]
+        else:
+            raise DataTypeError(f"no representative float split for {nbits} bits")
+    if exponent_bits is None or mantissa_bits is None:
+        raise DataTypeError("both exponent_bits and mantissa_bits must be given")
+    if 1 + exponent_bits + mantissa_bits != nbits:
+        raise DataTypeError(
+            f"1 + {exponent_bits} + {mantissa_bits} != {nbits} (sign+exp+man must equal width)"
+        )
+    return _cached(FloatType(exponent_bits, mantissa_bits))
+
+
+_NAME_RE_FLOAT_EM = re.compile(r"^f(?:loat)?(\d+)_?e(\d+)m(\d+)$")
+_NAME_RE_FLOAT = re.compile(r"^f(?:loat)?(\d+)$")
+_NAME_RE_UINT = re.compile(r"^u(?:int)?(\d+)$")
+_NAME_RE_INT = re.compile(r"^i(?:nt)?(\d+)$")
+
+
+def dtype_from_name(name: str) -> DataType:
+    """Parse a data type from its canonical or long name.
+
+    >>> dtype_from_name("u4").nbits
+    4
+    >>> dtype_from_name("float6_e3m2").name
+    'f6e3m2'
+    """
+    name = name.strip()
+    if name.endswith("*"):
+        base = name[:-1]
+        return PointerType(None) if base == "void" else PointerType(dtype_from_name(base))
+    if name in ("bf16", "bfloat16"):
+        return bfloat16
+    if name in ("tf32", "tfloat32"):
+        return tfloat32
+    if name == "bool":
+        return _cached(BoolType())
+    match = _NAME_RE_FLOAT_EM.match(name)
+    if match:
+        total, e, m = (int(g) for g in match.groups())
+        return float_(total, e, m)
+    match = _NAME_RE_FLOAT.match(name)
+    if match:
+        return float_(int(match.group(1)))
+    match = _NAME_RE_UINT.match(name)
+    if match:
+        return uint(int(match.group(1)))
+    match = _NAME_RE_INT.match(name)
+    if match:
+        return int_(int(match.group(1)))
+    raise DataTypeError(f"unknown data type name: {name!r}")
+
+
+def all_weight_dtypes() -> list[DataType]:
+    """The full quantized-weight spectrum evaluated in paper Figure 11."""
+    types: list[DataType] = [uint(b) for b in range(1, 9)]
+    types += [int_(b) for b in range(2, 9)]
+    types += [float_(b) for b in range(3, 9)]
+    return types
+
+
+# Convenient singletons (paper shorthand).
+uint1, uint2, uint3, uint4 = uint(1), uint(2), uint(3), uint(4)
+uint5, uint6, uint7, uint8 = uint(5), uint(6), uint(7), uint(8)
+uint16, uint32, uint64 = uint(16), uint(32), uint(64)
+int2, int3, int4, int5 = int_(2), int_(3), int_(4), int_(5)
+int6, int7, int8 = int_(6), int_(7), int_(8)
+int16, int32, int64 = int_(16), int_(32), int_(64)
+float3, float4, float5 = float_(3), float_(4), float_(5)
+float6, float7, float8 = float_(6), float_(7), float_(8)
+f6e3m2 = float_(6, 3, 2)
+f8e4m3 = float_(8, 4, 3)
+f8e5m2 = float_(8, 5, 2)
+
+__all__ = [
+    "dtype_from_name",
+    "uint",
+    "int_",
+    "float_",
+    "all_weight_dtypes",
+    "REPRESENTATIVE_FLOAT_SPLITS",
+    "float16",
+    "float32",
+    "float64",
+    "bfloat16",
+    "tfloat32",
+    "void_pointer",
+]

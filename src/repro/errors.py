@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Tilus reproduction.
+
+All library-raised errors derive from :class:`TilusError` so that callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class TilusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataTypeError(TilusError):
+    """Raised for invalid data type definitions or conversions."""
+
+
+class LayoutError(TilusError):
+    """Raised when a layout is malformed or an algebraic operation fails.
+
+    Examples include composing layouts with mismatched ranks or dividing a
+    layout by a non-divisor.
+    """
+
+
+class IRError(TilusError):
+    """Raised when an IR node is constructed or combined incorrectly."""
+
+
+class TypeCheckError(IRError):
+    """Raised by the program verifier when a Tilus program is ill-typed."""
+
+
+class CompilationError(TilusError):
+    """Raised when a compiler pass cannot lower or optimize a program."""
+
+
+class VMError(TilusError):
+    """Raised by the virtual machine during interpretation."""
+
+
+class OutOfMemoryError(VMError):
+    """Raised when a simulated allocation exceeds device DRAM capacity.
+
+    Mirrors the OOM cells in Figures 12 and 13 of the paper.
+    """
+
+
+class UnsupportedKernelError(TilusError):
+    """Raised when a baseline system does not support a requested kernel.
+
+    Mirrors the missing bars (unsupported data types) and the ERR cell
+    (Ladder on Hopper) in the paper's evaluation.
+    """
+
+
+class AutotuneError(TilusError):
+    """Raised when autotuning fails to find any valid configuration."""

@@ -1,0 +1,80 @@
+"""Tilus intermediate representation: types, expressions, statements,
+thread-block-level instructions and programs (paper Section 6)."""
+
+from repro.ir import instructions
+from repro.ir.evaluator import evaluate, try_const
+from repro.ir.expr import (
+    Binary,
+    CastExpr,
+    Compare,
+    Conditional,
+    Constant,
+    Expr,
+    Logical,
+    Unary,
+    Var,
+    cast,
+    where,
+    wrap,
+)
+from repro.ir.printer import format_instruction, format_program
+from repro.ir.program import Parameter, Program
+from repro.ir.scope import GLOBAL, REGISTER, SHARED, MemoryScope
+from repro.ir.stmt import (
+    AssignStmt,
+    BreakStmt,
+    ContinueStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+from repro.ir.types import (
+    TensorType,
+    TensorVar,
+    global_tensor,
+    register_tensor,
+    shared_tensor,
+)
+
+__all__ = [
+    "instructions",
+    "Expr",
+    "Var",
+    "Constant",
+    "Binary",
+    "Unary",
+    "Compare",
+    "Logical",
+    "Conditional",
+    "CastExpr",
+    "wrap",
+    "where",
+    "cast",
+    "evaluate",
+    "try_const",
+    "MemoryScope",
+    "REGISTER",
+    "SHARED",
+    "GLOBAL",
+    "TensorType",
+    "TensorVar",
+    "register_tensor",
+    "shared_tensor",
+    "global_tensor",
+    "Stmt",
+    "SeqStmt",
+    "InstructionStmt",
+    "AssignStmt",
+    "IfStmt",
+    "ForStmt",
+    "WhileStmt",
+    "BreakStmt",
+    "ContinueStmt",
+    "Parameter",
+    "Program",
+    "format_program",
+    "format_instruction",
+]

@@ -1,0 +1,136 @@
+"""Scalar expression evaluation.
+
+Used by the virtual machine (with a live environment), by the grid-size
+computation at launch, and by the constant-folding pass (with an empty
+environment, raising on free variables).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import IRError, VMError
+from repro.ir.expr import (
+    Binary,
+    CastExpr,
+    Compare,
+    Conditional,
+    Constant,
+    Expr,
+    Logical,
+    Unary,
+    Var,
+)
+
+
+def evaluate(expr: Expr, env: Mapping[Var, object] | None = None):
+    """Evaluate ``expr`` under ``env`` (Var -> Python value).
+
+    Integer division and modulo follow C semantics (truncation toward
+    zero) because the generated CUDA code uses C operators; this matters
+    for negative operands.
+    """
+    env = env or {}
+    return _eval(expr, env)
+
+
+def _c_div(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    if b == 0:
+        raise VMError("division by zero in scalar expression")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return float(np.fmod(a, b))
+    if b == 0:
+        raise VMError("modulo by zero in scalar expression")
+    return a - _c_div(a, b) * b
+
+
+def _eval(expr: Expr, env: Mapping[Var, object]):
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr not in env:
+            raise IRError(f"unbound variable {expr.name!r} during evaluation")
+        return env[expr]
+    if isinstance(expr, Binary):
+        a = _eval(expr.lhs, env)
+        b = _eval(expr.rhs, env)
+        op = expr.op
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return _c_div(a, b)
+        if op == "%":
+            return _c_mod(a, b)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return a << b
+        if op == ">>":
+            return a >> b
+        raise IRError(f"unknown binary op {op!r}")
+    if isinstance(expr, Unary):
+        a = _eval(expr.operand, env)
+        if expr.op == "-":
+            return -a
+        if expr.op == "~":
+            return ~a
+        if expr.op == "!":
+            return not a
+        raise IRError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, Compare):
+        a = _eval(expr.lhs, env)
+        b = _eval(expr.rhs, env)
+        op = expr.op
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        raise IRError(f"unknown comparison {op!r}")
+    if isinstance(expr, Logical):
+        a = _eval(expr.lhs, env)
+        if expr.op == "&&":
+            return bool(a) and bool(_eval(expr.rhs, env))
+        if expr.op == "||":
+            return bool(a) or bool(_eval(expr.rhs, env))
+        raise IRError(f"unknown logical op {expr.op!r}")
+    if isinstance(expr, Conditional):
+        return _eval(expr.then, env) if _eval(expr.cond, env) else _eval(expr.otherwise, env)
+    if isinstance(expr, CastExpr):
+        value = _eval(expr.operand, env)
+        if expr.dtype.is_float:
+            return float(value)
+        return int(value)
+    raise IRError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def try_const(expr: Expr):
+    """Return the constant value of ``expr`` or None when it has free vars."""
+    try:
+        return evaluate(expr, {})
+    except IRError:
+        return None

@@ -1,0 +1,329 @@
+"""Scalar expression tree of the Tilus IR.
+
+Expressions appear in grid shapes, tensor offsets, loop bounds and branch
+conditions (paper Figure 7).  They are deliberately small: scalar
+arithmetic, comparisons, logic, and a ternary conditional.  Tensor
+computation happens through instructions, not expressions.
+
+Python operator overloading lets programs read naturally::
+
+    offset = bi * BM + i
+    cond   = (k < K) & (bi != 0)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.dtypes import DataType, PointerType, dtype_from_name, float32, int32, int64
+from repro.dtypes.integers import BoolType
+from repro.errors import IRError
+
+_bool = BoolType()
+
+ExprLike = Union["Expr", int, float, bool]
+
+
+def _promote(a: DataType, b: DataType) -> DataType:
+    """Type promotion for binary arithmetic.
+
+    Pointer arithmetic keeps the pointer type; otherwise float beats
+    integer, wider beats narrower, and signed beats unsigned on a tie.
+    """
+    if a == b:
+        return a
+    if a.is_pointer:
+        return a
+    if b.is_pointer:
+        return b
+    if a.is_float != b.is_float:
+        return a if a.is_float else b
+    if a.nbits != b.nbits:
+        return a if a.nbits > b.nbits else b
+    return a if a.is_signed else b
+
+
+class Expr:
+    """Base class of all scalar expressions."""
+
+    dtype: DataType
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Binary("+", self, wrap(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Binary("+", wrap(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Binary("-", self, wrap(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Binary("-", wrap(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Binary("*", self, wrap(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Binary("*", wrap(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return Binary("/", self, wrap(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return Binary("/", wrap(other), self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return Binary("/", self, wrap(other))
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return Binary("/", wrap(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Binary("%", self, wrap(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return Binary("%", wrap(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Unary("-", self)
+
+    # -- bitwise ----------------------------------------------------------
+    def __and__(self, other: ExprLike) -> "Expr":
+        return Binary("&", self, wrap(other))
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return Binary("|", self, wrap(other))
+
+    def __xor__(self, other: ExprLike) -> "Expr":
+        return Binary("^", self, wrap(other))
+
+    def __lshift__(self, other: ExprLike) -> "Expr":
+        return Binary("<<", self, wrap(other))
+
+    def __rshift__(self, other: ExprLike) -> "Expr":
+        return Binary(">>", self, wrap(other))
+
+    def __invert__(self) -> "Expr":
+        return Unary("~", self)
+
+    # -- comparisons --------------------------------------------------------
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return Compare("<", self, wrap(other))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return Compare("<=", self, wrap(other))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return Compare(">", self, wrap(other))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return Compare(">=", self, wrap(other))
+
+    def equals(self, other: ExprLike) -> "Expr":
+        """Element equality (``==`` is reserved for structural identity)."""
+        return Compare("==", self, wrap(other))
+
+    def not_equals(self, other: ExprLike) -> "Expr":
+        return Compare("!=", self, wrap(other))
+
+    def logical_and(self, other: ExprLike) -> "Expr":
+        return Logical("&&", self, wrap(other))
+
+    def logical_or(self, other: ExprLike) -> "Expr":
+        return Logical("||", self, wrap(other))
+
+    def logical_not(self) -> "Expr":
+        return Unary("!", self)
+
+    # -- traversal ----------------------------------------------------------
+    def children(self) -> Iterator["Expr"]:
+        """Direct sub-expressions."""
+        return iter(())
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Var(Expr):
+    """A named scalar (or pointer) variable."""
+
+    _counter = 0
+
+    def __init__(self, name: str, dtype: DataType | str) -> None:
+        self.name = name
+        self.dtype = dtype_from_name(dtype) if isinstance(dtype, str) else dtype
+        Var._counter += 1
+        self.uid = Var._counter
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.uid))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.uid == self.uid
+
+
+class Constant(Expr):
+    """A literal scalar."""
+
+    def __init__(self, value: int | float | bool, dtype: DataType | None = None) -> None:
+        if dtype is None:
+            if isinstance(value, bool):
+                dtype = _bool
+            elif isinstance(value, (int, np.integer)):
+                dtype = int32 if -(2**31) <= int(value) < 2**31 else int64
+            elif isinstance(value, (float, np.floating)):
+                dtype = float32
+            else:
+                raise IRError(f"cannot infer constant type for {value!r}")
+        self.value = value
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Binary(Expr):
+    """Binary arithmetic or bitwise operation."""
+
+    OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self.OPS:
+            raise IRError(f"unknown binary op {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = _promote(lhs.dtype, rhs.dtype)
+
+    def children(self) -> Iterator[Expr]:
+        yield self.lhs
+        yield self.rhs
+
+    def __repr__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+class Unary(Expr):
+    """Unary operation: negate, bitwise not, logical not."""
+
+    OPS = ("-", "~", "!")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op not in self.OPS:
+            raise IRError(f"unknown unary op {op!r}")
+        self.op = op
+        self.operand = operand
+        self.dtype = _bool if op == "!" else operand.dtype
+
+    def children(self) -> Iterator[Expr]:
+        yield self.operand
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+class Compare(Expr):
+    """Comparison, yielding bool."""
+
+    OPS = ("==", "!=", "<", ">", "<=", ">=")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self.OPS:
+            raise IRError(f"unknown comparison op {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = _bool
+
+    def children(self) -> Iterator[Expr]:
+        yield self.lhs
+        yield self.rhs
+
+    def __repr__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+class Logical(Expr):
+    """Short-circuit logical operation, yielding bool."""
+
+    OPS = ("&&", "||")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self.OPS:
+            raise IRError(f"unknown logical op {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = _bool
+
+    def children(self) -> Iterator[Expr]:
+        yield self.lhs
+        yield self.rhs
+
+    def __repr__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+class Conditional(Expr):
+    """Ternary ``then if cond else otherwise`` expression."""
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr) -> None:
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+        self.dtype = _promote(then.dtype, otherwise.dtype)
+
+    def children(self) -> Iterator[Expr]:
+        yield self.cond
+        yield self.then
+        yield self.otherwise
+
+    def __repr__(self) -> str:
+        return f"({self.then} if {self.cond} else {self.otherwise})"
+
+
+class CastExpr(Expr):
+    """Scalar cast between data types."""
+
+    def __init__(self, operand: Expr, dtype: DataType) -> None:
+        self.operand = operand
+        self.dtype = dtype
+
+    def children(self) -> Iterator[Expr]:
+        yield self.operand
+
+    def __repr__(self) -> str:
+        return f"{self.dtype}({self.operand})"
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Coerce a Python literal into a :class:`Constant` (identity on Expr)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (bool, int, float, np.integer, np.floating)):
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        if isinstance(value, (np.floating,)):
+            value = float(value)
+        return Constant(value)
+    raise IRError(f"cannot use {value!r} as an expression")
+
+
+def where(cond: ExprLike, then: ExprLike, otherwise: ExprLike) -> Expr:
+    """Functional ternary helper."""
+    return Conditional(wrap(cond), wrap(then), wrap(otherwise))
+
+
+def cast(value: ExprLike, dtype: DataType | str) -> Expr:
+    """Scalar cast helper."""
+    dtype = dtype_from_name(dtype) if isinstance(dtype, str) else dtype
+    return CastExpr(wrap(value), dtype)

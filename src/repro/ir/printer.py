@@ -1,0 +1,124 @@
+"""Textual pretty-printer for Tilus programs.
+
+The output mirrors the paper's surface syntax (Figure 2): a ``def`` header
+with the grid in angle brackets, followed by an indented body of
+control-flow statements and instructions.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as insts
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignStmt,
+    BreakStmt,
+    ContinueStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+
+
+def format_instruction(inst: insts.Instruction) -> str:
+    """One-line rendering of a single instruction."""
+    name = inst.mnemonic
+    if isinstance(inst, insts.ElementwiseBinary):
+        op_names = {"+": "Add", "-": "Sub", "*": "Mul", "/": "Div", "%": "Mod"}
+        return f"{inst.out} = {op_names[inst.op]}({inst.a}, {inst.b})"
+    if isinstance(inst, insts.Neg):
+        return f"{inst.out} = Neg({inst.a})"
+    if isinstance(inst, insts.Cast):
+        return f"{inst.out} = Cast({inst.a}, dtype={inst.dtype})"
+    if isinstance(inst, insts.View):
+        out_t = inst.out.ttype
+        layout = out_t.layout.short_repr() if out_t.layout else "linear"
+        return f"{inst.out} = View({inst.a}, dtype={out_t.dtype}, layout={layout})"
+    if isinstance(inst, insts.Dot):
+        return f"{inst.out} = Dot({inst.a}, {inst.b}, {inst.c})"
+    if isinstance(inst, insts.Lookup):
+        return f"{inst.out} = Lookup({inst.codes}, table={inst.table})"
+    if isinstance(inst, insts.LoadGlobal):
+        off = ", ".join(str(o) for o in inst.offset)
+        return f"{inst.out} = LoadGlobal({inst.src}, offset=[{off}])"
+    if isinstance(inst, insts.LoadShared):
+        off = ", ".join(str(o) for o in inst.offset)
+        return f"{inst.out} = LoadShared({inst.src}, offset=[{off}])"
+    if isinstance(inst, insts.StoreGlobal):
+        off = ", ".join(str(o) for o in inst.offset)
+        return f"StoreGlobal({inst.src}, {inst.dst}, offset=[{off}])"
+    if isinstance(inst, insts.StoreShared):
+        off = ", ".join(str(o) for o in inst.offset)
+        return f"StoreShared({inst.src}, {inst.dst}, offset=[{off}])"
+    if isinstance(inst, insts.CopyAsync):
+        src_off = ", ".join(str(o) for o in inst.src_offset)
+        dst_off = ", ".join(str(o) for o in inst.dst_offset)
+        shape = f", shape={list(inst.shape)}" if inst.shape is not None else ""
+        return (
+            f"CopyAsync({inst.dst}[{dst_off}], {inst.src}[{src_off}]{shape})"
+        )
+    if isinstance(inst, insts.CopyAsyncWaitGroup):
+        return f"CopyAsyncWaitGroup({inst.n})"
+    if isinstance(inst, insts.AllocateRegister):
+        init = f", init={inst.init}" if inst.init is not None else ""
+        return f"{inst.out} = AllocateRegister({inst.out.ttype}{init})"
+    if isinstance(inst, (insts.AllocateShared, insts.AllocateGlobal)):
+        return f"{inst.out} = {name}({inst.out.ttype})"
+    if isinstance(inst, insts.FreeShared):
+        return f"FreeShared({inst.tensor})"
+    if isinstance(inst, insts.ViewGlobal):
+        return f"{inst.out} = ViewGlobal({inst.ptr}, type={inst.out.ttype})"
+    if isinstance(inst, insts.BlockIndices):
+        names = ", ".join(str(v) for v in inst.out_vars)
+        return f"{names} = BlockIndices()"
+    if isinstance(inst, insts.PrintTensor):
+        return f"Print({inst.tensor})"
+    return f"{name}()"
+
+
+def _format_stmt(stmt: Stmt, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, SeqStmt):
+        for child in stmt.body:
+            _format_stmt(child, indent, lines)
+    elif isinstance(stmt, InstructionStmt):
+        lines.append(pad + format_instruction(stmt.instruction))
+    elif isinstance(stmt, AssignStmt):
+        lines.append(pad + f"{stmt.var} = {stmt.value}")
+    elif isinstance(stmt, IfStmt):
+        lines.append(pad + f"if {stmt.cond}:")
+        _format_stmt(stmt.then_body, indent + 1, lines)
+        if stmt.else_body is not None and stmt.else_body.body:
+            lines.append(pad + "else:")
+            _format_stmt(stmt.else_body, indent + 1, lines)
+    elif isinstance(stmt, ForStmt):
+        hints = []
+        if stmt.unroll:
+            hints.append("unroll")
+        if stmt.pipeline_stages > 1:
+            hints.append(f"pipeline={stmt.pipeline_stages}")
+        suffix = f"  # {', '.join(hints)}" if hints else ""
+        lines.append(pad + f"for {stmt.var} in range({stmt.extent}):{suffix}")
+        _format_stmt(stmt.body, indent + 1, lines)
+    elif isinstance(stmt, WhileStmt):
+        lines.append(pad + f"while {stmt.cond}:")
+        _format_stmt(stmt.body, indent + 1, lines)
+    elif isinstance(stmt, BreakStmt):
+        lines.append(pad + "break")
+    elif isinstance(stmt, ContinueStmt):
+        lines.append(pad + "continue")
+    else:
+        lines.append(pad + f"<{type(stmt).__name__}>")
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program in the paper's surface syntax."""
+    grid = ", ".join(str(g) for g in program.grid)
+    params = ", ".join(f"{p.dtype} {p.name}" for p in program.params)
+    lines = [f"def {program.name}<{grid}>({params}):  # threads={program.num_threads}"]
+    _format_stmt(program.body, 1, lines)
+    if len(lines) == 1:
+        lines.append("    pass")
+    return "\n".join(lines)

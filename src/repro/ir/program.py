@@ -1,0 +1,77 @@
+"""Tilus program: name, grid shape, parameters, body (paper Figure 7)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dtypes import DataType
+from repro.errors import IRError
+from repro.ir.expr import Constant, Expr, Var, wrap
+from repro.ir.stmt import SeqStmt
+
+
+class Parameter(Var):
+    """A kernel parameter (scalar or pointer)."""
+
+    def __init__(self, name: str, dtype: DataType) -> None:
+        super().__init__(name, dtype)
+
+
+class Program:
+    """A complete Tilus VM program.
+
+    The grid shape is a list of expressions over the parameters (or
+    constants); its dimensions determine how many thread blocks are
+    launched.  ``num_threads`` is the block size every register layout in
+    the body must respect (one or more warps).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        grid: Sequence,
+        params: Sequence[Parameter],
+        body: SeqStmt,
+        num_threads: int = 32,
+    ) -> None:
+        if not name.isidentifier():
+            raise IRError(f"program name {name!r} is not a valid identifier")
+        if num_threads <= 0 or num_threads % 32 != 0:
+            raise IRError(f"num_threads must be a positive multiple of 32, got {num_threads}")
+        self.name = name
+        self.grid: tuple[Expr, ...] = tuple(wrap(g) for g in grid)
+        self.params: tuple[Parameter, ...] = tuple(params)
+        self.body = body
+        self.num_threads = num_threads
+
+    @property
+    def grid_rank(self) -> int:
+        return len(self.grid)
+
+    def static_grid(self) -> tuple[int, ...] | None:
+        """Grid shape as ints when constant, else None (runtime-determined)."""
+        out = []
+        for g in self.grid:
+            if isinstance(g, Constant):
+                out.append(int(g.value))
+            else:
+                return None
+        return tuple(out)
+
+    def grid_size(self, args: Sequence | None = None) -> tuple[int, ...]:
+        """Evaluate the grid shape, substituting launch arguments."""
+        from repro.ir.evaluator import evaluate
+
+        env = {}
+        if args is not None:
+            if len(args) != len(self.params):
+                raise IRError(
+                    f"{self.name} expects {len(self.params)} arguments, got {len(args)}"
+                )
+            env = {p: a for p, a in zip(self.params, args)}
+        return tuple(int(evaluate(g, env)) for g in self.grid)
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import format_program
+
+        return format_program(self)

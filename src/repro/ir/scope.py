@@ -1,0 +1,26 @@
+"""Memory scopes of the hierarchical memory space (paper Section 6.1)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MemoryScope(Enum):
+    """Where a tensor lives in the GPU memory hierarchy."""
+
+    REGISTER = "register"
+    SHARED = "shared"
+    GLOBAL = "global"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_on_chip(self) -> bool:
+        """Registers and shared memory are on-chip."""
+        return self in (MemoryScope.REGISTER, MemoryScope.SHARED)
+
+
+REGISTER = MemoryScope.REGISTER
+SHARED = MemoryScope.SHARED
+GLOBAL = MemoryScope.GLOBAL

@@ -1,0 +1,118 @@
+"""Control-flow statements of the Tilus IR (paper Figure 7).
+
+The VM keeps high-level control structures — ``if``/``for``/``while`` with
+``break``/``continue`` — instead of abstracting them into jumps, to stay
+readable for human developers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.ir.expr import Expr, Var
+from repro.ir.instructions import Instruction
+
+
+class Stmt:
+    """Base class of statements."""
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Pre-order traversal over nested statements."""
+        yield self
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions reachable from this statement."""
+        for stmt in self.walk():
+            if isinstance(stmt, InstructionStmt):
+                yield stmt.instruction
+
+
+class SeqStmt(Stmt):
+    """A sequence of statements executed in order."""
+
+    def __init__(self, body: Sequence[Stmt] = ()) -> None:
+        self.body: list[Stmt] = list(body)
+
+    def append(self, stmt: Stmt) -> None:
+        self.body.append(stmt)
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        for stmt in self.body:
+            yield from stmt.walk()
+
+
+class InstructionStmt(Stmt):
+    """A single thread-block-level instruction used as a statement."""
+
+    def __init__(self, instruction: Instruction) -> None:
+        self.instruction = instruction
+
+
+class AssignStmt(Stmt):
+    """Scalar assignment ``var = value``."""
+
+    def __init__(self, var: Var, value: Expr) -> None:
+        self.var = var
+        self.value = value
+
+
+class IfStmt(Stmt):
+    """``if cond: then else: otherwise``."""
+
+    def __init__(self, cond: Expr, then_body: SeqStmt, else_body: Optional[SeqStmt] = None) -> None:
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        yield from self.then_body.walk()
+        if self.else_body is not None:
+            yield from self.else_body.walk()
+
+
+class ForStmt(Stmt):
+    """Range-based loop ``for var in range(extent): body``.
+
+    ``unroll`` is an optimization hint consumed by code generation;
+    ``pipeline_stages > 1`` marks the loop for software pipelining.
+    """
+
+    def __init__(
+        self,
+        var: Var,
+        extent: Expr,
+        body: SeqStmt,
+        unroll: bool = False,
+        pipeline_stages: int = 1,
+    ) -> None:
+        self.var = var
+        self.extent = extent
+        self.body = body
+        self.unroll = unroll
+        self.pipeline_stages = pipeline_stages
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        yield from self.body.walk()
+
+
+class WhileStmt(Stmt):
+    """``while cond: body``."""
+
+    def __init__(self, cond: Expr, body: SeqStmt) -> None:
+        self.cond = cond
+        self.body = body
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        yield from self.body.walk()
+
+
+class BreakStmt(Stmt):
+    """Break out of the innermost loop."""
+
+
+class ContinueStmt(Stmt):
+    """Continue with the next iteration of the innermost loop."""

@@ -1,0 +1,131 @@
+"""Tensor types of the Tilus IR (paper Section 6.1).
+
+A :class:`TensorType` records element data type, shape, memory scope and —
+for register tensors — the distributed :class:`~repro.layout.Layout`.
+Global and shared tensors use linear (strided row-major) addressing; their
+optional layout is reserved for swizzled shared-memory mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dtypes import DataType
+from repro.errors import IRError
+from repro.ir.expr import Expr, Var, wrap
+from repro.ir.scope import MemoryScope
+from repro.layout import Layout
+from repro.utils.indexmath import prod
+
+
+class TensorType:
+    """Type of a Tilus tensor variable."""
+
+    def __init__(
+        self,
+        scope: MemoryScope,
+        dtype: DataType,
+        shape: Sequence,
+        layout: Optional[Layout] = None,
+    ) -> None:
+        self.scope = scope
+        self.dtype = dtype
+        # Shapes may contain expressions (e.g. parameter-dependent global
+        # views); register/shared tensors must have constant shapes.
+        self.shape: tuple = tuple(shape)
+        self.layout = layout
+        if scope == MemoryScope.REGISTER:
+            if layout is None:
+                raise IRError("register tensors require a layout")
+            static = self.static_shape()
+            if static is None:
+                raise IRError("register tensors require a constant shape")
+            if tuple(layout.shape) != tuple(static):
+                raise IRError(
+                    f"layout shape {list(layout.shape)} does not match tensor "
+                    f"shape {list(static)}"
+                )
+
+    def static_shape(self) -> Optional[tuple[int, ...]]:
+        """The shape as ints when fully constant, else None."""
+        out = []
+        for extent in self.shape:
+            if isinstance(extent, Expr):
+                from repro.ir.expr import Constant
+
+                if isinstance(extent, Constant):
+                    out.append(int(extent.value))
+                else:
+                    return None
+            else:
+                out.append(int(extent))
+        return tuple(out)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def num_elements(self) -> int:
+        static = self.static_shape()
+        if static is None:
+            raise IRError("tensor shape is not static")
+        return prod(static)
+
+    def storage_bits(self) -> int:
+        """Total storage in bits (compact sub-byte packing)."""
+        return self.num_elements() * self.dtype.nbits
+
+    def storage_bytes(self) -> int:
+        return (self.storage_bits() + 7) // 8
+
+    def bits_per_thread(self) -> int:
+        """Register tensors only: bits held by each thread.
+
+        This is the quantity that must match for a valid ``View``
+        reinterpretation (paper Figure 2(c))."""
+        if self.scope != MemoryScope.REGISTER or self.layout is None:
+            raise IRError("bits_per_thread is defined for register tensors only")
+        return self.layout.local_size * self.dtype.nbits
+
+    def __repr__(self) -> str:
+        dims = ", ".join(str(s) for s in self.shape)
+        layout_part = f", layout={self.layout.short_repr()}" if self.layout else ""
+        return f"{self.dtype}[{dims}]@{self.scope}{layout_part}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorType):
+            return NotImplemented
+        return (
+            self.scope == other.scope
+            and self.dtype == other.dtype
+            and self.static_shape() == other.static_shape()
+            and self.layout == other.layout
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.scope, self.dtype, self.static_shape()))
+
+
+class TensorVar(Var):
+    """A variable holding a tensor; its dtype is the *element* type and its
+    full type (shape/scope/layout) lives in ``.ttype``."""
+
+    def __init__(self, name: str, ttype: TensorType) -> None:
+        super().__init__(name, ttype.dtype)
+        self.ttype = ttype
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def register_tensor(dtype: DataType, layout: Layout) -> TensorType:
+    """Shorthand for a register tensor type whose shape comes from its layout."""
+    return TensorType(MemoryScope.REGISTER, dtype, layout.shape, layout)
+
+
+def shared_tensor(dtype: DataType, shape: Sequence[int], layout: Optional[Layout] = None) -> TensorType:
+    return TensorType(MemoryScope.SHARED, dtype, shape, layout)
+
+
+def global_tensor(dtype: DataType, shape: Sequence, layout: Optional[Layout] = None) -> TensorType:
+    return TensorType(MemoryScope.GLOBAL, dtype, shape, layout)

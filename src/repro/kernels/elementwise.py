@@ -1,0 +1,127 @@
+"""Elementwise kernel library.
+
+The paper notes Tilus "supports all kernels supported by Triton in
+principle" (Section 9.1); this module provides the common non-matmul
+kernels an LLM serving stack needs, built on the same DSL:
+
+- :func:`dequantize_program` — expand a transformed low-precision weight
+  back into a dense f16 matrix (useful for debugging and for prefill
+  paths that prefer a dense GEMM),
+- :func:`binary_program` — elementwise add/sub/mul/div of two tensors,
+- :func:`scale_bias_program` — ``y = x * scale + bias`` row-wise
+  (the affine epilogue of normalization layers).
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import DataType, float16, uint8
+from repro.errors import CompilationError
+from repro.ir.program import Program
+from repro.kernels.config import MatmulConfig
+from repro.kernels.layouts import matmul_layouts
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import local, spatial
+from repro.utils.indexmath import ceil_div
+
+
+def dequantize_program(
+    k: int,
+    n: int,
+    weight_dtype: DataType,
+    cfg: MatmulConfig,
+    act_dtype: DataType = float16,
+    zero_point: int = 0,
+) -> Program:
+    """Expand a tile-transformed weight into a dense ``act_dtype[k, n]``.
+
+    Parameters: ``b_ptr`` (packed u8), ``scales_ptr`` (act), ``out_ptr``.
+    One warp handles one (block_k, warp_n) tile — the exact inverse of
+    the transform program, plus scaling.
+    """
+    cfg.validate(weight_dtype)
+    bk, bnw = cfg.block_k, cfg.warp_n
+    if k % bk or n % bnw:
+        raise CompilationError(f"{k}x{n} must tile by ({bk}, {bnw})")
+    lay = matmul_layouts(cfg, weight_dtype)
+    from repro.quant.packing import byte_view_layout
+
+    view_layout = byte_view_layout(lay.b_warp, weight_dtype.nbits)
+    group = k  # per-channel scales for this utility kernel
+
+    pb = ProgramBuilder("dequantize", grid=[k // bk, n // bnw], num_threads=32)
+    b_ptr = pb.param("b_ptr", pointer(uint8))
+    s_ptr = pb.param("scales_ptr", pointer(act_dtype))
+    o_ptr = pb.param("out_ptr", pointer(act_dtype))
+    tk, tj = pb.block_indices()
+    gb = pb.view_global(b_ptr, dtype=uint8, shape=[k // bk, n // bnw, lay.b_tile_bytes])
+    gs = pb.view_global(s_ptr, dtype=act_dtype, shape=[1, n])
+    go = pb.view_global(o_ptr, dtype=act_dtype, shape=[k, n])
+    raw = pb.load_global(gb, layout=view_layout, offset=[tk, tj, 0])
+    codes = pb.view(raw, dtype=weight_dtype, layout=lay.b_warp)
+    values = pb.cast(codes, act_dtype)
+    if zero_point:
+        values = pb.sub(values, float(zero_point))
+    sc = pb.load_global(gs, layout=lay.b_warp, offset=[0, tj * bnw], broadcast_dims=[0])
+    values = pb.mul(values, sc)
+    pb.store_global(values, go, offset=[tk * bk, tj * bnw])
+    return pb.finish()
+
+
+def binary_program(
+    op: str,
+    rows: int,
+    cols: int,
+    dtype: DataType = float16,
+    tile: int = 8,
+) -> Program:
+    """Elementwise ``c = a <op> b`` over two ``dtype[rows, cols]`` tensors."""
+    if op not in ("+", "-", "*", "/"):
+        raise CompilationError(f"unsupported elementwise op {op!r}")
+    if cols % 4:
+        raise CompilationError("cols must be a multiple of 4")
+    layout = spatial(8, 4) if cols == 4 else spatial(8, 4).local(1, cols // 4)
+    grid_rows = ceil_div(rows, 8)
+
+    pb = ProgramBuilder("elementwise", grid=[grid_rows], num_threads=32)
+    a_ptr = pb.param("a_ptr", pointer(dtype))
+    b_ptr = pb.param("b_ptr", pointer(dtype))
+    c_ptr = pb.param("c_ptr", pointer(dtype))
+    (bi,) = pb.block_indices()
+    ga = pb.view_global(a_ptr, dtype=dtype, shape=[rows, cols])
+    gb = pb.view_global(b_ptr, dtype=dtype, shape=[rows, cols])
+    gc = pb.view_global(c_ptr, dtype=dtype, shape=[rows, cols])
+    a = pb.load_global(ga, layout=layout, offset=[bi * 8, 0], masked=True)
+    b = pb.load_global(gb, layout=layout, offset=[bi * 8, 0], masked=True)
+    c = pb._binary(op, a, b)
+    pb.store_global(c, gc, offset=[bi * 8, 0], masked=True)
+    return pb.finish()
+
+
+def scale_bias_program(
+    rows: int,
+    cols: int,
+    dtype: DataType = float16,
+) -> Program:
+    """Row-broadcast affine transform: ``y[i, j] = x[i, j] * s[j] + b[j]``."""
+    if cols % 4:
+        raise CompilationError("cols must be a multiple of 4")
+    layout = spatial(8, 4) if cols == 4 else spatial(8, 4).local(1, cols // 4)
+    grid_rows = ceil_div(rows, 8)
+
+    pb = ProgramBuilder("scale_bias", grid=[grid_rows], num_threads=32)
+    x_ptr = pb.param("x_ptr", pointer(dtype))
+    s_ptr = pb.param("scale_ptr", pointer(dtype))
+    b_ptr = pb.param("bias_ptr", pointer(dtype))
+    y_ptr = pb.param("y_ptr", pointer(dtype))
+    (bi,) = pb.block_indices()
+    gx = pb.view_global(x_ptr, dtype=dtype, shape=[rows, cols])
+    gs = pb.view_global(s_ptr, dtype=dtype, shape=[1, cols])
+    gb = pb.view_global(b_ptr, dtype=dtype, shape=[1, cols])
+    gy = pb.view_global(y_ptr, dtype=dtype, shape=[rows, cols])
+    x = pb.load_global(gx, layout=layout, offset=[bi * 8, 0], masked=True)
+    s = pb.load_global(gs, layout=layout, offset=[0, 0], broadcast_dims=[0])
+    b = pb.load_global(gb, layout=layout, offset=[0, 0], broadcast_dims=[0])
+    y = pb.mul(x, s)
+    y = pb.add(y, b)
+    pb.store_global(y, gy, offset=[bi * 8, 0], masked=True)
+    return pb.finish()

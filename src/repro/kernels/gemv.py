@@ -1,0 +1,90 @@
+"""Quantized GEMV: the single-token decode kernel on SIMT cores.
+
+The paper notes that for small batch sizes the bottleneck is weight
+loading "for computation on SIMT or Tensor Cores" (Section 9.2).  This
+kernel is the SIMT variant for ``m = 1``: no mma, just elementwise
+multiply and a block-level :class:`~repro.ir.instructions.ReduceSum`
+over the k axis.  It consumes the *same* transformed weight format as
+the tensor-core template, so one packed tensor serves both paths.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import DataType, float16, float32, uint8
+from repro.errors import CompilationError
+from repro.ir.program import Program
+from repro.kernels.config import MatmulConfig
+from repro.kernels.layouts import matmul_layouts
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import spatial
+from repro.layout.core import replicate
+from repro.quant.packing import byte_view_layout
+from repro.quant.scheme import QuantScheme
+
+
+def quantized_gemv_program(
+    n: int,
+    k: int,
+    act_dtype: DataType,
+    scheme: QuantScheme,
+    cfg: MatmulConfig,
+) -> Program:
+    """Build ``y[1, n] = x[1, k] @ dequant(B[k, n])`` for one warp/block.
+
+    Parameters: ``x_ptr`` (act), ``b_ptr`` (transformed u8, same layout
+    as the matmul template), ``scales_ptr`` (act), ``y_ptr`` (act).
+    """
+    weight_dtype = scheme.dtype
+    cfg.validate(weight_dtype)
+    if cfg.num_warps != 1:
+        raise CompilationError("the GEMV kernel is single-warp (one warp per block)")
+    bk, bn = cfg.block_k, cfg.warp_n
+    if n % bn or k % bk:
+        raise CompilationError(f"n={n}, k={k} must tile by ({bn}, {bk})")
+    group = min(scheme.group_size, k)
+    if group % bk:
+        raise CompilationError(f"group_size={group} must be a multiple of block_k={bk}")
+    lay = matmul_layouts(cfg, weight_dtype)
+    view_layout = byte_view_layout(lay.b_warp, weight_dtype.nbits)
+    n_ktiles = k // bk
+    # Reduced (1, bn) accumulator: each output column lives in the same
+    # threads that computed its partials, replicated across the rest.
+    out_layout = replicate(32 // min(32, bn), rank=2).compose(spatial(1, min(32, bn)))
+    if out_layout.shape != (1, bn):
+        raise CompilationError(f"unsupported warp_n={bn} for the GEMV reduction")
+
+    pb = ProgramBuilder("quantized_gemv", grid=[n // bn], num_threads=32)
+    x_ptr = pb.param("x_ptr", pointer(act_dtype))
+    b_ptr = pb.param("b_ptr", pointer(uint8))
+    s_ptr = pb.param("scales_ptr", pointer(act_dtype))
+    y_ptr = pb.param("y_ptr", pointer(act_dtype))
+
+    (bj,) = pb.block_indices()
+    gx = pb.view_global(x_ptr, dtype=act_dtype, shape=[k, 1])
+    gb = pb.view_global(b_ptr, dtype=uint8, shape=[n_ktiles, n // bn, lay.b_tile_bytes])
+    gs = pb.view_global(s_ptr, dtype=act_dtype, shape=[k // group, n])
+    gy = pb.view_global(y_ptr, dtype=act_dtype, shape=[1, n])
+
+    acc = pb.allocate_register(float32, layout=out_layout, init=0.0)
+    with pb.for_range(n_ktiles) as kt:
+        braw = pb.load_global(gb, layout=view_layout, offset=[kt, bj, 0])
+        b_lp = pb.view(braw, dtype=weight_dtype, layout=lay.b_warp)
+        b_act = pb.cast(b_lp, act_dtype)
+        if scheme.zero_point:
+            b_act = pb.sub(b_act, float(scheme.zero_point))
+        sc = pb.load_global(
+            gs, layout=lay.b_warp, offset=[kt * bk // group, bj * bn], broadcast_dims=[0]
+        )
+        b_deq = pb.mul(b_act, sc)
+        # x broadcast along the n axis of the weight tile: element (kk, nn)
+        # reads x[kt*bk + kk] regardless of nn.
+        x_tile = pb.load_global(
+            gx, layout=lay.b_warp, offset=[kt * bk, 0], broadcast_dims=[1]
+        )
+        prod = pb.mul(b_deq, x_tile)
+        prod32 = pb.cast(prod, float32)
+        partial = pb.reduce_sum(prod32, axis=0, layout=out_layout)
+        pb.add(acc, partial, out=acc)
+    out = pb.cast(acc, act_dtype)
+    pb.store_global(out, gy, offset=[0, bj * bn])
+    return pb.finish()

@@ -1,0 +1,63 @@
+"""Block-level operand layouts for the matmul template.
+
+These compose the warp grid, per-warp repetition, and the mma fragment
+layouts into full thread-block layouts, including the replication needed
+when several warps share an operand fragment:
+
+- A (activations): warp **rows** own disjoint row slices, warp **columns**
+  replicate the fragment.
+- B (weights): warp **columns** own disjoint column slices, warp **rows**
+  replicate.
+- C (accumulator): every warp owns a disjoint sub-tile (bijective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtypes import DataType
+from repro.kernels.config import MatmulConfig
+from repro.layout import Layout, local, spatial
+from repro.layout.core import replicate
+from repro.quant.packing import byte_view_layout, tile_bytes
+
+
+@dataclass(frozen=True)
+class MatmulLayouts:
+    """All register layouts used by one instantiation of the template."""
+
+    a: Layout          # (block_m, block_k), replicated across warp columns
+    b: Layout          # (block_k, block_n), replicated across warp rows
+    c: Layout          # (block_m, block_n), bijective
+    b_warp: Layout     # per-warp weight fragment (block_k, warp_n), 32 threads
+    b_bytes: Layout    # 1-D uint8 view of the block's packed weight tile
+    b_tile_bytes: int  # packed bytes of one per-warp weight tile
+
+
+def matmul_layouts(cfg: MatmulConfig, weight_dtype: DataType) -> MatmulLayouts:
+    """Derive the operand layouts for a configuration."""
+    mma = cfg.mma()
+    wm, wn = cfg.warps_m, cfg.warps_n
+    rm = cfg.block_m // (wm * mma.m)
+    rn = cfg.warp_n // mma.n
+    rk = cfg.block_k // mma.k
+
+    a = (
+        spatial(wm, 1)
+        .compose(replicate(wn, rank=2))
+        .compose(local(rm, rk))
+        .compose(mma.a_layout)
+    )
+    b_warp = local(rk, rn).compose(mma.b_layout)
+    b = replicate(wm, rank=2).compose(spatial(1, wn)).compose(b_warp)
+    c = spatial(wm, wn).compose(local(rm, rn)).compose(mma.c_layout)
+
+    warp_bytes = tile_bytes(b_warp, weight_dtype.nbits)
+    b_bytes = (
+        replicate(wm, rank=1)
+        .compose(spatial(wn))
+        .compose(byte_view_layout(b_warp, weight_dtype.nbits))
+    )
+    return MatmulLayouts(
+        a=a, b=b, c=c, b_warp=b_warp, b_bytes=b_bytes, b_tile_bytes=warp_bytes
+    )

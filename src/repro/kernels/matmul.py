@@ -1,0 +1,148 @@
+"""The quantized matmul program template (paper Figure 2 + Section 7.2).
+
+One template generates every kernel in the evaluation:
+
+- arbitrary weight types (uint1..8, int2..8, float3..8) via the
+  transform/load/``View``/``Cast`` pipeline of Figure 2,
+- group-wise dequantization scales (sub-channel granularity),
+- optional ``cp.async`` software pipelining with ``num_stages`` staging
+  buffers (Figure 1(c)),
+- multi-warp thread blocks with operand replication.
+
+The weight matrix must be pre-transformed with
+:func:`repro.kernels.transform.make_transform_program` (device) or
+:func:`repro.quant.transform_weight` (host) for the same configuration.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import DataType, float32, uint8
+from repro.errors import CompilationError
+from repro.ir.program import Program
+from repro.kernels.config import MatmulConfig
+from repro.kernels.layouts import MatmulLayouts, matmul_layouts
+from repro.lang import ProgramBuilder, pointer
+from repro.quant.scheme import QuantScheme
+from repro.utils.indexmath import ceil_div
+
+
+def quantized_matmul_program(
+    m: int,
+    n: int,
+    k: int,
+    act_dtype: DataType,
+    scheme: QuantScheme,
+    cfg: MatmulConfig,
+) -> Program:
+    """Build ``C[m,n] = A[m,k] @ dequant(B[k,n])`` for one configuration.
+
+    Parameters of the produced program, in order:
+        ``a_ptr`` (act), ``b_ptr`` (transformed u8), ``scales_ptr`` (act),
+        ``c_ptr`` (act).
+    """
+    weight_dtype = scheme.dtype
+    cfg.validate(weight_dtype)
+    bm, bn, bk = cfg.block_m, cfg.block_n, cfg.block_k
+    if n % bn != 0 or k % bk != 0:
+        raise CompilationError(
+            f"n={n} and k={k} must be multiples of block_n={bn}, block_k={bk} "
+            f"(weights are pre-transformed at tile granularity)"
+        )
+    group = min(scheme.group_size, k)
+    if group % bk != 0:
+        raise CompilationError(
+            f"group_size={group} must be a multiple of block_k={bk}"
+        )
+    lay = matmul_layouts(cfg, weight_dtype)
+    block_bytes = cfg.warps_n * lay.b_tile_bytes
+    n_ktiles = k // bk
+    grid_m = ceil_div(m, bm)
+
+    pb = ProgramBuilder(
+        "quantized_matmul", grid=[grid_m, n // bn], num_threads=cfg.num_threads
+    )
+    a_ptr = pb.param("a_ptr", pointer(act_dtype))
+    b_ptr = pb.param("b_ptr", pointer(uint8))
+    s_ptr = pb.param("scales_ptr", pointer(act_dtype))
+    c_ptr = pb.param("c_ptr", pointer(act_dtype))
+
+    bi, bj = pb.block_indices()
+    ga = pb.view_global(a_ptr, dtype=act_dtype, shape=[m, k])
+    gb = pb.view_global(b_ptr, dtype=uint8, shape=[n_ktiles, n // bn, block_bytes])
+    gs = pb.view_global(s_ptr, dtype=act_dtype, shape=[k // group, n])
+    gc = pb.view_global(c_ptr, dtype=act_dtype, shape=[m, n])
+
+    acc = pb.allocate_register(float32, layout=lay.c, init=0.0)
+    zero_point = scheme.zero_point
+
+    def compute_tile(a_tile, braw, kt) -> None:
+        """Shared tail of both pipelines: view, cast, dequantize, dot."""
+        b_lp = pb.view(braw, dtype=weight_dtype, layout=lay.b)
+        b_act = pb.cast(b_lp, act_dtype)
+        if zero_point:
+            b_act = pb.sub(b_act, float(zero_point))
+        sc = pb.load_global(
+            gs,
+            layout=lay.b,
+            offset=[kt * bk // group, bj * bn],
+            broadcast_dims=[0],
+        )
+        b_deq = pb.mul(b_act, sc)
+        pb.dot(a_tile, b_deq, acc, out=acc)
+
+    if cfg.num_stages == 1:
+        # Direct pipeline (paper Figure 2): global -> registers.
+        with pb.for_range(n_ktiles) as kt:
+            a_tile = pb.load_global(
+                ga, layout=lay.a, offset=[bi * bm, kt * bk], masked=True
+            )
+            braw = pb.load_global(gb, layout=lay.b_bytes, offset=[kt, bj, 0])
+            compute_tile(a_tile, braw, kt)
+    else:
+        # Software-pipelined path (paper Figure 1(c)): cp.async staging.
+        stages = cfg.num_stages
+        sa = pb.allocate_shared(act_dtype, [stages, bm, bk])
+        sb = pb.allocate_shared(uint8, [stages, block_bytes])
+        for s in range(min(stages - 1, n_ktiles)):  # prologue (unrolled)
+            pb.copy_async(
+                sa, ga, src_offset=[bi * bm, s * bk], dst_offset=[s, 0, 0], shape=[bm, bk]
+            )
+            pb.copy_async(
+                sb, gb, src_offset=[s, bj, 0], dst_offset=[s, 0], shape=[block_bytes]
+            )
+            pb.copy_async_commit_group()
+        with pb.for_range(n_ktiles, pipeline_stages=stages) as kt:
+            pb.copy_async_wait_group(stages - 2)
+            pb.synchronize()
+            a_tile = pb.load_shared(sa, layout=lay.a, offset=[kt % stages, 0, 0])
+            braw = pb.load_shared(sb, layout=lay.b_bytes, offset=[kt % stages, 0])
+            nxt = kt + (stages - 1)
+            with pb.if_then(nxt < n_ktiles):
+                pb.copy_async(
+                    sa,
+                    ga,
+                    src_offset=[bi * bm, nxt * bk],
+                    dst_offset=[nxt % stages, 0, 0],
+                    shape=[bm, bk],
+                )
+                pb.copy_async(
+                    sb,
+                    gb,
+                    src_offset=[nxt, bj, 0],
+                    dst_offset=[nxt % stages, 0],
+                    shape=[block_bytes],
+                )
+            pb.copy_async_commit_group()
+            compute_tile(a_tile, braw, kt)
+            pb.synchronize()
+
+    out = pb.cast(acc, act_dtype)
+    pb.store_global(out, gc, offset=[bi * bm, bj * bn], masked=True)
+    return pb.finish()
+
+
+def matmul_reference(a, b_dequant):
+    """Float64 reference for testing: plain matrix product."""
+    import numpy as np
+
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b_dequant, dtype=np.float64)

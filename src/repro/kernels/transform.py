@@ -1,0 +1,46 @@
+"""The weight layout transformation program (paper Figure 9).
+
+Rearranges a row-major low-precision weight matrix ``B[k, n]`` into the
+tile-transformed byte representation the matmul template loads with plain
+vectorized instructions.  One thread block (one warp) handles one
+``(block_k, warp_n)`` tile: it loads the tile in the mma register layout,
+reinterprets it as uint8 via ``View`` — the zero-cost step — and stores the
+bytes contiguously.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import DataType, uint8
+from repro.errors import CompilationError
+from repro.ir.program import Program
+from repro.kernels.config import MatmulConfig
+from repro.kernels.layouts import matmul_layouts
+from repro.lang import ProgramBuilder, pointer
+from repro.quant.packing import byte_view_layout
+
+
+def make_transform_program(
+    k: int, n: int, weight_dtype: DataType, cfg: MatmulConfig
+) -> Program:
+    """Build the device-side ``transform_b`` program for a configuration."""
+    cfg.validate(weight_dtype)
+    bk = cfg.block_k
+    bnw = cfg.warp_n
+    if k % bk or n % bnw:
+        raise CompilationError(
+            f"weight {k}x{n} is not tiled by block_k={bk} x warp_n={bnw}"
+        )
+    lay = matmul_layouts(cfg, weight_dtype)
+    view_layout = byte_view_layout(lay.b_warp, weight_dtype.nbits)
+    tile_nbytes = lay.b_tile_bytes
+
+    pb = ProgramBuilder("transform_b", grid=[k // bk, n // bnw], num_threads=32)
+    b_ptr = pb.param("b_ptr", pointer(weight_dtype))
+    tb_ptr = pb.param("transformed_b_ptr", pointer(uint8))
+    tk, tj = pb.block_indices()
+    b_in = pb.view_global(b_ptr, dtype=weight_dtype, shape=[k, n])
+    b_out = pb.view_global(tb_ptr, dtype=uint8, shape=[k // bk, n // bnw, tile_nbytes])
+    tile = pb.load_global(b_in, layout=lay.b_warp, offset=[tk * bk, tj * bnw])
+    as_bytes = pb.view(tile, dtype=uint8, layout=view_layout)
+    pb.store_global(as_bytes, b_out, offset=[tk, tj, 0])
+    return pb.finish()

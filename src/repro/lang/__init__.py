@@ -1,0 +1,5 @@
+"""The Tilus domain-specific language: Python-embedded program builder."""
+
+from repro.lang.builder import ProgramBuilder, pointer
+
+__all__ = ["ProgramBuilder", "pointer"]

@@ -1,0 +1,508 @@
+"""The Tilus DSL: build VM programs in Python (paper Section 8).
+
+:class:`ProgramBuilder` provides one method per instruction in Table 1 and
+context managers for control flow, so a Tilus program reads nearly
+identically to the paper's Figure 2::
+
+    pb = ProgramBuilder("matmul", grid=[M // BM, N // BN])
+    a_ptr = pb.param("a_ptr", pointer(f16))
+    ...
+    bi, bj = pb.block_indices()
+    ga = pb.view_global(a_ptr, dtype=f16, shape=[M, K])
+    acc = pb.allocate_register(f32, layout=c_layout, init=0.0)
+    with pb.for_range(K // BK) as bk:
+        a = pb.load_global(ga, layout=a_layout, offset=[bi * BM, bk * BK])
+        ...
+    program = pb.finish()
+
+Build-time checks catch the errors the paper's verifier would: ``View``
+reinterpretations must preserve threads and bits-per-thread, ``Dot``
+operands must agree on shapes and layouts, register operands of an
+elementwise op must share a layout.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from repro.dtypes import DataType, PointerType, dtype_from_name
+from repro.errors import IRError, TypeCheckError
+from repro.ir import instructions as insts
+from repro.ir.expr import Expr, Var, wrap
+from repro.ir.program import Parameter, Program
+from repro.ir.scope import MemoryScope
+from repro.ir.stmt import (
+    AssignStmt,
+    BreakStmt,
+    ContinueStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    WhileStmt,
+)
+from repro.ir.types import TensorType, TensorVar
+from repro.layout import Layout
+from repro.dtypes import int32
+
+
+def pointer(base: DataType | str | None = None) -> PointerType:
+    """Pointer type helper: ``pointer(f16)`` or ``pointer()`` for void*."""
+    if base is None:
+        return PointerType(None)
+    if isinstance(base, str):
+        base = dtype_from_name(base)
+    return PointerType(base)
+
+
+def _as_dtype(dtype: DataType | str) -> DataType:
+    return dtype_from_name(dtype) if isinstance(dtype, str) else dtype
+
+
+class ProgramBuilder:
+    """Imperative builder producing a :class:`~repro.ir.Program`."""
+
+    def __init__(self, name: str, grid: Sequence, num_threads: int = 32) -> None:
+        self._name = name
+        self._grid = list(grid)
+        self._num_threads = num_threads
+        self._params: list[Parameter] = []
+        self._root = SeqStmt()
+        self._stack: list[SeqStmt] = [self._root]
+        self._tensor_counter = 0
+        self._scalar_counter = 0
+        self._finished = False
+
+    # -- naming --------------------------------------------------------------
+    def _fresh_tensor(self, ttype: TensorType, hint: str = "t") -> TensorVar:
+        self._tensor_counter += 1
+        return TensorVar(f"%{hint}{self._tensor_counter}", ttype)
+
+    def _fresh_scalar(self, dtype: DataType, hint: str = "v") -> Var:
+        self._scalar_counter += 1
+        return Var(f"{hint}{self._scalar_counter}", dtype)
+
+    def _emit(self, instruction: insts.Instruction) -> None:
+        if self._finished:
+            raise IRError("cannot emit into a finished program")
+        self._stack[-1].append(InstructionStmt(instruction))
+
+    # -- program structure ----------------------------------------------------
+    def param(self, name: str, dtype: DataType | str) -> Parameter:
+        """Declare a kernel parameter (must precede body construction)."""
+        p = Parameter(name, _as_dtype(dtype))
+        self._params.append(p)
+        return p
+
+    def finish(self) -> Program:
+        """Seal the builder and return the program."""
+        self._finished = True
+        if len(self._stack) != 1:
+            raise IRError("unclosed control-flow block at finish()")
+        return Program(
+            self._name, self._grid, self._params, self._root, self._num_threads
+        )
+
+    # -- control flow -----------------------------------------------------------
+    @contextmanager
+    def for_range(self, extent, unroll: bool = False, pipeline_stages: int = 1):
+        """Counted loop; yields the loop variable."""
+        var = self._fresh_scalar(int32, hint="i")
+        body = SeqStmt()
+        self._stack[-1].append(
+            ForStmt(var, wrap(extent), body, unroll=unroll, pipeline_stages=pipeline_stages)
+        )
+        self._stack.append(body)
+        try:
+            yield var
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def if_then(self, cond):
+        """``if cond:`` block."""
+        stmt = IfStmt(wrap(cond), SeqStmt(), None)
+        self._stack[-1].append(stmt)
+        self._stack.append(stmt.then_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def otherwise(self):
+        """``else:`` block attached to the immediately preceding if."""
+        seq = self._stack[-1]
+        if not seq.body or not isinstance(seq.body[-1], IfStmt):
+            raise IRError("otherwise() must directly follow an if_then() block")
+        if_stmt = seq.body[-1]
+        if if_stmt.else_body is not None:
+            raise IRError("this if already has an else block")
+        if_stmt.else_body = SeqStmt()
+        self._stack.append(if_stmt.else_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def while_loop(self, cond):
+        """``while cond:`` block."""
+        stmt = WhileStmt(wrap(cond), SeqStmt())
+        self._stack[-1].append(stmt)
+        self._stack.append(stmt.body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def break_(self) -> None:
+        self._stack[-1].append(BreakStmt())
+
+    def continue_(self) -> None:
+        self._stack[-1].append(ContinueStmt())
+
+    def assign(self, dtype: DataType | str, value, hint: str = "v") -> Var:
+        """Bind a scalar expression to a fresh variable."""
+        var = self._fresh_scalar(_as_dtype(dtype), hint=hint)
+        self._stack[-1].append(AssignStmt(var, wrap(value)))
+        return var
+
+    # -- indexing -------------------------------------------------------------
+    def block_indices(self) -> tuple[Var, ...]:
+        """Bind the thread-block indices (one var per grid dimension)."""
+        out_vars = tuple(self._fresh_scalar(int32, hint="b") for _ in self._grid)
+        self._emit(insts.BlockIndices(out_vars))
+        return out_vars
+
+    # -- tensor creation ---------------------------------------------------------
+    def view_global(
+        self,
+        ptr: Expr,
+        dtype: DataType | str,
+        shape: Sequence,
+    ) -> TensorVar:
+        """Create a global tensor view over a pointer parameter."""
+        dtype = _as_dtype(dtype)
+        if not ptr.dtype.is_pointer:
+            raise TypeCheckError(f"view_global needs a pointer, got {ptr.dtype}")
+        ttype = TensorType(MemoryScope.GLOBAL, dtype, shape)
+        out = self._fresh_tensor(ttype, hint="g")
+        self._emit(insts.ViewGlobal(ptr, out))
+        return out
+
+    def allocate_register(
+        self,
+        dtype: DataType | str,
+        layout: Layout,
+        init: Optional[float] = None,
+    ) -> TensorVar:
+        """Allocate a register tensor with the given layout."""
+        dtype = _as_dtype(dtype)
+        self._check_threads(layout)
+        ttype = TensorType(MemoryScope.REGISTER, dtype, layout.shape, layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.AllocateRegister(out, init=init))
+        return out
+
+    def allocate_shared(
+        self,
+        dtype: DataType | str,
+        shape: Sequence[int],
+    ) -> TensorVar:
+        """Allocate a shared-memory tensor (row-major linear addressing)."""
+        ttype = TensorType(MemoryScope.SHARED, _as_dtype(dtype), shape)
+        out = self._fresh_tensor(ttype, hint="s")
+        self._emit(insts.AllocateShared(out))
+        return out
+
+    def free_shared(self, tensor: TensorVar) -> None:
+        """Release a shared tensor for reuse by the memory planner."""
+        self._check_scope(tensor, MemoryScope.SHARED, "free_shared")
+        self._emit(insts.FreeShared(tensor))
+
+    def allocate_global(
+        self,
+        dtype: DataType | str,
+        shape: Sequence[int],
+    ) -> TensorVar:
+        """Allocate a tensor in the runtime's global workspace."""
+        ttype = TensorType(MemoryScope.GLOBAL, _as_dtype(dtype), shape)
+        out = self._fresh_tensor(ttype, hint="w")
+        self._emit(insts.AllocateGlobal(out))
+        return out
+
+    # -- transfer ----------------------------------------------------------------
+    def load_global(
+        self,
+        src: TensorVar,
+        layout: Layout,
+        offset: Sequence,
+        broadcast_dims: Sequence[int] = (),
+        masked: bool = False,
+    ) -> TensorVar:
+        """Load a register tile from global memory.
+
+        ``broadcast_dims`` lists tensor dimensions along which the whole
+        tile reads the single row selected by the offset (e.g. a scale
+        vector shared by every row of the tile).  ``masked`` makes
+        out-of-bounds elements read as zero (boundary tiles).
+        """
+        self._check_scope(src, MemoryScope.GLOBAL, "load_global")
+        self._check_threads(layout)
+        self._check_offset(src, offset)
+        ttype = TensorType(MemoryScope.REGISTER, src.ttype.dtype, layout.shape, layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.LoadGlobal(src, offset, out, frozenset(broadcast_dims), masked))
+        return out
+
+    def load_shared(
+        self,
+        src: TensorVar,
+        layout: Layout,
+        offset: Sequence | None = None,
+        broadcast_dims: Sequence[int] = (),
+    ) -> TensorVar:
+        """Load a register tile from shared memory."""
+        self._check_scope(src, MemoryScope.SHARED, "load_shared")
+        self._check_threads(layout)
+        offset = offset if offset is not None else [0] * src.ttype.rank
+        self._check_offset(src, offset)
+        ttype = TensorType(MemoryScope.REGISTER, src.ttype.dtype, layout.shape, layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.LoadShared(src, offset, out, frozenset(broadcast_dims)))
+        return out
+
+    def store_global(
+        self, src: TensorVar, dst: TensorVar, offset: Sequence, masked: bool = False
+    ) -> None:
+        """Store a register tile into global memory (``masked`` drops
+        out-of-bounds elements)."""
+        self._check_scope(src, MemoryScope.REGISTER, "store_global")
+        self._check_scope(dst, MemoryScope.GLOBAL, "store_global")
+        self._check_offset(dst, offset)
+        self._emit(insts.StoreGlobal(src, dst, offset, masked))
+
+    def store_shared(self, src: TensorVar, dst: TensorVar, offset: Sequence | None = None) -> None:
+        """Store a register tile into shared memory."""
+        self._check_scope(src, MemoryScope.REGISTER, "store_shared")
+        self._check_scope(dst, MemoryScope.SHARED, "store_shared")
+        offset = offset if offset is not None else [0] * dst.ttype.rank
+        self._check_offset(dst, offset)
+        self._emit(insts.StoreShared(src, dst, offset))
+
+    def copy_async(
+        self,
+        dst: TensorVar,
+        src: TensorVar,
+        src_offset: Sequence,
+        dst_offset: Sequence | None = None,
+        shape: Sequence[int] | None = None,
+    ) -> None:
+        """Asynchronous global→shared tile copy (``cp.async``).
+
+        ``shape`` selects a sub-region (defaults to the destination shape);
+        ``dst_offset`` places it inside the shared tensor — together these
+        express multi-stage staging buffers for software pipelining.
+        """
+        self._check_scope(dst, MemoryScope.SHARED, "copy_async")
+        self._check_scope(src, MemoryScope.GLOBAL, "copy_async")
+        if dst.ttype.dtype != src.ttype.dtype:
+            raise TypeCheckError(
+                f"copy_async dtype mismatch: {src.ttype.dtype} -> {dst.ttype.dtype}"
+            )
+        self._check_offset(src, src_offset)
+        if dst_offset is not None:
+            self._check_offset(dst, dst_offset)
+        self._emit(insts.CopyAsync(dst, src, src_offset, dst_offset, shape))
+
+    def copy_async_commit_group(self) -> None:
+        self._emit(insts.CopyAsyncCommitGroup())
+
+    def copy_async_wait_group(self, n: int) -> None:
+        self._emit(insts.CopyAsyncWaitGroup(n))
+
+    # -- computation -----------------------------------------------------------
+    def _binary(self, op: str, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        """Elementwise op; pass ``out`` for the in-place variant of Table 1
+        (required for loop-carried accumulators, since the DSL traces the
+        loop body once)."""
+        self._check_scope(a, MemoryScope.REGISTER, "elementwise op")
+        if isinstance(b, TensorVar):
+            self._check_scope(b, MemoryScope.REGISTER, "elementwise op")
+            if a.ttype.layout != b.ttype.layout and not a.ttype.layout.equivalent(b.ttype.layout):
+                raise TypeCheckError(
+                    f"elementwise operands must share a layout: "
+                    f"{a.ttype.layout.short_repr()} vs {b.ttype.layout.short_repr()}"
+                )
+        if out is None:
+            ttype = TensorType(
+                MemoryScope.REGISTER, a.ttype.dtype, a.ttype.shape, a.ttype.layout
+            )
+            out = self._fresh_tensor(ttype, hint="r")
+        elif out.ttype.layout != a.ttype.layout or out.ttype.dtype != a.ttype.dtype:
+            raise TypeCheckError("in-place output must match the input's type/layout")
+        self._emit(insts.ElementwiseBinary(op, a, b, out))
+        return out
+
+    def add(self, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        return self._binary("+", a, b, out)
+
+    def sub(self, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        return self._binary("-", a, b, out)
+
+    def mul(self, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        return self._binary("*", a, b, out)
+
+    def div(self, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        return self._binary("/", a, b, out)
+
+    def mod(self, a: TensorVar, b, out: Optional[TensorVar] = None) -> TensorVar:
+        return self._binary("%", a, b, out)
+
+    def neg(self, a: TensorVar) -> TensorVar:
+        self._check_scope(a, MemoryScope.REGISTER, "neg")
+        ttype = TensorType(MemoryScope.REGISTER, a.ttype.dtype, a.ttype.shape, a.ttype.layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.Neg(a, out))
+        return out
+
+    def cast(self, a: TensorVar, dtype: DataType | str) -> TensorVar:
+        """Value-convert a register tensor to another dtype (layout kept)."""
+        dtype = _as_dtype(dtype)
+        self._check_scope(a, MemoryScope.REGISTER, "cast")
+        ttype = TensorType(MemoryScope.REGISTER, dtype, a.ttype.shape, a.ttype.layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.Cast(a, dtype, out))
+        return out
+
+    def reduce_sum(self, a: TensorVar, axis: int, layout: Layout) -> TensorVar:
+        """Sum ``a`` over ``axis``; the result (extent 1 on that axis)
+        uses ``layout``, which typically replicates the reduced values
+        across the threads that contributed them."""
+        self._check_scope(a, MemoryScope.REGISTER, "reduce_sum")
+        if not 0 <= axis < a.ttype.rank:
+            raise TypeCheckError(f"reduce axis {axis} out of range for rank {a.ttype.rank}")
+        expected = tuple(
+            1 if d == axis else e for d, e in enumerate(a.ttype.layout.shape)
+        )
+        if tuple(layout.shape) != expected:
+            raise TypeCheckError(
+                f"reduce_sum output layout shape {list(layout.shape)} must be "
+                f"{list(expected)}"
+            )
+        self._check_threads(layout)
+        ttype = TensorType(MemoryScope.REGISTER, a.ttype.dtype, layout.shape, layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.ReduceSum(a, axis, out))
+        return out
+
+    def lookup(self, codes: TensorVar, table: TensorVar, dtype: DataType | str | None = None) -> TensorVar:
+        """Codebook expansion: ``out[i] = table[codes[i]]`` (LCQ-style
+        quantization).  The output keeps the codes' layout and takes the
+        table's element type unless ``dtype`` overrides it."""
+        self._check_scope(codes, MemoryScope.REGISTER, "lookup")
+        if not codes.ttype.dtype.is_integer or codes.ttype.dtype.is_signed:
+            raise TypeCheckError(
+                f"lookup codes must be unsigned integers, got {codes.ttype.dtype}"
+            )
+        if table.ttype.rank != 1:
+            raise TypeCheckError("lookup table must be one-dimensional")
+        table_extent = table.ttype.static_shape()
+        if table_extent is not None and table_extent[0] < (1 << codes.ttype.dtype.nbits):
+            raise TypeCheckError(
+                f"table of {table_extent[0]} entries cannot cover "
+                f"{codes.ttype.dtype} codes"
+            )
+        out_dtype = _as_dtype(dtype) if dtype is not None else table.ttype.dtype
+        ttype = TensorType(
+            MemoryScope.REGISTER, out_dtype, codes.ttype.shape, codes.ttype.layout
+        )
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.Lookup(codes, table, out))
+        return out
+
+    def view(self, a: TensorVar, dtype: DataType | str, layout: Layout) -> TensorVar:
+        """Bit-reinterpret a register tensor (paper Figure 2(c)).
+
+        Requires equal thread counts and equal bits per thread.
+        """
+        dtype = _as_dtype(dtype)
+        self._check_scope(a, MemoryScope.REGISTER, "view")
+        src_layout = a.ttype.layout
+        if layout.num_threads != src_layout.num_threads:
+            raise TypeCheckError(
+                f"view: thread count mismatch ({src_layout.num_threads} -> "
+                f"{layout.num_threads})"
+            )
+        src_bits = src_layout.local_size * a.ttype.dtype.nbits
+        dst_bits = layout.local_size * dtype.nbits
+        if src_bits != dst_bits:
+            raise TypeCheckError(
+                f"view: bits-per-thread mismatch ({src_bits} -> {dst_bits}); "
+                f"{src_layout.local_size} x {a.ttype.dtype} vs "
+                f"{layout.local_size} x {dtype}"
+            )
+        ttype = TensorType(MemoryScope.REGISTER, dtype, layout.shape, layout)
+        out = self._fresh_tensor(ttype, hint="r")
+        self._emit(insts.View(a, out))
+        return out
+
+    def dot(
+        self,
+        a: TensorVar,
+        b: TensorVar,
+        c: TensorVar,
+        out: Optional[TensorVar] = None,
+    ) -> TensorVar:
+        """Matrix-multiply-accumulate ``out = dot(a, b) + c``."""
+        for operand in (a, b, c):
+            self._check_scope(operand, MemoryScope.REGISTER, "dot")
+        m, ka = a.ttype.layout.shape
+        kb, n = b.ttype.layout.shape
+        mc, nc = c.ttype.layout.shape
+        if ka != kb or (m, n) != (mc, nc):
+            raise TypeCheckError(
+                f"dot shape mismatch: a={m}x{ka}, b={kb}x{n}, c={mc}x{nc}"
+            )
+        if out is None:
+            ttype = TensorType(
+                MemoryScope.REGISTER, c.ttype.dtype, c.ttype.shape, c.ttype.layout
+            )
+            out = self._fresh_tensor(ttype, hint="acc")
+        self._emit(insts.Dot(a, b, c, out))
+        return out
+
+    # -- misc -------------------------------------------------------------------
+    def print_tensor(self, tensor: TensorVar, message: str = "") -> None:
+        self._emit(insts.PrintTensor(tensor, message))
+
+    def synchronize(self) -> None:
+        self._emit(insts.Synchronize())
+
+    def exit(self) -> None:
+        self._emit(insts.Exit())
+
+    # -- checks ------------------------------------------------------------------
+    def _check_scope(self, tensor: TensorVar, scope: MemoryScope, what: str) -> None:
+        if not isinstance(tensor, TensorVar):
+            raise TypeCheckError(f"{what}: expected a tensor variable, got {tensor!r}")
+        if tensor.ttype.scope != scope:
+            raise TypeCheckError(
+                f"{what}: expected a {scope} tensor, got {tensor.ttype.scope}"
+            )
+
+    def _check_threads(self, layout: Layout) -> None:
+        if layout.num_threads > self._num_threads:
+            raise TypeCheckError(
+                f"layout uses {layout.num_threads} threads but the block has "
+                f"{self._num_threads}"
+            )
+
+    def _check_offset(self, tensor: TensorVar, offset: Sequence) -> None:
+        if len(offset) != tensor.ttype.rank:
+            raise TypeCheckError(
+                f"offset rank {len(offset)} does not match tensor rank "
+                f"{tensor.ttype.rank}"
+            )

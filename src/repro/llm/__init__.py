@@ -1,0 +1,45 @@
+"""LLM serving simulation: model configs and the end-to-end engine."""
+
+from repro.llm.batching import (
+    ContinuousBatchingSimulator,
+    Request,
+    RequestResult,
+    TraceResult,
+    uniform_trace,
+)
+from repro.llm.engine import (
+    PER_LAYER_OVERHEAD,
+    STEP_OVERHEAD,
+    ServingConfig,
+    ServingSimulator,
+    StageResult,
+    simulate_cell,
+)
+from repro.llm.models import (
+    GEMMA2_9B,
+    LLAMA3_70B,
+    MODELS,
+    QWEN2_5_32B,
+    LinearShape,
+    ModelConfig,
+)
+
+__all__ = [
+    "ContinuousBatchingSimulator",
+    "Request",
+    "RequestResult",
+    "TraceResult",
+    "uniform_trace",
+    "ModelConfig",
+    "LinearShape",
+    "MODELS",
+    "GEMMA2_9B",
+    "QWEN2_5_32B",
+    "LLAMA3_70B",
+    "ServingConfig",
+    "ServingSimulator",
+    "StageResult",
+    "simulate_cell",
+    "PER_LAYER_OVERHEAD",
+    "STEP_OVERHEAD",
+]

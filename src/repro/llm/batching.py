@@ -1,0 +1,149 @@
+"""Continuous batching simulation (paper Section 9.4: "Contiguous
+batching [29, 63] was used to efficiently batch multiple decode
+requests").
+
+A discrete-event simulator of an Orca/vLLM-style serving loop: requests
+arrive with prompt/output lengths, prefills are admitted one per step,
+and all in-flight requests decode together (one token per request per
+step, ``m = batch``).  Step latencies come from the serving simulator,
+so the kernel-level differences between systems (Tilus vs Ladder vs f16)
+propagate into throughput and latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.engine import ServingConfig, ServingSimulator
+from repro.llm.models import ModelConfig
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request."""
+
+    arrival_s: float
+    prompt_tokens: int
+    output_tokens: int
+
+
+@dataclass
+class RequestResult:
+    """Per-request outcome."""
+
+    request: Request
+    first_token_s: float = 0.0   # time-to-first-token (absolute)
+    finished_s: float = 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_s - self.request.arrival_s
+
+
+@dataclass
+class TraceResult:
+    """Aggregate outcome of one trace."""
+
+    results: list[RequestResult] = field(default_factory=list)
+    total_time_s: float = 0.0
+    total_tokens: int = 0
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.total_tokens / self.total_time_s if self.total_time_s else 0.0
+
+    def mean_ttft_s(self) -> float:
+        return sum(r.ttft_s for r in self.results) / len(self.results)
+
+    def mean_latency_s(self) -> float:
+        return sum(r.latency_s for r in self.results) / len(self.results)
+
+
+@dataclass
+class _Inflight:
+    request: Request
+    result: RequestResult
+    remaining: int
+    context: int
+
+
+class ContinuousBatchingSimulator:
+    """Serves a request trace with continuous batching."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        config: ServingConfig,
+        max_batch: int = 16,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.max_batch = max_batch
+        self.engine = ServingSimulator(model, config)
+
+    def run(self, requests: list[Request]) -> TraceResult:
+        """Simulate until every request finishes."""
+        pending = sorted(requests, key=lambda r: r.arrival_s)
+        inflight: list[_Inflight] = []
+        outcome = TraceResult()
+        now = 0.0
+        queue_idx = 0
+
+        while queue_idx < len(pending) or inflight:
+            # Admit one waiting request per step (prefill), vLLM-style.
+            if (
+                queue_idx < len(pending)
+                and pending[queue_idx].arrival_s <= now
+                and len(inflight) < self.max_batch
+            ):
+                request = pending[queue_idx]
+                queue_idx += 1
+                now += self.engine.prefill_latency(request.prompt_tokens)
+                result = RequestResult(request, first_token_s=now)
+                outcome.total_tokens += request.prompt_tokens
+                inflight.append(
+                    _Inflight(request, result, request.output_tokens, request.prompt_tokens)
+                )
+                outcome.results.append(result)
+                continue
+            if not inflight:
+                # Idle until the next arrival.
+                now = max(now, pending[queue_idx].arrival_s)
+                continue
+            # One decode step for the whole batch.
+            batch = len(inflight)
+            context = max(f.context for f in inflight)
+            now += self.engine.decode_step_latency(batch=batch, context=context)
+            outcome.total_tokens += batch
+            finished: list[_Inflight] = []
+            for flight in inflight:
+                flight.remaining -= 1
+                flight.context += 1
+                if flight.remaining <= 0:
+                    flight.result.finished_s = now
+                    finished.append(flight)
+            for flight in finished:
+                inflight.remove(flight)
+        outcome.total_time_s = now
+        return outcome
+
+
+def uniform_trace(
+    num_requests: int,
+    interarrival_s: float,
+    prompt_tokens: int = 512,
+    output_tokens: int = 64,
+) -> list[Request]:
+    """A simple open-loop trace with fixed spacing and sizes."""
+    return [
+        Request(
+            arrival_s=i * interarrival_s,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+        )
+        for i in range(num_requests)
+    ]

@@ -1,0 +1,116 @@
+"""Architecture configurations of the evaluated LLMs (paper Section 9.1).
+
+Only the *meta-information* matters for system performance — layer counts
+and matrix shapes — exactly as in the paper's artifact, which fetches
+metadata from Hugging Face and runs with dummy weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearShape:
+    """One weight matrix of a transformer block: ``x[m,k] @ W[k,n]``."""
+
+    name: str
+    k: int
+    n: int
+
+    @property
+    def params(self) -> int:
+        return self.k * self.n
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer architecture description."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    num_heads: int
+    num_kv_heads: int
+    head_dim: int
+    vocab_size: int
+
+    def block_linears(self) -> list[LinearShape]:
+        """The quantizable weight matrices of one transformer block.
+
+        QKV and gate/up projections are fused, the standard vLLM layout;
+        the fused gate+up shape (k=8192, n=57344 for Llama-3.3-70B) is the
+        paper's third benchmark shape.
+        """
+        q_out = self.num_heads * self.head_dim
+        kv_out = self.num_kv_heads * self.head_dim
+        return [
+            LinearShape("qkv_proj", self.hidden_size, q_out + 2 * kv_out),
+            LinearShape("o_proj", q_out, self.hidden_size),
+            LinearShape("gate_up_proj", self.hidden_size, 2 * self.intermediate_size),
+            LinearShape("down_proj", self.intermediate_size, self.hidden_size),
+        ]
+
+    @property
+    def block_params(self) -> int:
+        return sum(l.params for l in self.block_linears())
+
+    @property
+    def linear_params(self) -> int:
+        """All quantizable parameters (transformer blocks only)."""
+        return self.block_params * self.num_layers
+
+    @property
+    def lm_head_params(self) -> int:
+        return self.hidden_size * self.vocab_size
+
+    @property
+    def total_params(self) -> int:
+        """Approximate parameter count (blocks + lm head + embeddings)."""
+        return self.linear_params + 2 * self.lm_head_params
+
+    def kv_bytes_per_token(self, kv_dtype_bytes: int = 2) -> int:
+        """KV-cache bytes appended per generated/prompt token."""
+        return 2 * self.num_layers * self.num_kv_heads * self.head_dim * kv_dtype_bytes
+
+    def __str__(self) -> str:
+        return self.name
+
+
+GEMMA2_9B = ModelConfig(
+    name="Gemma-2-9B",
+    num_layers=42,
+    hidden_size=3584,
+    intermediate_size=14336,
+    num_heads=16,
+    num_kv_heads=8,
+    head_dim=256,
+    vocab_size=256128,
+)
+
+QWEN2_5_32B = ModelConfig(
+    name="Qwen2.5-32B",
+    num_layers=64,
+    hidden_size=5120,
+    intermediate_size=27648,
+    num_heads=40,
+    num_kv_heads=8,
+    head_dim=128,
+    vocab_size=152064,
+)
+
+LLAMA3_70B = ModelConfig(
+    name="Llama-3.3-70B",
+    num_layers=80,
+    hidden_size=8192,
+    intermediate_size=28672,
+    num_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+    vocab_size=128256,
+)
+
+MODELS: dict[str, ModelConfig] = {
+    m.name: m for m in (GEMMA2_9B, QWEN2_5_32B, LLAMA3_70B)
+}

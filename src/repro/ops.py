@@ -1,0 +1,132 @@
+"""High-level operator API: quantize, transform, compile and run.
+
+This is the entry point a downstream user reaches for first::
+
+    import numpy as np
+    from repro import ops
+    from repro.dtypes import int6
+
+    a = np.random.randn(32, 256).astype(np.float16)
+    w = np.random.randn(256, 64)
+    result = ops.quantized_matmul(a, w, weight_dtype=int6, group_size=128)
+
+Everything happens through the real stack: the weight is quantized and
+layout-transformed, the matmul template is instantiated and compiled
+(verifier, planners, instruction selection, CUDA emission), and the
+program is executed bit-accurately on the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import DataType, float16, uint8
+from repro.kernels import MatmulConfig, matmul_layouts, quantized_matmul_program
+from repro.quant import QuantScheme, quantize_weight, transform_weight
+from repro.runtime import Runtime
+
+
+@dataclass
+class QuantizedLinear:
+    """A reusable quantized-weight operator (weights resident on device)."""
+
+    runtime: Runtime
+    scheme: QuantScheme
+    config: MatmulConfig
+    k: int
+    n: int
+    b_addr: int
+    s_addr: int
+    act_dtype: DataType = float16
+
+    def __call__(self, a: np.ndarray) -> np.ndarray:
+        """Compute ``a @ dequant(W)`` for activations ``a[m, k]``."""
+        a = np.asarray(a)
+        if a.ndim != 2 or a.shape[1] != self.k:
+            raise ValueError(f"activations must be [m, {self.k}], got {a.shape}")
+        m = a.shape[0]
+        program = quantized_matmul_program(
+            m, self.n, self.k, self.act_dtype, self.scheme, self.config
+        )
+        a_addr = self.runtime.upload(self.act_dtype.quantize(a), self.act_dtype)
+        c_addr = self.runtime.empty([m, self.n], self.act_dtype)
+        self.runtime.launch(program, [a_addr, self.b_addr, self.s_addr, c_addr])
+        return self.runtime.download(c_addr, [m, self.n], self.act_dtype)
+
+
+def _default_config(weight_dtype: DataType) -> MatmulConfig:
+    """Smallest tile whose per-thread weight fragment is byte-aligned.
+
+    Odd bit widths need more elements per thread (paper Section 7.2), so
+    the fallback widens the n/k tile until alignment holds.
+    """
+    from repro.errors import CompilationError
+
+    for bn, bk in ((8, 16), (16, 16), (8, 32), (16, 32), (32, 32)):
+        candidate = MatmulConfig(block_m=16, block_n=bn, block_k=bk)
+        try:
+            candidate.validate(weight_dtype)
+            return candidate
+        except CompilationError:
+            continue
+    raise CompilationError(f"no default tile configuration for {weight_dtype}")
+
+
+def prepare_linear(
+    weight: np.ndarray,
+    weight_dtype: DataType,
+    group_size: int = 128,
+    config: MatmulConfig | None = None,
+    runtime: Runtime | None = None,
+) -> QuantizedLinear:
+    """Quantize and device-transform a weight matrix once, for many calls."""
+    weight = np.asarray(weight, dtype=np.float64)
+    k, n = weight.shape
+    scheme = QuantScheme(weight_dtype, group_size=min(group_size, k))
+    config = config or _default_config(weight_dtype)
+    runtime = runtime or Runtime()
+    q, scales = quantize_weight(weight, scheme)
+    lay = matmul_layouts(config, weight_dtype)
+    packed = transform_weight(q, weight_dtype, lay.b_warp)
+    b_addr = runtime.upload(packed, uint8)
+    s_addr = runtime.upload(float16.quantize(scales), float16)
+    return QuantizedLinear(
+        runtime=runtime,
+        scheme=scheme,
+        config=config,
+        k=k,
+        n=n,
+        b_addr=b_addr,
+        s_addr=s_addr,
+    )
+
+
+def quantized_matmul(
+    a: np.ndarray,
+    weight: np.ndarray,
+    weight_dtype: DataType,
+    group_size: int = 128,
+    config: MatmulConfig | None = None,
+) -> np.ndarray:
+    """One-shot quantized matmul: ``a[m,k] @ dequant(quantize(weight[k,n]))``."""
+    linear = prepare_linear(weight, weight_dtype, group_size, config)
+    return linear(a)
+
+
+def reference_quantized_matmul(
+    a: np.ndarray,
+    weight: np.ndarray,
+    weight_dtype: DataType,
+    group_size: int = 128,
+) -> np.ndarray:
+    """Numpy reference of the same computation (float16 scales)."""
+    from repro.quant import dequantize_weight
+
+    weight = np.asarray(weight, dtype=np.float64)
+    k = weight.shape[0]
+    scheme = QuantScheme(weight_dtype, group_size=min(group_size, k))
+    q, scales = quantize_weight(weight, scheme)
+    deq = dequantize_weight(q, float16.quantize(scales), scheme)
+    return float16.quantize(np.asarray(a, dtype=np.float64) @ deq)

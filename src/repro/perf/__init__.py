@@ -1,0 +1,50 @@
+"""Analytical GPU performance model and baseline systems."""
+
+from repro.perf.gpus import A100, GPUS, H100, L40S, GpuSpec, gpu_by_name
+from repro.perf.pipelines import (
+    PIPELINES,
+    LoadingPipeline,
+    Stage,
+    ladder_pipeline,
+    tilus_pipeline,
+    triton_pipeline,
+)
+from repro.perf.systems import (
+    ALL_SYSTEMS,
+    CuBLAS,
+    Ladder,
+    Marlin,
+    QuantLLM,
+    System,
+    Tilus,
+    Triton,
+    speedup_vs_cublas,
+    system_by_name,
+)
+from repro.perf.workload import MatmulWorkload
+
+__all__ = [
+    "GpuSpec",
+    "GPUS",
+    "L40S",
+    "A100",
+    "H100",
+    "gpu_by_name",
+    "MatmulWorkload",
+    "System",
+    "CuBLAS",
+    "Triton",
+    "Ladder",
+    "QuantLLM",
+    "Marlin",
+    "Tilus",
+    "ALL_SYSTEMS",
+    "system_by_name",
+    "speedup_vs_cublas",
+    "LoadingPipeline",
+    "Stage",
+    "PIPELINES",
+    "triton_pipeline",
+    "ladder_pipeline",
+    "tilus_pipeline",
+]

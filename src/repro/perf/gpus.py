@@ -1,0 +1,91 @@
+"""GPU specifications used by the analytical performance model.
+
+The three devices of the paper's evaluation (Section 9.1 and 9.5.1):
+NVIDIA L40S (Ada Lovelace), A100 (Ampere) and H100 (Hopper).  Numbers are
+public datasheet values; the model calibrates *efficiencies* separately so
+these stay honest hardware constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TilusError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Datasheet-level description of one GPU."""
+
+    name: str
+    arch: str                   # "ampere" | "ada" | "hopper"
+    compute_capability: tuple[int, int]
+    dram_bytes: int             # device memory capacity
+    mem_bandwidth: float        # B/s, peak
+    tc_fp16_flops: float        # dense fp16 tensor-core FLOP/s
+    cuda_fp32_flops: float      # CUDA-core fp32 FLOP/s
+    cuda_fp16_flops: float      # CUDA-core fp16 FLOP/s (non-tensor-core)
+    num_sms: int
+    shared_mem_per_sm: int      # bytes
+    l2_bytes: int
+    max_blocks_per_sm: int = 16
+
+    @property
+    def int_ops(self) -> float:
+        """Approximate integer/logic op throughput (ops/s) for dequant
+        instruction sequences (PRMT/LOP3/shifts run on INT32 pipes)."""
+        return self.cuda_fp32_flops / 2  # one op per FMA slot
+
+    def __str__(self) -> str:
+        return self.name
+
+
+L40S = GpuSpec(
+    name="L40S",
+    arch="ada",
+    compute_capability=(8, 9),
+    dram_bytes=48 * 1024**3,
+    mem_bandwidth=864e9,
+    tc_fp16_flops=181e12,
+    cuda_fp32_flops=91.6e12,
+    cuda_fp16_flops=91.6e12,
+    num_sms=142,
+    shared_mem_per_sm=100 * 1024,
+    l2_bytes=96 * 1024**2,
+)
+
+A100 = GpuSpec(
+    name="A100",
+    arch="ampere",
+    compute_capability=(8, 0),
+    dram_bytes=80 * 1024**3,
+    mem_bandwidth=2039e9,
+    tc_fp16_flops=312e12,
+    cuda_fp32_flops=19.5e12,
+    cuda_fp16_flops=78e12,
+    num_sms=108,
+    shared_mem_per_sm=164 * 1024,
+    l2_bytes=40 * 1024**2,
+)
+
+H100 = GpuSpec(
+    name="H100",
+    arch="hopper",
+    compute_capability=(9, 0),
+    dram_bytes=80 * 1024**3,
+    mem_bandwidth=3352e9,
+    tc_fp16_flops=989e12,
+    cuda_fp32_flops=67e12,
+    cuda_fp16_flops=134e12,
+    num_sms=132,
+    shared_mem_per_sm=228 * 1024,
+    l2_bytes=50 * 1024**2,
+)
+
+GPUS: dict[str, GpuSpec] = {g.name: g for g in (L40S, A100, H100)}
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    if name not in GPUS:
+        raise TilusError(f"unknown GPU {name!r}; known: {sorted(GPUS)}")
+    return GPUS[name]

@@ -1,0 +1,121 @@
+"""Weight-loading pipeline models (paper Figure 1).
+
+Each system moves a weight tile from global memory to tensor-core-ready
+registers through a different sequence of stages.  This module represents
+those stage graphs explicitly — which stage uses which memory scope, which
+stages pipeline with the next tile, and which one is the bottleneck — and
+computes per-tile costs for the Figure 1 comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtypes import DataType, float16
+from repro.perf.gpus import GpuSpec
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One step of a weight-loading pipeline."""
+
+    name: str           # e.g. "cp.async (pipelined)"
+    src: str            # GMEM | SMEM | REGS
+    dst: str
+    pipelined: bool     # overlaps with compute of the previous tile
+    bytes_moved: float  # per tile
+    is_bottleneck: bool = False
+
+
+@dataclass
+class LoadingPipeline:
+    """A named sequence of stages (one row of Figure 1)."""
+
+    system: str
+    stages: list[Stage] = field(default_factory=list)
+
+    def serial_bytes(self) -> float:
+        """Bytes moved by stages that do NOT overlap compute."""
+        return sum(s.bytes_moved for s in self.stages if not s.pipelined)
+
+    def total_bytes(self) -> float:
+        return sum(s.bytes_moved for s in self.stages)
+
+    def bottleneck(self) -> Stage | None:
+        for stage in self.stages:
+            if stage.is_bottleneck:
+                return stage
+        return None
+
+    def critical_time(self, gpu: GpuSpec, smem_bandwidth: float = 20e12) -> float:
+        """Per-tile critical-path time: serial stages at their scope's
+        bandwidth (GMEM stages at DRAM bw, SMEM/REGS stages at shared bw)."""
+        time = 0.0
+        for stage in self.stages:
+            if stage.pipelined:
+                continue
+            bw = gpu.mem_bandwidth if stage.src == "GMEM" else smem_bandwidth
+            time += stage.bytes_moved / bw
+        return time
+
+
+def triton_pipeline(tile_elems: int, weight_dtype: DataType) -> LoadingPipeline:
+    """Paper Figure 1(a): pipelined cp.async + lds, then unpack/cast, then
+    a layout conversion bouncing the f16 tile through shared memory —
+    the bottleneck stage."""
+    wbytes = tile_elems * weight_dtype.nbits / 8
+    fbytes = tile_elems * float16.nbits / 8
+    return LoadingPipeline(
+        system="triton",
+        stages=[
+            Stage("cp.async (pipelined)", "GMEM", "SMEM", True, wbytes),
+            Stage("load shared (lds)", "SMEM", "REGS", True, wbytes),
+            Stage("unpack + cast", "REGS", "REGS", True, 0.0),
+            Stage(
+                "convert layout via SMEM",
+                "REGS",
+                "REGS",
+                False,
+                2 * fbytes,
+                is_bottleneck=True,
+            ),
+        ],
+    )
+
+
+def ladder_pipeline(tile_elems: int, weight_dtype: DataType) -> LoadingPipeline:
+    """Paper Figure 1(b): plain ldg without pipelining, vectorized cast,
+    store to shared, then ldmatrix — nothing overlaps compute."""
+    wbytes = tile_elems * weight_dtype.nbits / 8
+    fbytes = tile_elems * float16.nbits / 8
+    return LoadingPipeline(
+        system="ladder",
+        stages=[
+            Stage("ldg (no pipeline)", "GMEM", "REGS", False, wbytes, is_bottleneck=True),
+            Stage("vectorized cast", "REGS", "REGS", False, 0.0),
+            Stage("store shared (sts)", "REGS", "SMEM", False, fbytes),
+            Stage("ldmatrix", "SMEM", "REGS", False, fbytes),
+        ],
+    )
+
+
+def tilus_pipeline(tile_elems: int, weight_dtype: DataType) -> LoadingPipeline:
+    """Paper Figure 1(c): pipelined cp.async + lds, zero-cost ``View``
+    reinterpretation, vectorized cast — no serial stage at all."""
+    wbytes = tile_elems * weight_dtype.nbits / 8
+    return LoadingPipeline(
+        system="tilus",
+        stages=[
+            Stage("cp.async (pipelined)", "GMEM", "SMEM", True, wbytes),
+            Stage("load shared (lds)", "SMEM", "REGS", True, wbytes),
+            Stage("reinterpret (View, free)", "REGS", "REGS", True, 0.0),
+            Stage("vectorized cast", "REGS", "REGS", True, 0.0),
+        ],
+    )
+
+
+PIPELINES = {
+    "triton": triton_pipeline,
+    "ladder": ladder_pipeline,
+    "tilus": tilus_pipeline,
+}

@@ -1,0 +1,66 @@
+"""Workload description consumed by the performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dtypes import DataType, dtype_from_name, float16
+
+
+@dataclass(frozen=True)
+class MatmulWorkload:
+    """One quantized matrix multiplication ``C[m,n] = A[m,k] @ B[k,n]``.
+
+    ``m`` is the batch (token) dimension: 1-16 during decode, thousands
+    during prefill.  ``weight_dtype`` is the quantized storage type of B;
+    ``act_dtype`` the activation/output type.
+    """
+
+    m: int
+    n: int
+    k: int
+    weight_dtype: DataType
+    act_dtype: DataType = float16
+    group_size: int = 128
+
+    @staticmethod
+    def of(m: int, n: int, k: int, weight: str, act: str = "f16") -> "MatmulWorkload":
+        return MatmulWorkload(
+            m=m, n=n, k=k,
+            weight_dtype=dtype_from_name(weight),
+            act_dtype=dtype_from_name(act),
+        )
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.k * self.n * self.weight_dtype.nbits / 8
+
+    @property
+    def scale_bytes(self) -> float:
+        groups = max(1, self.k // self.group_size)
+        return groups * self.n * self.act_dtype.nbits / 8
+
+    @property
+    def act_bytes(self) -> float:
+        return self.m * self.k * self.act_dtype.nbits / 8
+
+    @property
+    def out_bytes(self) -> float:
+        return self.m * self.n * self.act_dtype.nbits / 8
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def weight_elements(self) -> int:
+        return self.k * self.n
+
+    def with_batch(self, m: int) -> "MatmulWorkload":
+        return replace(self, m=m)
+
+    def describe(self) -> str:
+        return (
+            f"matmul m={self.m} n={self.n} k={self.k} "
+            f"w={self.weight_dtype} a={self.act_dtype}"
+        )

@@ -1,0 +1,66 @@
+"""Quantization toolkit: schemes, host-side packing, layout transforms,
+codebook (LCQ) and microscaling (MX) extensions."""
+
+from repro.quant.codebook import (
+    Codebook,
+    codebook_error,
+    codebook_matmul_program,
+    decode_weight,
+    encode_weight,
+    fit_codebook,
+    pack_codes,
+)
+from repro.quant.mx import (
+    MX_BLOCK,
+    MX_FORMATS,
+    MXFP4,
+    MXFP6,
+    MXFP8,
+    MXINT8,
+    MxFormat,
+    dequantize_mx,
+    mx_error,
+    quantize_mx,
+    scales_are_powers_of_two,
+)
+from repro.quant.packing import (
+    byte_view_layout,
+    tile_bytes,
+    transform_weight,
+    untransform_weight,
+)
+from repro.quant.scheme import (
+    QuantScheme,
+    dequantize_weight,
+    quantization_error,
+    quantize_weight,
+)
+
+__all__ = [
+    "Codebook",
+    "fit_codebook",
+    "encode_weight",
+    "decode_weight",
+    "codebook_error",
+    "pack_codes",
+    "codebook_matmul_program",
+    "MxFormat",
+    "MX_BLOCK",
+    "MX_FORMATS",
+    "MXFP4",
+    "MXFP6",
+    "MXFP8",
+    "MXINT8",
+    "quantize_mx",
+    "dequantize_mx",
+    "mx_error",
+    "scales_are_powers_of_two",
+    "QuantScheme",
+    "quantize_weight",
+    "dequantize_weight",
+    "quantization_error",
+    "transform_weight",
+    "untransform_weight",
+    "byte_view_layout",
+    "tile_bytes",
+]

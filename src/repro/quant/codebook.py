@@ -1,0 +1,155 @@
+"""Codebook (LCQ-style) quantization — the paper's Section-10 extension.
+
+Instead of uniform integer grids, each weight is stored as a small code
+indexing a learned per-matrix codebook.  A Lloyd-Max (1-D k-means)
+iteration fits the codebook to the weight distribution, which beats
+uniform quantization for the heavy-tailed distributions of real models.
+
+Kernels expand codes through the :class:`~repro.ir.instructions.Lookup`
+instruction; :func:`codebook_matmul_program` builds the full matmul.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import DataType, float16, float32, uint, uint8
+from repro.errors import CompilationError, DataTypeError
+from repro.ir.program import Program
+from repro.lang import ProgramBuilder, pointer
+from repro.quant.packing import transform_weight
+
+
+@dataclass
+class Codebook:
+    """A fitted codebook: ``values[code]`` reconstructs a weight."""
+
+    code_bits: int
+    values: np.ndarray  # shape (2**code_bits,), float64
+
+    @property
+    def code_dtype(self) -> DataType:
+        return uint(self.code_bits)
+
+    @property
+    def size(self) -> int:
+        return 1 << self.code_bits
+
+
+def fit_codebook(
+    weight: np.ndarray, code_bits: int, iterations: int = 20
+) -> Codebook:
+    """Fit a Lloyd-Max codebook to the weight value distribution."""
+    if not 1 <= code_bits <= 8:
+        raise DataTypeError(f"code_bits must be in [1, 8], got {code_bits}")
+    flat = np.asarray(weight, dtype=np.float64).reshape(-1)
+    k = 1 << code_bits
+    # Quantile initialization covers the tails.
+    centers = np.quantile(flat, np.linspace(0.005, 0.995, k))
+    centers = np.unique(centers)
+    while centers.size < k:  # degenerate distributions: pad
+        centers = np.append(centers, centers[-1] + 1e-6)
+    for _ in range(iterations):
+        codes = np.argmin(np.abs(flat[:, None] - centers[None, :]), axis=1)
+        for idx in range(k):
+            members = flat[codes == idx]
+            if members.size:
+                centers[idx] = members.mean()
+        centers = np.sort(centers)
+    return Codebook(code_bits=code_bits, values=centers)
+
+
+def encode_weight(weight: np.ndarray, codebook: Codebook) -> np.ndarray:
+    """Nearest-center codes for each weight."""
+    flat = np.asarray(weight, dtype=np.float64)
+    codes = np.argmin(
+        np.abs(flat.reshape(-1, 1) - codebook.values[None, :]), axis=1
+    )
+    return codes.reshape(flat.shape)
+
+
+def decode_weight(codes: np.ndarray, codebook: Codebook) -> np.ndarray:
+    """Reconstruct weights from codes."""
+    return codebook.values[np.asarray(codes, dtype=np.int64)]
+
+
+def codebook_error(weight: np.ndarray, codebook: Codebook) -> float:
+    """Relative RMS reconstruction error."""
+    recon = decode_weight(encode_weight(weight, codebook), codebook)
+    rms = float(np.sqrt(np.mean((weight - recon) ** 2)))
+    denom = float(np.sqrt(np.mean(np.asarray(weight) ** 2))) or 1.0
+    return rms / denom
+
+
+def pack_codes(codes: np.ndarray, codebook: Codebook, cfg) -> np.ndarray:
+    """Tile-transform the code matrix exactly like an ordinary
+    low-precision weight (Figure 9 applies unchanged: codes are just
+    unsigned integers of ``code_bits`` width)."""
+    # Imported lazily: repro.kernels depends on repro.quant.packing.
+    from repro.kernels.layouts import matmul_layouts
+
+    lay = matmul_layouts(cfg, codebook.code_dtype)
+    return transform_weight(codes, codebook.code_dtype, lay.b_warp)
+
+
+def codebook_matmul_program(
+    m: int,
+    n: int,
+    k: int,
+    codebook: Codebook,
+    cfg,
+    act_dtype=float16,
+) -> Program:
+    """Matmul with codebook-quantized weights.
+
+    Pipeline per k-tile: load packed code bytes → ``View`` to the code
+    dtype in the mma layout → ``Lookup`` through the codebook (staged in
+    shared memory once per block) → ``Dot``.
+
+    Parameters: ``a_ptr`` (act), ``b_ptr`` (packed codes, u8),
+    ``codebook_ptr`` (act, ``2**code_bits`` entries), ``c_ptr`` (act).
+    """
+    from repro.kernels.layouts import matmul_layouts
+
+    code_dtype = codebook.code_dtype
+    cfg.validate(code_dtype)
+    bm, bn, bk = cfg.block_m, cfg.block_n, cfg.block_k
+    if n % bn or k % bk:
+        raise CompilationError(f"n={n}, k={k} must tile by ({bn}, {bk})")
+    lay = matmul_layouts(cfg, code_dtype)
+    block_bytes = cfg.warps_n * lay.b_tile_bytes
+    n_ktiles = k // bk
+    grid_m = -(-m // bm)
+
+    pb = ProgramBuilder("codebook_matmul", grid=[grid_m, n // bn], num_threads=cfg.num_threads)
+    a_ptr = pb.param("a_ptr", pointer(act_dtype))
+    b_ptr = pb.param("b_ptr", pointer(uint8))
+    t_ptr = pb.param("codebook_ptr", pointer(act_dtype))
+    c_ptr = pb.param("c_ptr", pointer(act_dtype))
+
+    bi, bj = pb.block_indices()
+    ga = pb.view_global(a_ptr, dtype=act_dtype, shape=[m, k])
+    gb = pb.view_global(b_ptr, dtype=uint8, shape=[n_ktiles, n // bn, block_bytes])
+    gt = pb.view_global(t_ptr, dtype=act_dtype, shape=[codebook.size])
+    gc = pb.view_global(c_ptr, dtype=act_dtype, shape=[m, n])
+
+    # Stage the codebook in shared memory once (it is tiny and reused by
+    # every k-tile of every warp).
+    table = pb.allocate_shared(act_dtype, [codebook.size])
+    pb.copy_async(table, gt, src_offset=[0])
+    pb.copy_async_commit_group()
+    pb.copy_async_wait_group(0)
+    pb.synchronize()
+
+    acc = pb.allocate_register(float32, layout=lay.c, init=0.0)
+    with pb.for_range(n_ktiles) as kt:
+        a_tile = pb.load_global(ga, layout=lay.a, offset=[bi * bm, kt * bk], masked=True)
+        braw = pb.load_global(gb, layout=lay.b_bytes, offset=[kt, bj, 0])
+        codes = pb.view(braw, dtype=code_dtype, layout=lay.b)
+        b_vals = pb.lookup(codes, table)
+        pb.dot(a_tile, b_vals, acc, out=acc)
+    out = pb.cast(acc, act_dtype)
+    pb.store_global(out, gc, offset=[bi * bm, bj * bn], masked=True)
+    return pb.finish()

@@ -1,0 +1,99 @@
+"""Microscaling (MX) formats — the paper's second Section-10 extension.
+
+An MX block format pairs a low-precision element type with one shared
+power-of-two scale (E8M0: 8 exponent bits, no mantissa) per block of 32
+consecutive elements, following the OCP Microscaling specification
+(MXFP4 = f4e2m1 + e8m0/32, MXFP6 = f6e3m2 + e8m0/32, MXINT8 = i8 + e8m0/32).
+
+Because scales are powers of two, dequantization in a kernel is a pure
+exponent add — even cheaper than the f16-multiply path.  Host-side, MX
+plugs into the same kernel template: e8m0 scales are stored as f16
+(every power of two in range is exact in f16), so the group-wise scale
+machinery applies unchanged with ``group_size = 32``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import DataType, dtype_from_name
+from repro.errors import DataTypeError
+
+MX_BLOCK = 32
+
+#: E8M0 scale exponent range (biased 8-bit exponent, no sign/mantissa).
+_E8M0_MIN_EXP, _E8M0_MAX_EXP = -127, 127
+
+
+@dataclass(frozen=True)
+class MxFormat:
+    """One microscaling format: element type + 32-element e8m0 scales."""
+
+    name: str
+    element_dtype: DataType
+
+    @property
+    def bits_per_element(self) -> float:
+        """Effective storage including the amortized shared scale."""
+        return self.element_dtype.nbits + 8 / MX_BLOCK
+
+
+MXFP4 = MxFormat("mxfp4", dtype_from_name("f4e2m1"))
+MXFP6 = MxFormat("mxfp6", dtype_from_name("f6e3m2"))
+MXFP8 = MxFormat("mxfp8", dtype_from_name("f8e4m3"))
+MXINT8 = MxFormat("mxint8", dtype_from_name("i8"))
+
+MX_FORMATS = {f.name: f for f in (MXFP4, MXFP6, MXFP8, MXINT8)}
+
+
+def quantize_mx(weight: np.ndarray, fmt: MxFormat) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize ``weight[k, n]`` into MX blocks along ``k``.
+
+    Returns ``(q, scales)``: stored element values and *power-of-two*
+    scales of shape ``[k / 32, n]`` with ``weight ≈ q * scales``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    k, n = weight.shape
+    if k % MX_BLOCK:
+        raise DataTypeError(f"k={k} is not a multiple of the MX block size {MX_BLOCK}")
+    grouped = weight.reshape(k // MX_BLOCK, MX_BLOCK, n)
+    absmax = np.abs(grouped).max(axis=1)
+    elem = fmt.element_dtype
+    target = elem.max_value if elem.is_float else float(elem.max_value)
+    with np.errstate(divide="ignore"):
+        exponents = np.where(
+            absmax > 0, np.ceil(np.log2(absmax / target)), _E8M0_MIN_EXP
+        )
+    exponents = np.clip(exponents, _E8M0_MIN_EXP, _E8M0_MAX_EXP)
+    scales = np.exp2(exponents)
+    scaled = grouped / scales[:, None, :]
+    if elem.is_float:
+        q = elem.quantize(scaled)
+    else:
+        q = np.clip(np.rint(scaled), elem.min_value, elem.max_value)
+    return q.reshape(k, n), scales
+
+
+def dequantize_mx(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Invert :func:`quantize_mx`."""
+    q = np.asarray(q, dtype=np.float64)
+    k, n = q.shape
+    groups = scales.shape[0]
+    return (q.reshape(groups, k // groups, n) * scales[:, None, :]).reshape(k, n)
+
+
+def mx_error(weight: np.ndarray, fmt: MxFormat) -> float:
+    """Relative RMS round-trip error of an MX format."""
+    q, scales = quantize_mx(weight, fmt)
+    recon = dequantize_mx(q, scales)
+    rms = float(np.sqrt(np.mean((weight - recon) ** 2)))
+    denom = float(np.sqrt(np.mean(np.asarray(weight) ** 2))) or 1.0
+    return rms / denom
+
+
+def scales_are_powers_of_two(scales: np.ndarray) -> bool:
+    """Invariant check: every MX scale must be an exact power of two."""
+    mantissa, _ = np.frexp(scales)
+    return bool(np.all(mantissa == 0.5))

@@ -1,0 +1,159 @@
+"""Host-side weight packing and the global-layout transformation.
+
+Two representations of a quantized weight matrix exist on the device:
+
+1. **Row-major compact** — ``q[k, n]`` packed back to back at ``nbits``
+   per element.  Simple, but loading it into the mma register layout needs
+   non-coalesced accesses and per-element bit surgery (paper Section 7.2).
+2. **Tile-transformed** — ``u8[k/BK, n/BN, BK*BN*nbits/8]`` where each
+   tile's bytes are ordered exactly as the kernel's register ``View``
+   expects, so a plain vectorized byte load reconstructs every thread's
+   fragment (paper Figure 9).
+
+:func:`transform_weight` computes representation 2 directly with numpy —
+it is the host-side equivalent of running the ``transform_b`` VM program
+and is validated against it in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.errors import LayoutError
+from repro.layout import Layout
+from repro.utils.indexmath import gcd
+
+
+def byte_view_layout(reg_layout: Layout, nbits: int) -> Layout:
+    """The uint8 view layout for a low-precision register tile.
+
+    Paper Section 7.2: a tile holding ``n`` bytes per thread over ``T``
+    threads is reinterpreted as dtype uint8 with layout
+    ``local(n2).spatial(T).local(n1)`` where ``n1 = gcd(n, 16)`` and
+    ``n2 = n / n1`` — ``n1`` contiguous bytes feed one vectorized
+    (up to 128-bit) memory instruction.
+    """
+    from repro.layout import local, spatial
+
+    bits_per_thread = reg_layout.local_size * nbits
+    if bits_per_thread % 8 != 0:
+        raise LayoutError(
+            f"register tile holds {bits_per_thread} bits per thread, not a "
+            f"whole number of bytes; choose a tile with more local elements"
+        )
+    n = bits_per_thread // 8
+    n1 = gcd(n, 16)
+    n2 = n // n1
+    return local(n2).spatial(reg_layout.num_threads).local(n1)
+
+
+def tile_bytes(reg_layout: Layout, nbits: int) -> int:
+    """Packed byte count of one weight tile."""
+    bits = reg_layout.local_size * nbits
+    if bits % 8 != 0:
+        raise LayoutError(f"{bits} bits per thread is not byte-aligned")
+    return reg_layout.num_threads * (bits // 8)
+
+
+def transform_weight(
+    q: np.ndarray, dtype: DataType, reg_layout: Layout
+) -> np.ndarray:
+    """Rearrange ``q[k, n]`` into the tile-transformed byte representation.
+
+    Args:
+        q: stored weight values (shape [k, n]).
+        dtype: the low-precision storage type.
+        reg_layout: register layout of one (BK, BN) weight tile — bytes are
+            ordered so that the kernel's ``View`` to this layout is a no-op.
+
+    Returns:
+        uint8 array of shape ``[k // BK, n // BN, tile_bytes]``.
+    """
+    q = np.asarray(q)
+    bk, bn = reg_layout.shape
+    k, n = q.shape
+    if k % bk or n % bn:
+        raise LayoutError(f"weight {k}x{n} is not tiled by {bk}x{bn}")
+    nbits = dtype.nbits
+    bits_per_thread = reg_layout.local_size * nbits
+    if bits_per_thread % 8 != 0:
+        raise LayoutError(f"{bits_per_thread} bits per thread is not byte-aligned")
+    nbytes = bits_per_thread // 8
+    t_count = reg_layout.num_threads
+
+    # Per-(thread, local) coordinates within one tile, computed once.
+    t = np.repeat(np.arange(t_count), reg_layout.local_size)
+    i = np.tile(np.arange(reg_layout.local_size), t_count)
+    coords = [np.broadcast_to(c, t.shape) for c in reg_layout.map_batch(t, i)]
+
+    out = np.empty((k // bk, n // bn, t_count * nbytes), dtype=np.uint8)
+    bit_weights = np.uint64(1) << np.arange(nbits, dtype=np.uint64)
+    for tk in range(k // bk):
+        for tn in range(n // bn):
+            tile = q[tk * bk : (tk + 1) * bk, tn * bn : (tn + 1) * bn]
+            values = tile[coords[0], coords[1]]
+            patterns = dtype.to_bits(values)
+            # Per-thread bit streams -> bytes, LSB first.
+            bits = ((patterns[:, None] & bit_weights) > 0).astype(np.uint8)
+            per_thread = bits.reshape(t_count, reg_layout.local_size * nbits)
+            byte_weights = np.uint8(1) << np.arange(8, dtype=np.uint8)
+            as_bytes = (per_thread.reshape(t_count, nbytes, 8) * byte_weights).sum(
+                axis=2, dtype=np.uint32
+            ).astype(np.uint8)
+            # Byte order within the tile follows the byte-view layout, which
+            # stores thread t's bytes contiguously in (n2, t, n1) order; for
+            # local(n2).spatial(T).local(n1) the logical byte index of
+            # thread t's j-th byte is the layout's forward map.
+            out[tk, tn] = _order_bytes(as_bytes, reg_layout, nbits)
+    return out
+
+
+def _order_bytes(per_thread_bytes: np.ndarray, reg_layout: Layout, nbits: int) -> np.ndarray:
+    """Place each thread's bytes at the positions the byte-view layout maps
+    them to, yielding the contiguous tile representation."""
+    view = byte_view_layout(reg_layout, nbits)
+    t_count, nbytes = per_thread_bytes.shape
+    t = np.repeat(np.arange(t_count), nbytes)
+    j = np.tile(np.arange(nbytes), t_count)
+    (positions,) = view.map_batch(t, j)
+    flat = np.empty(t_count * nbytes, dtype=np.uint8)
+    flat[np.broadcast_to(positions, t.shape)] = per_thread_bytes.reshape(-1)
+    return flat
+
+
+def untransform_weight(
+    packed: np.ndarray, dtype: DataType, reg_layout: Layout, k: int, n: int
+) -> np.ndarray:
+    """Invert :func:`transform_weight` (used by tests)."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    bk, bn = reg_layout.shape
+    nbits = dtype.nbits
+    nbytes = reg_layout.local_size * nbits // 8
+    t_count = reg_layout.num_threads
+    view = byte_view_layout(reg_layout, nbits)
+
+    t = np.repeat(np.arange(t_count), nbytes)
+    j = np.tile(np.arange(nbytes), t_count)
+    (positions,) = view.map_batch(t, j)
+    positions = np.broadcast_to(positions, t.shape)
+
+    tl = np.repeat(np.arange(t_count), reg_layout.local_size)
+    il = np.tile(np.arange(reg_layout.local_size), t_count)
+    coords = [np.broadcast_to(c, tl.shape) for c in reg_layout.map_batch(tl, il)]
+
+    out = np.zeros((k, n), dtype=np.int64 if dtype.is_integer else np.float64)
+    for tk in range(k // bk):
+        for tn in range(n // bn):
+            flat = packed[tk, tn]
+            per_thread = np.empty((t_count, nbytes), dtype=np.uint8)
+            per_thread.reshape(-1)[:] = flat[positions]
+            bits = np.unpackbits(per_thread, axis=1, bitorder="little")
+            grouped = bits[:, : reg_layout.local_size * nbits].reshape(
+                t_count, reg_layout.local_size, nbits
+            )
+            weights = np.uint64(1) << np.arange(nbits, dtype=np.uint64)
+            patterns = (grouped.astype(np.uint64) * weights).sum(axis=2)
+            values = dtype.from_bits(patterns.reshape(-1))
+            out[tk * bk + coords[0], tn * bn + coords[1]] = values
+    return out

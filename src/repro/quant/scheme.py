@@ -1,0 +1,110 @@
+"""Weight quantization schemes.
+
+A :class:`QuantScheme` pairs a storage data type with a scale granularity:
+
+- ``group_size = k`` (full reduction dimension): per-channel scales,
+- ``group_size < k``: sub-channel (group-wise) scales — the granularity
+  QuantLLM lacks (paper Section 1).
+
+Signed integers and floats quantize symmetrically; unsigned integers use a
+mid-point zero offset (``2^(b-1)``), the convention of GPTQ/AWQ-style u4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.errors import DataTypeError
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """How a float weight matrix maps onto a low-precision tensor."""
+
+    dtype: DataType
+    group_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.dtype.is_pointer:
+            raise DataTypeError("cannot quantize to a pointer type")
+        if self.group_size <= 0:
+            raise DataTypeError("group_size must be positive")
+
+    @property
+    def zero_point(self) -> int:
+        """Stored-value offset representing zero (unsigned integers only)."""
+        if self.dtype.is_integer and not self.dtype.is_signed:
+            return 1 << (self.dtype.nbits - 1) if self.dtype.nbits > 1 else 0
+        return 0
+
+    @property
+    def max_magnitude(self) -> float:
+        """Largest representable magnitude after removing the zero offset.
+
+        Float formats with huge dynamic range (e.g. e5m2, max 114688) are
+        capped at 2^15 so that stored values survive the cast to float16
+        activations inside the kernel (float16 max is 65504).
+        """
+        if self.dtype.is_float:
+            return min(self.dtype.max_value, float(2**15))
+        if self.dtype.is_signed:
+            return float(self.dtype.max_value)
+        return float(self.dtype.max_value - self.zero_point)
+
+
+def quantize_weight(
+    weight: np.ndarray, scheme: QuantScheme
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize ``weight[k, n]`` group-wise along ``k``.
+
+    Returns:
+        ``(q, scales)`` where ``q[k, n]`` holds stored values (integers for
+        int types, already-quantized floats for float types) and
+        ``scales[k // group_size, n]`` holds float64 scale factors with
+        ``weight ≈ (q - zero_point) * scale``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise DataTypeError("quantize_weight expects a 2-D [k, n] matrix")
+    k, n = weight.shape
+    g = min(scheme.group_size, k)
+    if k % g != 0:
+        raise DataTypeError(f"k={k} is not a multiple of group_size={g}")
+    grouped = weight.reshape(k // g, g, n)
+    absmax = np.abs(grouped).max(axis=1)
+    scales = absmax / scheme.max_magnitude
+    scales = np.where(scales == 0, 1.0, scales)
+    scaled = grouped / scales[:, None, :]
+    if scheme.dtype.is_float:
+        q = scheme.dtype.quantize(scaled).reshape(k, n)
+    else:
+        q = np.clip(
+            np.rint(scaled) + scheme.zero_point,
+            scheme.dtype.min_value,
+            scheme.dtype.max_value,
+        ).reshape(k, n)
+    return q, scales
+
+
+def dequantize_weight(
+    q: np.ndarray, scales: np.ndarray, scheme: QuantScheme
+) -> np.ndarray:
+    """Invert :func:`quantize_weight` (up to quantization error)."""
+    q = np.asarray(q, dtype=np.float64)
+    k, n = q.shape
+    groups = scales.shape[0]
+    g = k // groups
+    centred = q - scheme.zero_point
+    return (centred.reshape(groups, g, n) * scales[:, None, :]).reshape(k, n)
+
+
+def quantization_error(weight: np.ndarray, scheme: QuantScheme) -> float:
+    """Relative RMS error of a quantize/dequantize round trip."""
+    q, scales = quantize_weight(weight, scheme)
+    recon = dequantize_weight(q, scales, scheme)
+    rms = float(np.sqrt(np.mean((weight - recon) ** 2)))
+    denom = float(np.sqrt(np.mean(np.asarray(weight) ** 2))) or 1.0
+    return rms / denom

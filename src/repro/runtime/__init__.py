@@ -1,0 +1,5 @@
+"""Runtime system (paper Section 8.1, step 4)."""
+
+from repro.runtime.runtime import ExecutionContext, KernelCache, Runtime
+
+__all__ = ["Runtime", "KernelCache", "ExecutionContext"]

@@ -1,0 +1,108 @@
+"""The Tilus runtime system (paper Section 8.1, step 4).
+
+Maintains the three pieces of state the paper describes:
+
+1. a **workspace** in global memory that kernels request through
+   ``AllocateGlobal``;
+2. an **execution context** holding the (simulated) stream kernels are
+   launched on;
+3. a **kernel cache** so each program compiles once and is reused.
+
+Execution is delegated to the VM interpreter; compilation to the
+compiler pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.dtypes import DataType
+from repro.errors import VMError
+from repro.ir.program import Program
+from repro.vm.interp import ExecutionStats, Interpreter
+from repro.vm.memory import GlobalMemory
+
+
+@dataclass
+class ExecutionContext:
+    """Launch-time state: the stream and accumulated statistics."""
+
+    stream: int = 0
+    launches: int = 0
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+class KernelCache:
+    """Compile-once cache keyed by program identity."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[int, CompiledKernel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, program: Program) -> CompiledKernel:
+        key = id(program)
+        if key in self._kernels:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._kernels[key] = compile_program(program)
+        return self._kernels[key]
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+
+class Runtime:
+    """Device handle: memory, kernel cache, context, launch API."""
+
+    def __init__(self, dram_bytes: int = 1 << 30, shared_capacity: int = 228 * 1024) -> None:
+        self.memory = GlobalMemory(dram_bytes)
+        self.interpreter = Interpreter(self.memory, shared_capacity=shared_capacity)
+        self.cache = KernelCache()
+        self.context = ExecutionContext()
+        self._workspace_addr: int | None = None
+        self._workspace_size = 0
+
+    # -- memory -------------------------------------------------------------
+    def upload(self, values: np.ndarray, dtype: DataType) -> int:
+        """Copy a host array into device memory; returns its address."""
+        return self.interpreter.upload(values, dtype)
+
+    def empty(self, shape: Sequence[int], dtype: DataType) -> int:
+        """Allocate uninitialized device memory for an output tensor."""
+        return self.interpreter.alloc_output(shape, dtype)
+
+    def download(self, addr: int, shape: Sequence[int], dtype: DataType) -> np.ndarray:
+        """Copy a device tensor back to the host."""
+        return self.interpreter.download(addr, shape, dtype)
+
+    def ensure_workspace(self, nbytes: int) -> int:
+        """Grow-on-demand workspace shared by kernels (never shrinks)."""
+        if nbytes > self._workspace_size:
+            self._workspace_addr = self.memory.alloc(nbytes)
+            self._workspace_size = nbytes
+        if self._workspace_addr is None:
+            self._workspace_addr = self.memory.alloc(max(nbytes, 1))
+        return self._workspace_addr
+
+    # -- execution -------------------------------------------------------------
+    def launch(self, program: Program, args: Sequence) -> CompiledKernel:
+        """Compile (cached), provision the workspace, and execute."""
+        kernel = self.cache.get(program)
+        if kernel.workspace_bytes:
+            self.ensure_workspace(kernel.workspace_bytes)
+        try:
+            self.interpreter.launch(program, args)
+        except VMError as exc:
+            raise VMError(f"kernel {program.name!r} failed: {exc}") from exc
+        self.context.launches += 1
+        self.context.stats = self.interpreter.stats
+        return kernel
+
+    def stats(self) -> ExecutionStats:
+        return self.interpreter.stats

@@ -1,0 +1,23 @@
+"""Small shared utilities: bit manipulation, index math, misc helpers."""
+
+from repro.utils.bits import (
+    bit_mask,
+    extract_bits,
+    insert_bits,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.indexmath import ceil_div, gcd, prod, ravel_index, unravel_index
+
+__all__ = [
+    "bit_mask",
+    "extract_bits",
+    "insert_bits",
+    "pack_bits",
+    "unpack_bits",
+    "ceil_div",
+    "gcd",
+    "prod",
+    "ravel_index",
+    "unravel_index",
+]

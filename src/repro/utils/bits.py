@@ -1,0 +1,114 @@
+"""Bit-level packing and extraction helpers.
+
+These implement the compact sub-byte storage scheme of paper Section 7.1:
+values narrower than 8 bits are stored back to back with no padding, so a
+single value may straddle a byte boundary (Figure 8).  All helpers are
+vectorized over numpy arrays and operate LSB-first within each byte: the
+value at element index ``k`` occupies absolute bit positions
+``[k * nbits, (k + 1) * nbits)`` of the byte stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataTypeError
+
+
+def bit_mask(nbits: int) -> int:
+    """Return an integer with the lowest ``nbits`` bits set."""
+    if nbits < 0:
+        raise DataTypeError(f"bit_mask: nbits must be non-negative, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def pack_bits(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Pack unsigned bit patterns into a compact uint8 byte stream.
+
+    Args:
+        values: array of non-negative integers, each < 2**nbits.  Flattened
+            in C order before packing.
+        nbits: width of each element in bits (1..64).
+
+    Returns:
+        A 1-D uint8 array of length ``ceil(len(values) * nbits / 8)``.
+    """
+    if not 1 <= nbits <= 64:
+        raise DataTypeError(f"pack_bits: nbits must be in [1, 64], got {nbits}")
+    flat = np.ascontiguousarray(values).reshape(-1).astype(np.uint64)
+    if flat.size and int(flat.max()) >> nbits:
+        raise DataTypeError(
+            f"pack_bits: value {int(flat.max())} does not fit in {nbits} bits"
+        )
+    total_bits = flat.size * nbits
+    nbytes = (total_bits + 7) // 8
+    # Expand each value into its individual bits, then repack by 8.
+    bit_idx = np.arange(nbits, dtype=np.uint64)
+    bits = ((flat[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8).reshape(-1)
+    padded = np.zeros(nbytes * 8, dtype=np.uint8)
+    padded[:total_bits] = bits
+    byte_weights = np.uint8(1) << np.arange(8, dtype=np.uint8)
+    return (padded.reshape(nbytes, 8) * byte_weights).sum(axis=1).astype(np.uint8)
+
+
+def unpack_bits(data: np.ndarray, nbits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Args:
+        data: uint8 byte stream.
+        nbits: width of each element in bits.
+        count: number of elements to extract.
+
+    Returns:
+        A 1-D uint64 array of ``count`` bit patterns.
+    """
+    if not 1 <= nbits <= 64:
+        raise DataTypeError(f"unpack_bits: nbits must be in [1, 64], got {nbits}")
+    data = np.ascontiguousarray(data).reshape(-1).astype(np.uint8)
+    total_bits = count * nbits
+    if data.size * 8 < total_bits:
+        raise DataTypeError(
+            f"unpack_bits: need {total_bits} bits but buffer has {data.size * 8}"
+        )
+    bits = ((data[:, None] >> np.arange(8, dtype=np.uint8)[None, :]) & 1).reshape(-1)
+    bits = bits[:total_bits].reshape(count, nbits).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(nbits, dtype=np.uint64)
+    return (bits * weights).sum(axis=1, dtype=np.uint64)
+
+
+def extract_bits(data: np.ndarray, bit_offset: int, nbits: int) -> int:
+    """Extract ``nbits`` starting at absolute ``bit_offset`` from a byte stream.
+
+    Implements the load path of paper Figure 8(b): AND to select bits,
+    SHIFT to align, OR to merge parts that straddle byte boundaries.
+    """
+    data = np.ascontiguousarray(data).reshape(-1).astype(np.uint8)
+    result = 0
+    taken = 0
+    while taken < nbits:
+        byte_idx = (bit_offset + taken) // 8
+        bit_in_byte = (bit_offset + taken) % 8
+        take = min(8 - bit_in_byte, nbits - taken)
+        part = (int(data[byte_idx]) >> bit_in_byte) & bit_mask(take)
+        result |= part << taken
+        taken += take
+    return result
+
+
+def insert_bits(data: np.ndarray, bit_offset: int, nbits: int, value: int) -> None:
+    """Insert ``value`` (``nbits`` wide) at ``bit_offset``, in place.
+
+    Implements the store path of paper Figure 8(c): clear the target bits
+    with a mask, then OR in the new value while preserving neighbours.
+    """
+    if value >> nbits:
+        raise DataTypeError(f"insert_bits: value {value} does not fit in {nbits} bits")
+    written = 0
+    while written < nbits:
+        byte_idx = (bit_offset + written) // 8
+        bit_in_byte = (bit_offset + written) % 8
+        put = min(8 - bit_in_byte, nbits - written)
+        part = (value >> written) & bit_mask(put)
+        clear = ~(bit_mask(put) << bit_in_byte) & 0xFF
+        data[byte_idx] = np.uint8((int(data[byte_idx]) & clear) | (part << bit_in_byte))
+        written += put

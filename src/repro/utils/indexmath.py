@@ -1,0 +1,86 @@
+"""Integer index arithmetic shared by the layout system and the VM.
+
+``ravel_index`` / ``unravel_index`` convert between multi-dimensional indices
+in a row-major grid and linear indices, exactly the ``ravel``/``unravel``
+operations of paper Section 5 (Figure 6).  They accept both Python ints and
+numpy arrays so the VM can apply layouts to whole tiles at once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+
+def prod(values: Sequence[int]) -> int:
+    """Product of a sequence of integers (1 for the empty sequence)."""
+    result = 1
+    for v in values:
+        result *= int(v)
+    return result
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    return -(-a // b)
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (thin wrapper for a stable import point)."""
+    return math.gcd(a, b)
+
+
+def ravel_index(indices: Sequence, shape: Sequence[int]):
+    """Row-major linearization of a multi-index.
+
+    ``ravel_index([i2, j1], [8, 4]) == i2 * 4 + j1`` as in paper Figure 6.
+    Works element-wise when entries of ``indices`` are numpy arrays.
+    """
+    if len(indices) != len(shape):
+        raise LayoutError(
+            f"ravel_index: rank mismatch, {len(indices)} indices vs shape {list(shape)}"
+        )
+    linear = 0
+    for idx, extent in zip(indices, shape):
+        linear = linear * int(extent) + idx
+    return linear
+
+
+def unravel_index(linear, shape: Sequence[int]):
+    """Row-major inverse of :func:`ravel_index`.
+
+    ``unravel_index(i, [4, 2, 8]) == [i // 16, i // 8 % 2, i % 8]``.
+    Returns a list with one entry per dimension; entries are arrays when
+    ``linear`` is an array.
+    """
+    strides = []
+    acc = 1
+    for extent in reversed(shape):
+        strides.append(acc)
+        acc *= int(extent)
+    strides.reverse()
+    out = []
+    for extent, stride in zip(shape, strides):
+        out.append((linear // stride) % int(extent))
+    return out
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def argsort(seq: Sequence[int]) -> list[int]:
+    """Indices that would sort ``seq`` ascending (stable)."""
+    return sorted(range(len(seq)), key=lambda k: seq[k])
+
+
+def as_int_tuple(values) -> tuple[int, ...]:
+    """Normalize a scalar/sequence of ints into a tuple of Python ints."""
+    if isinstance(values, (int, np.integer)):
+        return (int(values),)
+    return tuple(int(v) for v in values)

@@ -1,0 +1,15 @@
+"""Virtual machine: simulated device memory and the program interpreter."""
+
+from repro.vm.interp import BlockContext, ExecutionStats, Interpreter
+from repro.vm.memory import GlobalMemory, SharedMemory, TensorView
+from repro.vm.values import RegisterValue
+
+__all__ = [
+    "Interpreter",
+    "BlockContext",
+    "ExecutionStats",
+    "GlobalMemory",
+    "SharedMemory",
+    "TensorView",
+    "RegisterValue",
+]

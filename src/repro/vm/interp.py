@@ -1,0 +1,438 @@
+"""The Tilus virtual machine interpreter.
+
+Executes a :class:`~repro.ir.Program` over a simulated device: thread
+blocks run sequentially (their semantics are independent), and inside a
+block every instruction operates on whole tiles at once, mirroring the
+thread-block-level (SIMB) execution model of paper Section 6.
+
+The interpreter is *functionally* faithful — including bit-exact sub-byte
+storage and register reinterpretation — while timing behaviour is the
+domain of :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import VMError
+from repro.ir import instructions as insts
+from repro.ir.evaluator import evaluate
+from repro.ir.expr import Var
+from repro.ir.program import Program
+from repro.ir.scope import MemoryScope
+from repro.ir.stmt import (
+    AssignStmt,
+    BreakStmt,
+    ContinueStmt,
+    ForStmt,
+    IfStmt,
+    InstructionStmt,
+    SeqStmt,
+    Stmt,
+    WhileStmt,
+)
+from repro.ir.types import TensorVar
+from repro.vm.memory import GlobalMemory, SharedMemory, TensorView
+from repro.vm.values import RegisterValue
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Exit(Exception):
+    pass
+
+
+class ExecutionStats:
+    """Counters collected during interpretation (useful in tests and for
+    sanity-checking the performance model's operation counts)."""
+
+    def __init__(self) -> None:
+        self.blocks_run = 0
+        self.instructions = 0
+        self.global_bits_loaded = 0
+        self.global_bits_stored = 0
+        self.shared_bits_loaded = 0
+        self.shared_bits_stored = 0
+        self.copy_async_issued = 0
+        self.dot_ops = 0
+        self.synchronizations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionStats(blocks={self.blocks_run}, insts={self.instructions}, "
+            f"gld={self.global_bits_loaded}b, gst={self.global_bits_stored}b, "
+            f"dots={self.dot_ops})"
+        )
+
+
+class BlockContext:
+    """Mutable state of one thread block during interpretation."""
+
+    def __init__(self, interpreter: "Interpreter", block_idx: tuple[int, ...]) -> None:
+        self.interp = interpreter
+        self.block_idx = block_idx
+        self.env: dict[Var, object] = dict(interpreter.launch_env)
+        self.shared = SharedMemory(capacity_bytes=interpreter.shared_capacity)
+        self.pending_copies: list = []
+        self.committed_groups: list = []
+
+    def lookup_tensor(self, var: TensorVar):
+        value = self.env.get(var)
+        if value is None:
+            raise VMError(f"tensor {var.name} used before definition")
+        return value
+
+
+class Interpreter:
+    """Executes Tilus programs on a simulated device."""
+
+    def __init__(
+        self,
+        memory: GlobalMemory | None = None,
+        shared_capacity: int = 228 * 1024,
+        stdout=None,
+    ) -> None:
+        self.memory = memory if memory is not None else GlobalMemory()
+        self.shared_capacity = shared_capacity
+        self.launch_env: dict[Var, object] = {}
+        self.stats = ExecutionStats()
+        self._stdout = stdout
+
+    # -- host-side helpers ---------------------------------------------------
+    def upload(self, values: np.ndarray, dtype) -> int:
+        """Encode a numpy array into device memory; returns the byte address."""
+        values = np.asarray(values)
+        nbytes = (values.size * dtype.nbits + 7) // 8
+        addr = self.memory.alloc(nbytes)
+        view = TensorView(self.memory.buffer, addr * 8, dtype, values.shape)
+        view.write_all(values)
+        return addr
+
+    def alloc_output(self, shape: Sequence[int], dtype) -> int:
+        """Allocate uninitialized device memory for an output tensor."""
+        from repro.utils.indexmath import prod
+
+        nbytes = (prod(shape) * dtype.nbits + 7) // 8
+        return self.memory.alloc(nbytes)
+
+    def download(self, addr: int, shape: Sequence[int], dtype) -> np.ndarray:
+        """Decode a device tensor back into a numpy array."""
+        view = TensorView(self.memory.buffer, addr * 8, dtype, tuple(shape))
+        return view.read_all()
+
+    # -- launch ------------------------------------------------------------------
+    def launch(self, program: Program, args: Sequence) -> ExecutionStats:
+        """Run all thread blocks of ``program`` with the given arguments."""
+        if len(args) != len(program.params):
+            raise VMError(
+                f"{program.name} expects {len(program.params)} args, got {len(args)}"
+            )
+        self.launch_env = {p: a for p, a in zip(program.params, args)}
+        grid = program.grid_size(args)
+        for linear in range(int(np.prod(grid)) if grid else 1):
+            idx = []
+            rem = linear
+            for extent in reversed(grid):
+                idx.append(rem % extent)
+                rem //= extent
+            idx.reverse()
+            ctx = BlockContext(self, tuple(idx))
+            self.stats.blocks_run += 1
+            try:
+                self._run_stmt(program.body, ctx)
+            except _Exit:
+                pass
+        return self.stats
+
+    # -- statement execution -----------------------------------------------------
+    def _run_stmt(self, stmt: Stmt, ctx: BlockContext) -> None:
+        if isinstance(stmt, SeqStmt):
+            for child in stmt.body:
+                self._run_stmt(child, ctx)
+        elif isinstance(stmt, InstructionStmt):
+            self.stats.instructions += 1
+            self._run_instruction(stmt.instruction, ctx)
+        elif isinstance(stmt, AssignStmt):
+            ctx.env[stmt.var] = evaluate(stmt.value, ctx.env)
+        elif isinstance(stmt, IfStmt):
+            if evaluate(stmt.cond, ctx.env):
+                self._run_stmt(stmt.then_body, ctx)
+            elif stmt.else_body is not None:
+                self._run_stmt(stmt.else_body, ctx)
+        elif isinstance(stmt, ForStmt):
+            extent = int(evaluate(stmt.extent, ctx.env))
+            for i in range(extent):
+                ctx.env[stmt.var] = i
+                try:
+                    self._run_stmt(stmt.body, ctx)
+                except _Continue:
+                    continue
+                except _Break:
+                    break
+        elif isinstance(stmt, WhileStmt):
+            while evaluate(stmt.cond, ctx.env):
+                try:
+                    self._run_stmt(stmt.body, ctx)
+                except _Continue:
+                    continue
+                except _Break:
+                    break
+        elif isinstance(stmt, BreakStmt):
+            raise _Break()
+        elif isinstance(stmt, ContinueStmt):
+            raise _Continue()
+        else:
+            raise VMError(f"unknown statement {type(stmt).__name__}")
+
+    # -- instruction execution ------------------------------------------------------
+    def _run_instruction(self, inst: insts.Instruction, ctx: BlockContext) -> None:
+        handler = getattr(self, f"_exec_{type(inst).__name__}", None)
+        if handler is None:
+            raise VMError(f"no handler for instruction {type(inst).__name__}")
+        handler(inst, ctx)
+
+    # tensor creation -------------------------------------------------------------
+    def _exec_BlockIndices(self, inst: insts.BlockIndices, ctx: BlockContext) -> None:
+        if len(inst.out_vars) != len(ctx.block_idx):
+            raise VMError(
+                f"BlockIndices unpacks {len(inst.out_vars)} values but the grid "
+                f"has rank {len(ctx.block_idx)}"
+            )
+        for var, value in zip(inst.out_vars, ctx.block_idx):
+            ctx.env[var] = value
+
+    def _exec_ViewGlobal(self, inst: insts.ViewGlobal, ctx: BlockContext) -> None:
+        ptr = int(evaluate(inst.ptr, ctx.env))
+        ttype = inst.out.ttype
+        shape = tuple(
+            int(evaluate(s, ctx.env)) if hasattr(s, "dtype") else int(s)
+            for s in ttype.shape
+        )
+        ctx.env[inst.out] = TensorView(self.memory.buffer, ptr * 8, ttype.dtype, shape)
+
+    def _exec_AllocateRegister(self, inst: insts.AllocateRegister, ctx: BlockContext) -> None:
+        ttype = inst.out.ttype
+        if inst.init is not None:
+            value = RegisterValue.filled(ttype.dtype, ttype.layout, inst.init)
+        else:
+            value = RegisterValue.zeros(ttype.dtype, ttype.layout)
+        ctx.env[inst.out] = value
+
+    def _exec_AllocateShared(self, inst: insts.AllocateShared, ctx: BlockContext) -> None:
+        ttype = inst.out.ttype
+        shape = ttype.static_shape()
+        if shape is None:
+            raise VMError("shared tensors require static shapes")
+        addr = ctx.shared.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
+        ctx.env[inst.out] = TensorView(ctx.shared.buffer, addr * 8, ttype.dtype, shape)
+
+    def _exec_FreeShared(self, inst: insts.FreeShared, ctx: BlockContext) -> None:
+        # The VM gives each block fresh shared buffers; reuse is the
+        # planner's concern.  Freeing just drops the binding.
+        ctx.env.pop(inst.tensor, None)
+
+    def _exec_AllocateGlobal(self, inst: insts.AllocateGlobal, ctx: BlockContext) -> None:
+        ttype = inst.out.ttype
+        shape = ttype.static_shape()
+        if shape is None:
+            raise VMError("workspace tensors require static shapes")
+        addr = self.memory.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
+        ctx.env[inst.out] = TensorView(self.memory.buffer, addr * 8, ttype.dtype, shape)
+
+    # transfer ------------------------------------------------------------------
+    def _tile_indices(self, layout, offset, ctx: BlockContext, broadcast_dims=frozenset()):
+        """Global/shared indices touched by a register tile at ``offset``.
+
+        When the register tile has lower rank than the memory tensor (e.g.
+        a 1-D ``u8[96]`` tile stored into ``u8[K/BK, N/BN, 96]`` at
+        ``offset=[bk, bj, 0]``), the tile addresses the trailing dimensions
+        and the leading ones are fixed by the offset alone.  Dimensions in
+        ``broadcast_dims`` ignore the tile coordinate entirely (scale-vector
+        broadcast loads).
+        """
+        t = np.repeat(np.arange(layout.num_threads), layout.local_size)
+        i = np.tile(np.arange(layout.local_size), layout.num_threads)
+        coords = [np.broadcast_to(c, t.shape) for c in layout.map_batch(t, i)]
+        origin = [int(evaluate(o, ctx.env)) for o in offset]
+        pad = len(origin) - len(coords)
+        if pad < 0:
+            raise VMError(
+                f"register tile rank {len(coords)} exceeds tensor rank {len(origin)}"
+            )
+        coords = [np.zeros(t.shape, dtype=np.int64)] * pad + coords
+        zero = np.zeros(t.shape, dtype=np.int64)
+        return [
+            (zero if d in broadcast_dims else c) + o
+            for d, (c, o) in enumerate(zip(coords, origin))
+        ]
+
+    @staticmethod
+    def _bounds_mask(indices, shape) -> np.ndarray:
+        valid = np.ones(indices[0].shape, dtype=bool)
+        for idx, extent in zip(indices, shape):
+            valid &= (idx >= 0) & (idx < extent)
+        return valid
+
+    def _exec_LoadGlobal(self, inst: insts.LoadGlobal, ctx: BlockContext) -> None:
+        src: TensorView = ctx.lookup_tensor(inst.src)
+        layout = inst.out.ttype.layout
+        indices = self._tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
+        if inst.masked:
+            valid = self._bounds_mask(indices, src.shape)
+            clipped = [np.clip(i, 0, e - 1) for i, e in zip(indices, src.shape)]
+            patterns = src.gather_bits(clipped)
+            patterns = np.where(valid, patterns, np.uint64(0))
+        else:
+            patterns = src.gather_bits(indices)
+        patterns = patterns.reshape(layout.num_threads, layout.local_size)
+        self.stats.global_bits_loaded += layout.size * src.dtype.nbits
+        ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
+
+    def _exec_LoadShared(self, inst: insts.LoadShared, ctx: BlockContext) -> None:
+        src: TensorView = ctx.lookup_tensor(inst.src)
+        layout = inst.out.ttype.layout
+        indices = self._tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
+        patterns = src.gather_bits(indices).reshape(layout.num_threads, layout.local_size)
+        self.stats.shared_bits_loaded += layout.size * src.dtype.nbits
+        ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
+
+    def _exec_StoreGlobal(self, inst: insts.StoreGlobal, ctx: BlockContext) -> None:
+        value: RegisterValue = ctx.lookup_tensor(inst.src)
+        dst: TensorView = ctx.lookup_tensor(inst.dst)
+        indices = self._tile_indices(value.layout, inst.offset, ctx)
+        patterns = value.thread_patterns().reshape(-1)
+        if inst.masked:
+            valid = self._bounds_mask(indices, dst.shape)
+            if not valid.any():
+                return
+            indices = [i[valid] for i in indices]
+            patterns = patterns[valid]
+        dst.scatter_bits(indices, patterns)
+        self.stats.global_bits_stored += value.layout.size * dst.dtype.nbits
+
+    def _exec_StoreShared(self, inst: insts.StoreShared, ctx: BlockContext) -> None:
+        value: RegisterValue = ctx.lookup_tensor(inst.src)
+        dst: TensorView = ctx.lookup_tensor(inst.dst)
+        indices = self._tile_indices(value.layout, inst.offset, ctx)
+        dst.scatter_bits(indices, value.thread_patterns().reshape(-1))
+        self.stats.shared_bits_stored += value.layout.size * dst.dtype.nbits
+
+    def _exec_CopyAsync(self, inst: insts.CopyAsync, ctx: BlockContext) -> None:
+        src: TensorView = ctx.lookup_tensor(inst.src)
+        dst: TensorView = ctx.lookup_tensor(inst.dst)
+        shape = inst.copy_shape()
+        src_origin = [int(evaluate(o, ctx.env)) for o in inst.src_offset]
+        dst_origin = [int(evaluate(o, ctx.env)) for o in inst.dst_offset]
+        # Functional semantics: copy eagerly; group tracking validates usage.
+        size = int(np.prod(shape))
+        linear = np.arange(size, dtype=np.int64)
+        idx = []
+        rem = linear
+        for extent in reversed(shape):
+            idx.append(rem % extent)
+            rem //= extent
+        idx.reverse()
+        # Region rank may be lower than either tensor's rank: address the
+        # trailing dimensions, leading ones fixed by the offsets.
+        src_idx = [np.zeros(size, dtype=np.int64)] * (len(src_origin) - len(idx)) + idx
+        dst_idx = [np.zeros(size, dtype=np.int64)] * (len(dst_origin) - len(idx)) + idx
+        src_idx = [i + o for i, o in zip(src_idx, src_origin)]
+        dst_idx = [i + o for i, o in zip(dst_idx, dst_origin)]
+        # cp.async zero-fills out-of-bounds source elements (zfill semantics).
+        valid = self._bounds_mask(src_idx, src.shape)
+        clipped = [np.clip(i, 0, e - 1) for i, e in zip(src_idx, src.shape)]
+        patterns = np.where(valid, src.gather_bits(clipped), np.uint64(0))
+        dst.scatter_bits(dst_idx, patterns)
+        ctx.pending_copies.append(inst)
+        self.stats.copy_async_issued += 1
+        self.stats.global_bits_loaded += size * src.dtype.nbits
+
+    def _exec_CopyAsyncCommitGroup(self, inst, ctx: BlockContext) -> None:
+        ctx.committed_groups.append(ctx.pending_copies)
+        ctx.pending_copies = []
+
+    def _exec_CopyAsyncWaitGroup(self, inst: insts.CopyAsyncWaitGroup, ctx: BlockContext) -> None:
+        while len(ctx.committed_groups) > inst.n:
+            ctx.committed_groups.pop(0)
+
+    # computation --------------------------------------------------------------
+    def _exec_ElementwiseBinary(self, inst: insts.ElementwiseBinary, ctx: BlockContext) -> None:
+        a: RegisterValue = ctx.lookup_tensor(inst.a)
+        if isinstance(inst.b, TensorVar):
+            b = ctx.lookup_tensor(inst.b)
+        else:
+            b = evaluate(inst.b, ctx.env)
+        ctx.env[inst.out] = a.binary(inst.op, b)
+
+    def _exec_Neg(self, inst: insts.Neg, ctx: BlockContext) -> None:
+        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).neg()
+
+    def _exec_Cast(self, inst: insts.Cast, ctx: BlockContext) -> None:
+        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).cast(inst.dtype)
+
+    def _exec_ReduceSum(self, inst: insts.ReduceSum, ctx: BlockContext) -> None:
+        value: RegisterValue = ctx.lookup_tensor(inst.a)
+        logical = value.to_logical()
+        reduced = logical.sum(axis=inst.axis, keepdims=True)
+        out_t = inst.out.ttype
+        ctx.env[inst.out] = RegisterValue.from_logical(
+            out_t.dtype, out_t.layout, reduced
+        )
+
+    def _exec_Lookup(self, inst: insts.Lookup, ctx: BlockContext) -> None:
+        codes: RegisterValue = ctx.lookup_tensor(inst.codes)
+        table = ctx.lookup_tensor(inst.table)
+        indices = codes.thread_values().astype(np.int64)
+        if isinstance(table, RegisterValue):
+            # Register-held codebook: use the logical 1-D table.
+            values = table.to_logical()[indices.reshape(-1)]
+        else:
+            extent = table.shape[0]
+            if indices.size and (indices.min() < 0 or indices.max() >= extent):
+                raise VMError(
+                    f"lookup code {int(indices.max())} exceeds table of {extent}"
+                )
+            bits = table.gather_bits([indices.reshape(-1)])
+            values = table.dtype.from_bits(bits)
+        out_t = inst.out.ttype
+        ctx.env[inst.out] = RegisterValue.from_thread_values(
+            out_t.dtype, out_t.layout, values.reshape(indices.shape)
+        )
+
+    def _exec_View(self, inst: insts.View, ctx: BlockContext) -> None:
+        out_t = inst.out.ttype
+        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).view(out_t.dtype, out_t.layout)
+
+    def _exec_Dot(self, inst: insts.Dot, ctx: BlockContext) -> None:
+        a = ctx.lookup_tensor(inst.a).to_logical()
+        b = ctx.lookup_tensor(inst.b).to_logical()
+        c = ctx.lookup_tensor(inst.c).to_logical()
+        result = a.astype(np.float64) @ b.astype(np.float64) + c
+        out_t = inst.out.ttype
+        ctx.env[inst.out] = RegisterValue.from_logical(out_t.dtype, out_t.layout, result)
+        self.stats.dot_ops += a.shape[0] * a.shape[1] * b.shape[1]
+
+    # misc --------------------------------------------------------------------
+    def _exec_Synchronize(self, inst, ctx: BlockContext) -> None:
+        self.stats.synchronizations += 1
+
+    def _exec_Exit(self, inst, ctx: BlockContext) -> None:
+        raise _Exit()
+
+    def _exec_PrintTensor(self, inst: insts.PrintTensor, ctx: BlockContext) -> None:
+        value = ctx.lookup_tensor(inst.tensor)
+        rendered = value.to_logical() if isinstance(value, RegisterValue) else value.read_all()
+        prefix = f"{inst.message}: " if inst.message else ""
+        text = f"{prefix}{inst.tensor.name} =\n{rendered}"
+        if self._stdout is not None:
+            self._stdout.write(text + "\n")
+        else:
+            print(text)

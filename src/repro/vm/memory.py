@@ -1,0 +1,201 @@
+"""Simulated device memory with bit-granular tensor views.
+
+Global and shared memory are byte buffers.  Tensor views address elements at
+*bit* granularity so that sub-byte types are stored compactly (paper
+Section 7.1): element ``k`` of an ``nbits``-wide tensor occupies absolute
+bits ``[base + k * nbits, base + (k + 1) * nbits)``.
+
+Gather/scatter are vectorized through a little-endian bit view of the
+buffer (``np.unpackbits``/``np.packbits``) for sub-byte types and through
+direct byte views for standard widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.errors import OutOfMemoryError, VMError
+from repro.utils.indexmath import prod
+
+_ALIGN = 256  # allocation alignment in bytes (cudaMalloc-like)
+
+
+class GlobalMemory:
+    """A device DRAM simulation: one byte buffer with a bump allocator."""
+
+    def __init__(self, capacity_bytes: int = 1 << 30) -> None:
+        self.capacity = int(capacity_bytes)
+        self.buffer = np.zeros(self.capacity + 8, dtype=np.uint8)  # +8 guard
+        self._next = 0
+        self._allocations: dict[int, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` and return the byte address."""
+        nbytes = int(nbytes)
+        addr = self._next
+        aligned = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        if addr + aligned > self.capacity:
+            raise OutOfMemoryError(
+                f"device OOM: requested {nbytes} B with {self.capacity - addr} B free "
+                f"of {self.capacity} B"
+            )
+        self._next += aligned
+        self._allocations[addr] = nbytes
+        return addr
+
+    def free_all(self) -> None:
+        """Reset the allocator (buffers become invalid)."""
+        self._next = 0
+        self._allocations.clear()
+        self.buffer[:] = 0
+
+
+class TensorView:
+    """A typed, shaped window into a byte buffer with bit addressing.
+
+    Used for both global and shared tensors.  ``base_bits`` is the absolute
+    bit address of element 0; elements are ordered row-major.
+    """
+
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        base_bits: int,
+        dtype: DataType,
+        shape: tuple[int, ...],
+    ) -> None:
+        self.buffer = buffer
+        self.base_bits = int(base_bits)
+        self.dtype = dtype
+        self.shape = tuple(int(s) for s in shape)
+        self.size = prod(self.shape)
+        end_bits = self.base_bits + self.size * dtype.nbits
+        if end_bits > (len(buffer) - 8) * 8:
+            raise VMError(
+                f"tensor view [{dtype}{list(self.shape)}] exceeds its buffer: "
+                f"needs {end_bits} bits, buffer has {(len(buffer) - 8) * 8}"
+            )
+
+    # -- addressing -----------------------------------------------------------
+    def _linear(self, indices: list[np.ndarray]) -> np.ndarray:
+        if len(indices) != len(self.shape):
+            raise VMError(
+                f"rank mismatch: {len(indices)} indices for shape {list(self.shape)}"
+            )
+        linear = np.zeros_like(np.asarray(indices[0], dtype=np.int64))
+        for idx, extent in zip(indices, self.shape):
+            idx = np.asarray(idx, dtype=np.int64)
+            if idx.size and (idx.min() < 0 or idx.max() >= extent):
+                raise VMError(
+                    f"index out of bounds: [{idx.min()}, {idx.max()}] not within "
+                    f"[0, {extent}) for tensor {self.dtype}{list(self.shape)}"
+                )
+            linear = linear * extent + idx
+        return linear
+
+    # -- element access ---------------------------------------------------------
+    def gather_bits(self, indices: list[np.ndarray]) -> np.ndarray:
+        """Read bit patterns at the given multi-indices (vectorized)."""
+        linear = self._linear(indices)
+        nbits = self.dtype.nbits
+        bit_addr = self.base_bits + linear * nbits
+        if nbits % 8 == 0 and self.base_bits % 8 == 0:
+            return self._gather_bytes(bit_addr // 8, nbits // 8)
+        # Sub-byte/unaligned path: read a 64-bit little-endian window.
+        byte_addr = bit_addr // 8
+        shift = (bit_addr % 8).astype(np.uint64)
+        window = np.zeros(linear.shape, dtype=np.uint64)
+        for k in range(8):
+            window |= self.buffer[byte_addr + k].astype(np.uint64) << np.uint64(8 * k)
+        mask = np.uint64((1 << nbits) - 1)
+        return (window >> shift) & mask
+
+    def _gather_bytes(self, byte_addr: np.ndarray, nbytes: int) -> np.ndarray:
+        out = np.zeros(byte_addr.shape, dtype=np.uint64)
+        for k in range(nbytes):
+            out |= self.buffer[byte_addr + k].astype(np.uint64) << np.uint64(8 * k)
+        return out
+
+    def scatter_bits(self, indices: list[np.ndarray], patterns: np.ndarray) -> None:
+        """Write bit patterns at the given multi-indices (vectorized)."""
+        linear = self._linear(indices)
+        patterns = np.broadcast_to(np.asarray(patterns, dtype=np.uint64), linear.shape)
+        nbits = self.dtype.nbits
+        if nbits % 8 == 0 and self.base_bits % 8 == 0:
+            byte_addr = (self.base_bits + linear * nbits) // 8
+            for k in range(nbits // 8):
+                self.buffer[byte_addr + k] = (
+                    (patterns >> np.uint64(8 * k)) & np.uint64(0xFF)
+                ).astype(np.uint8)
+            return
+        # Sub-byte path: edit through a bit view of the touched region.
+        bit_addr = self.base_bits + linear.reshape(-1) * nbits
+        lo_byte = int(bit_addr.min() // 8)
+        hi_byte = int((bit_addr.max() + nbits + 7) // 8)
+        region = np.unpackbits(self.buffer[lo_byte:hi_byte], bitorder="little")
+        offsets = bit_addr - lo_byte * 8
+        positions = (offsets[:, None] + np.arange(nbits)).reshape(-1)
+        value_bits = (
+            (patterns.reshape(-1)[:, None] >> np.arange(nbits, dtype=np.uint64)) & np.uint64(1)
+        ).astype(np.uint8).reshape(-1)
+        region[positions] = value_bits
+        self.buffer[lo_byte:hi_byte] = np.packbits(region, bitorder="little")[: hi_byte - lo_byte]
+
+    # -- whole-tensor convenience ------------------------------------------------
+    def read_all(self) -> np.ndarray:
+        """Decode the full tensor into a numpy array of its logical shape."""
+        linear = np.arange(self.size, dtype=np.int64)
+        idx = []
+        rem = linear
+        for extent in reversed(self.shape):
+            idx.append(rem % extent)
+            rem = rem // extent
+        idx.reverse()
+        bits = self.gather_bits(idx)
+        return self.dtype.from_bits(bits).reshape(self.shape)
+
+    def write_all(self, values: np.ndarray) -> None:
+        """Encode and store a full logical tensor."""
+        values = np.asarray(values)
+        if values.shape != self.shape:
+            raise VMError(f"write_all shape mismatch: {values.shape} vs {self.shape}")
+        linear = np.arange(self.size, dtype=np.int64)
+        idx = []
+        rem = linear
+        for extent in reversed(self.shape):
+            idx.append(rem % extent)
+            rem = rem // extent
+        idx.reverse()
+        self.scatter_bits(idx, self.dtype.to_bits(values.reshape(-1)))
+
+
+class SharedMemory:
+    """Per-block shared memory: a bump-allocated byte buffer.
+
+    Real kernels get one shared region sized by the memory planner; here
+    each block gets a fresh buffer, and the planner's job (offset
+    assignment, capacity check) happens in the compiler.
+    """
+
+    def __init__(self, capacity_bytes: int = 228 * 1024) -> None:
+        self.capacity = capacity_bytes
+        self.buffer = np.zeros(capacity_bytes + 8, dtype=np.uint8)
+        self._next = 0
+        self.high_water = 0
+
+    def alloc(self, nbytes: int) -> int:
+        addr = self._next
+        aligned = (int(nbytes) + 15) // 16 * 16
+        if addr + aligned > self.capacity:
+            raise VMError(
+                f"shared memory exhausted: requested {nbytes} B, "
+                f"{self.capacity - addr} B free of {self.capacity} B"
+            )
+        self._next += aligned
+        self.high_water = max(self.high_water, self._next)
+        return addr

@@ -1,0 +1,1 @@
+"""Pytest configuration (shared strategies live in tests/helpers.py)."""

@@ -1,0 +1,82 @@
+"""Continuous batching trace simulation."""
+
+import pytest
+
+from repro.dtypes import float16, uint4
+from repro.llm import (
+    ContinuousBatchingSimulator,
+    GEMMA2_9B,
+    Request,
+    ServingConfig,
+    uniform_trace,
+)
+from repro.perf import L40S
+
+
+def make_sim(system="tilus", dtype=uint4, max_batch=16):
+    return ContinuousBatchingSimulator(
+        GEMMA2_9B, ServingConfig(system, dtype, L40S), max_batch=max_batch
+    )
+
+
+class TestTraceMechanics:
+    def test_single_request_completes(self):
+        sim = make_sim()
+        trace = [Request(arrival_s=0.0, prompt_tokens=128, output_tokens=8)]
+        result = sim.run(trace)
+        assert len(result.results) == 1
+        r = result.results[0]
+        assert r.ttft_s > 0
+        assert r.finished_s > r.first_token_s
+        assert result.total_tokens == 128 + 8
+
+    def test_all_requests_finish(self):
+        sim = make_sim()
+        result = sim.run(uniform_trace(6, interarrival_s=0.01, output_tokens=4))
+        assert len(result.results) == 6
+        assert all(r.finished_s > 0 for r in result.results)
+
+    def test_batching_shares_decode_steps(self):
+        """Simultaneous arrivals decode together: total time far below
+        the sum of isolated runs."""
+        burst = [Request(0.0, 128, 32) for _ in range(8)]
+        batched = make_sim(max_batch=8).run(burst)
+        solo = make_sim(max_batch=1).run(burst)
+        assert batched.total_time_s < solo.total_time_s * 0.7
+        assert batched.throughput_tokens_per_s > solo.throughput_tokens_per_s
+
+    def test_idle_gap_advances_clock(self):
+        sim = make_sim()
+        trace = [Request(0.0, 64, 2), Request(10.0, 64, 2)]
+        result = sim.run(trace)
+        second = result.results[1]
+        assert second.first_token_s >= 10.0
+
+    def test_max_batch_respected(self):
+        """With max_batch=2, the 3rd request cannot start until a slot
+        frees, so its TTFT exceeds the first's."""
+        burst = [Request(0.0, 256, 64) for _ in range(3)]
+        result = make_sim(max_batch=2).run(burst)
+        ttfts = sorted(r.ttft_s for r in result.results)
+        assert ttfts[2] > ttfts[0] * 1.5
+
+
+class TestSystemComparison:
+    def test_tilus_outperforms_f16_on_decode_heavy_trace(self):
+        trace = uniform_trace(4, interarrival_s=0.0, prompt_tokens=64, output_tokens=64)
+        quant = make_sim("tilus", uint4).run(trace)
+        dense = make_sim("vllm", float16).run(trace)
+        assert quant.total_time_s < dense.total_time_s
+        assert quant.throughput_tokens_per_s > dense.throughput_tokens_per_s
+
+    def test_tilus_beats_ladder_throughput(self):
+        trace = uniform_trace(6, interarrival_s=0.0, prompt_tokens=64, output_tokens=32)
+        tilus = make_sim("tilus", uint4).run(trace)
+        ladder = make_sim("ladder", uint4).run(trace)
+        assert tilus.throughput_tokens_per_s > ladder.throughput_tokens_per_s
+
+    def test_metrics_consistent(self):
+        trace = uniform_trace(3, interarrival_s=0.05, output_tokens=8)
+        result = make_sim().run(trace)
+        assert result.mean_latency_s() >= result.mean_ttft_s()
+        assert result.throughput_tokens_per_s > 0

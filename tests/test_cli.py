@@ -1,0 +1,34 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "command", ["fig11", "fig12", "fig13", "fig14", "headline", "demo"]
+    )
+    def test_commands_run(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_fig10_batches(self, capsys):
+        assert main(["fig10", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Tilus" in out and "Ladder" in out
+
+    def test_fig13_shows_err_and_oom(self, capsys):
+        main(["fig13"])
+        out = capsys.readouterr().out
+        assert "ERR" in out and "OOM" in out
+
+    def test_headline_values(self, capsys):
+        main(["headline"])
+        out = capsys.readouterr().out
+        assert "triton" in out and "1.7" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])

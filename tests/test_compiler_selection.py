@@ -1,0 +1,125 @@
+"""Instruction selection and automatic vectorization (Section 8.1 step 2)."""
+
+import pytest
+
+from repro.compiler import (
+    contiguous_run_elements,
+    select_copy_async,
+    select_instructions,
+    select_memory_access,
+)
+from repro.dtypes import float16, uint8
+from repro.kernels import MatmulConfig, quantized_matmul_program
+from repro.layout import local, mma_m16n8k16, spatial
+from repro.quant import QuantScheme
+
+
+class TestContiguity:
+    def test_fully_local_row(self):
+        layout = local(1, 8)  # one thread, one row of 8
+        assert contiguous_run_elements(layout, (16, 8)) == 8
+
+    def test_column_layout_not_contiguous(self):
+        from repro.layout import column_local
+
+        layout = column_local(8, 1)
+        assert contiguous_run_elements(layout, (8, 16)) == 1
+
+    def test_pairs(self):
+        layout = spatial(8, 4).local(1, 2)  # 2-element runs per thread
+        assert contiguous_run_elements(layout, (8, 8)) == 2
+
+    def test_single_element(self):
+        assert contiguous_run_elements(spatial(8, 4), (8, 4)) == 1
+
+    def test_byte_view_vector_runs(self):
+        """The u8 view layout local(n2).spatial(T).local(n1) groups n1
+        contiguous bytes (paper Section 7.2)."""
+        layout = local(2).spatial(32).local(8)
+        assert contiguous_run_elements(layout, (512,)) == 8
+
+
+class TestMemoryAccessSelection:
+    def test_ldg_width_from_runs(self):
+        layout = local(1, 8)
+        access = select_memory_access("load", layout, (128, 128), 16)
+        assert access.instruction == "ldg128"
+        assert access.vector_bits == 128
+
+    def test_scalar_fallback(self):
+        access = select_memory_access("load", spatial(8, 4), (8, 4), 16)
+        assert access.instruction == "ldg16"
+
+    def test_ldmatrix_for_mma_a(self):
+        mma = mma_m16n8k16()
+        access = select_memory_access(
+            "load", mma.a_layout, (64, 64), 16, from_shared=True
+        )
+        assert access.instruction == "ldmatrix"
+
+    def test_lds_for_non_mma(self):
+        # A thread ordering ldmatrix cannot produce (4x8 warp grid).
+        access = select_memory_access(
+            "load", spatial(4, 8).local(1, 2), (16, 16), 16, from_shared=True
+        )
+        assert access.instruction == "lds32"
+
+    def test_sub_byte_uses_byte_container(self):
+        layout = local(3).spatial(32)
+        access = select_memory_access("load", layout, (96,), 8)
+        assert access.instruction == "ldg8"  # 3 bytes: no wider power of two
+
+    def test_store_family(self):
+        access = select_memory_access("store", local(1, 8), (64, 64), 16)
+        assert access.instruction == "stg128"
+        access = select_memory_access(
+            "store", local(1, 8), (64, 64), 16, from_shared=True
+        )
+        assert access.instruction == "sts128"
+
+
+class TestCopyAsync:
+    def test_16byte_transactions(self):
+        access = select_copy_async((32, 32), 16)
+        assert access.instruction == "cp.async.v4"
+        assert access.vector_bits == 128
+
+    def test_small_copy_downgrades(self):
+        access = select_copy_async((3,), 32)  # 12 bytes
+        assert access.instruction == "cp.async.v1"
+
+    def test_issue_count(self):
+        access = select_copy_async((64,), 8)  # 64 bytes
+        assert access.issues_per_thread == 4
+
+
+class TestProgramSelection:
+    def make_kernel(self, stages):
+        return quantized_matmul_program(
+            64,
+            32,
+            64,
+            float16,
+            QuantScheme(uint8.__class__(4) if False else __import__("repro.dtypes", fromlist=["uint4"]).uint4, 64),
+            MatmulConfig(32, 16, 32, 2, 2, num_stages=stages),
+        )
+
+    def test_pipelined_kernel_uses_cp_async(self):
+        report = select_instructions(self.make_kernel(2))
+        hist = report.histogram()
+        assert "cp.async.v4" in hist
+        assert "ldmatrix" in hist  # A fragments from shared
+
+    def test_direct_kernel_has_no_cp_async(self):
+        report = select_instructions(self.make_kernel(1))
+        hist = report.histogram()
+        assert not any(key.startswith("cp.async") for key in hist)
+        assert any(key.startswith("ldg") for key in hist)
+
+    def test_weight_bytes_loaded_vectorized(self):
+        """The packed-byte weight path must not fall back to per-element
+        loads: u8 tile loads come in at >= 16-bit width."""
+        report = select_instructions(self.make_kernel(2))
+        for access in report.accesses.values():
+            if access.instruction.startswith("lds") and access.instruction != "ldsmatrix":
+                assert access.vector_bits >= 16

@@ -1,0 +1,98 @@
+"""Data type name parsing and the registry."""
+
+import pytest
+
+from repro.dtypes import (
+    PointerType,
+    all_weight_dtypes,
+    bfloat16,
+    dtype_from_name,
+    float16,
+    tfloat32,
+    uint4,
+)
+from repro.errors import DataTypeError
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "name,expect_bits,expect_name",
+        [
+            ("u4", 4, "u4"),
+            ("uint4", 4, "u4"),
+            ("i6", 6, "i6"),
+            ("int6", 6, "i6"),
+            ("f16", 16, "f16"),
+            ("float16", 16, "f16"),
+            ("f6e3m2", 6, "f6e3m2"),
+            ("float6_e3m2", 6, "f6e3m2"),
+            ("f8e4m3", 8, "f8e4m3"),
+            ("f6", 6, "f6e3m2"),     # representative split
+            ("float3", 3, "f3e1m1"),
+            ("bf16", 16, "bf16"),
+            ("bfloat16", 16, "bf16"),
+            ("tf32", 32, "tf32"),
+            ("bool", 1, "bool"),
+        ],
+    )
+    def test_names(self, name, expect_bits, expect_name):
+        t = dtype_from_name(name)
+        assert t.nbits == expect_bits
+        assert t.name == expect_name
+
+    def test_pointer_names(self):
+        p = dtype_from_name("f16*")
+        assert isinstance(p, PointerType)
+        assert p.base == float16
+        v = dtype_from_name("void*")
+        assert v.base is None
+
+    def test_unknown_rejected(self):
+        for bad in ("x5", "float", "u", "f6e9m9", ""):
+            with pytest.raises(DataTypeError):
+                dtype_from_name(bad)
+
+    def test_singletons_cached(self):
+        assert dtype_from_name("u4") is dtype_from_name("uint4")
+        assert dtype_from_name("u4") is uint4
+
+
+class TestSpectrum:
+    def test_full_weight_spectrum(self):
+        """Paper Figure 11: uint1-8, int2-8, float3-8 = 21 types."""
+        types = all_weight_dtypes()
+        assert len(types) == 8 + 7 + 6
+        names = {t.name for t in types}
+        assert "u1" in names and "u8" in names
+        assert "i2" in names and "i8" in names
+        assert "f3e1m1" in names and "f8e4m3" in names
+
+    def test_spectrum_widths(self):
+        for t in all_weight_dtypes():
+            assert 1 <= t.nbits <= 8
+
+    def test_representative_splits_match_paper(self):
+        """e4m3, e3m3, e3m2, e2m2, e2m1, e1m1 for widths 8..3."""
+        expected = {8: (4, 3), 7: (3, 3), 6: (3, 2), 5: (2, 2), 4: (2, 1), 3: (1, 1)}
+        for nbits, (e, m) in expected.items():
+            t = dtype_from_name(f"f{nbits}")
+            assert (t.exponent_bits, t.mantissa_bits) == (e, m)
+
+
+class TestPointer:
+    def test_pointer_codec(self):
+        import numpy as np
+
+        p = PointerType(float16)
+        addr = np.array([0, 4096, 2**40])
+        assert np.array_equal(p.from_bits(p.to_bits(addr)), addr)
+
+    def test_pointer_flags(self):
+        p = PointerType(None)
+        assert p.is_pointer and not p.is_integer and not p.is_float
+        assert p.nbits == 64
+        assert p.name == "void*"
+
+    def test_misc_types(self):
+        assert bfloat16.is_float and bfloat16.is_signed
+        assert tfloat32.nbits == 32

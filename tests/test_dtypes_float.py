@@ -1,0 +1,155 @@
+"""Floating-point data types: standard and arbitrary low-precision."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import (
+    FloatType,
+    bfloat16,
+    f6e3m2,
+    f8e4m3,
+    float16,
+    float32,
+    float64,
+    float_,
+    tfloat32,
+)
+from repro.errors import DataTypeError
+
+
+class TestStandardFloats:
+    def test_f16_matches_numpy(self):
+        x = np.array([0.1, -2.5, 1e-5, 65504.0, 3.14159])
+        ours = float16.quantize(x)
+        theirs = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(ours, theirs)
+
+    def test_f32_roundtrip_exact(self):
+        x = np.array([0.1, -2.5, 1e-30, 3.4e38], dtype=np.float32).astype(np.float64)
+        assert np.array_equal(float32.quantize(x), x)
+
+    def test_f64_identity(self):
+        x = np.array([0.1, np.pi, -1e300])
+        assert np.array_equal(float64.quantize(x), x)
+
+    def test_bf16_truncates_mantissa(self):
+        # bf16 keeps 8 mantissa bits: 1.0 + 2^-9 rounds away.
+        val = 1.0 + 2.0**-9
+        assert bfloat16.quantize(np.array([val]))[0] in (1.0, 1.0 + 2.0**-8)
+        assert bfloat16.quantize(np.array([1.0]))[0] == 1.0
+
+    def test_bf16_range_wider_than_f16(self):
+        assert bfloat16.max_value > float16.max_value
+
+    def test_tf32_keeps_10_mantissa_bits(self):
+        val = 1.0 + 2.0**-10  # exactly representable
+        assert tfloat32.quantize(np.array([val]))[0] == val
+        val2 = 1.0 + 2.0**-12  # dropped
+        assert tfloat32.quantize(np.array([val2]))[0] != val2
+
+
+class TestParameterizedFloat:
+    def test_f6e3m2_properties(self):
+        assert f6e3m2.nbits == 6
+        assert f6e3m2.exponent_bits == 3
+        assert f6e3m2.mantissa_bits == 2
+        assert f6e3m2.bias == 3
+        assert f6e3m2.max_value == 28.0  # (2 - 2^-2) * 2^(7-3)
+
+    def test_f8e4m3_max(self):
+        # fn convention: all-ones exponent holds ordinary values.
+        assert f8e4m3.max_value == (2 - 2**-3) * 2 ** (15 - 7)
+
+    def test_representable_count(self):
+        # 2^6 patterns, +0/-0 collapse.
+        assert f6e3m2.representable_values().size == 63
+
+    def test_subnormals(self):
+        t = f6e3m2
+        tiny = t.smallest_subnormal
+        assert t.quantize(np.array([tiny]))[0] == tiny
+        assert t.quantize(np.array([tiny / 3]))[0] == 0.0
+        assert t.smallest_normal == 2.0 ** (1 - t.bias)
+
+    def test_saturation(self):
+        assert f6e3m2.quantize(np.array([1e6]))[0] == 28.0
+        assert f6e3m2.quantize(np.array([-1e6]))[0] == -28.0
+
+    def test_nan_becomes_zero(self):
+        assert f6e3m2.quantize(np.array([np.nan]))[0] == 0.0
+
+    def test_sign_symmetry(self):
+        x = np.linspace(0.01, 30, 97)
+        assert np.array_equal(f6e3m2.quantize(-x), -f6e3m2.quantize(x))
+
+    def test_quantize_is_idempotent(self):
+        x = np.linspace(-30, 30, 211)
+        once = f6e3m2.quantize(x)
+        assert np.array_equal(f6e3m2.quantize(once), once)
+
+    def test_round_to_nearest(self):
+        # Between 1.0 and 1.25 (step 0.25 at that binade for m=2).
+        assert f6e3m2.quantize(np.array([1.1]))[0] == 1.0
+        assert f6e3m2.quantize(np.array([1.2]))[0] == 1.25
+
+    def test_quantize_picks_nearest_representable(self):
+        values = f6e3m2.representable_values()
+        x = np.linspace(-29, 29, 331)
+        q = f6e3m2.quantize(x)
+        for xi, qi in zip(x, q):
+            best = values[np.argmin(np.abs(values - xi))]
+            assert abs(qi - xi) <= abs(best - xi) + 1e-12
+
+    @pytest.mark.parametrize("nbits", [3, 4, 5, 6, 7, 8])
+    def test_representative_widths_roundtrip(self, nbits):
+        t = float_(nbits)
+        values = t.representable_values()
+        assert values.size > 2**(nbits - 1)  # reasonable density
+        q = t.quantize(values)
+        assert np.array_equal(q, values)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(DataTypeError):
+            FloatType(0, 3)
+        with pytest.raises(DataTypeError):
+            FloatType(3, -1)
+        with pytest.raises(DataTypeError):
+            float_(6, 3, 3)  # 1+3+3 != 6
+
+    def test_monotonic_decode(self):
+        """Within the positive range, increasing patterns decode to
+        non-decreasing values (ordering property of sign-magnitude FP)."""
+        t = f6e3m2
+        positive = np.arange(1 << (t.nbits - 1), dtype=np.uint64)
+        decoded = t.from_bits(positive)
+        assert (np.diff(decoded) > 0).all()
+
+    @given(
+        e=st.integers(1, 5),
+        m=st.integers(0, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_arbitrary_em_roundtrip(self, e, m, data):
+        t = FloatType(e, m)
+        values = t.representable_values()
+        idx = data.draw(
+            st.lists(st.integers(0, values.size - 1), min_size=1, max_size=16)
+        )
+        sample = values[idx]
+        assert np.array_equal(t.quantize(sample), sample)
+
+    @given(x=st.floats(-1e4, 1e4, allow_nan=False), e=st.integers(2, 5), m=st.integers(1, 4))
+    @settings(max_examples=80)
+    def test_quantize_error_bounded(self, x, e, m):
+        t = FloatType(e, m)
+        q = float(t.quantize(np.array([x]))[0])
+        if abs(x) >= t.max_value:
+            assert abs(q) == t.max_value
+        else:
+            # Relative error bounded by half ULP: 2^-(m+1), plus the
+            # subnormal absolute floor.
+            tol = abs(x) * 2.0 ** (-(m + 1)) + t.smallest_subnormal
+            assert abs(q - x) <= tol * (1 + 1e-9)

@@ -1,0 +1,125 @@
+"""Integer data types: two's complement codecs, ranges, saturation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import IntType, UIntType, int_, uint
+from repro.errors import DataTypeError
+
+
+class TestRanges:
+    def test_int6_range(self):
+        i6 = int_(6)
+        assert i6.min_value == -32
+        assert i6.max_value == 31
+
+    def test_uint4_range(self):
+        u4 = uint(4)
+        assert u4.min_value == 0
+        assert u4.max_value == 15
+
+    def test_uint1(self):
+        u1 = uint(1)
+        assert u1.max_value == 1
+        assert np.array_equal(u1.from_bits(u1.to_bits(np.array([0, 1]))), [0, 1])
+
+    def test_int_needs_two_bits(self):
+        with pytest.raises(DataTypeError):
+            int_(1)
+
+    def test_width_bounds(self):
+        with pytest.raises(DataTypeError):
+            uint(0)
+        with pytest.raises(DataTypeError):
+            uint(65)
+
+
+class TestClassification:
+    def test_flags(self):
+        i6 = int_(6)
+        assert i6.is_integer and i6.is_signed and not i6.is_float
+        u4 = uint(4)
+        assert u4.is_integer and not u4.is_signed
+        assert u4.is_subbyte and not uint(8).is_subbyte
+        assert uint(8).is_standard and not uint(7).is_standard
+
+    def test_nbytes(self):
+        assert uint(1).nbytes == 1
+        assert uint(8).nbytes == 1
+        assert uint(9).nbytes == 2
+        assert int_(32).nbytes == 4
+
+    def test_names(self):
+        assert int_(6).name == "i6"
+        assert uint(4).name == "u4"
+
+    def test_equality_and_hash(self):
+        assert int_(6) == IntType(6)
+        assert uint(4) != int_(4)
+        assert hash(uint(4)) == hash(UIntType(4))
+
+
+class TestCodec:
+    def test_twos_complement(self):
+        i4 = int_(4)
+        assert int(i4.to_bits(np.array([-1]))[0]) == 0b1111
+        assert int(i4.to_bits(np.array([-8]))[0]) == 0b1000
+        assert int(i4.from_bits(np.array([0b1111]))[0]) == -1
+
+    def test_saturation(self):
+        i4 = int_(4)
+        assert int(i4.quantize(np.array([100]))[0]) == 7
+        assert int(i4.quantize(np.array([-100]))[0]) == -8
+        u3 = uint(3)
+        assert int(u3.quantize(np.array([9]))[0]) == 7
+        assert int(u3.quantize(np.array([-2]))[0]) == 0
+
+    def test_float_input_rounds(self):
+        i6 = int_(6)
+        assert int(i6.quantize(np.array([2.6]))[0]) == 3
+        assert int(i6.quantize(np.array([-2.6]))[0]) == -3
+
+    def test_full_range_roundtrip_every_width(self):
+        for nbits in range(2, 9):
+            t = int_(nbits)
+            values = np.arange(t.min_value, t.max_value + 1)
+            assert np.array_equal(t.from_bits(t.to_bits(values)), values), t
+        for nbits in range(1, 9):
+            t = uint(nbits)
+            values = np.arange(0, t.max_value + 1)
+            assert np.array_equal(t.from_bits(t.to_bits(values)), values), t
+
+    def test_64bit(self):
+        i64 = int_(64)
+        values = np.array([-(2**62), -1, 0, 1, 2**62])
+        assert np.array_equal(i64.from_bits(i64.to_bits(values)), values)
+
+    @given(nbits=st.integers(2, 16), data=st.data())
+    @settings(max_examples=50)
+    def test_signed_roundtrip(self, nbits, data):
+        t = int_(nbits)
+        values = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(t.min_value, t.max_value), min_size=1, max_size=32
+                )
+            )
+        )
+        assert np.array_equal(t.from_bits(t.to_bits(values)), values)
+
+    @given(nbits=st.integers(1, 16), data=st.data())
+    @settings(max_examples=50)
+    def test_unsigned_roundtrip(self, nbits, data):
+        t = uint(nbits)
+        values = np.array(
+            data.draw(st.lists(st.integers(0, t.max_value), min_size=1, max_size=32))
+        )
+        assert np.array_equal(t.from_bits(t.to_bits(values)), values)
+
+    def test_patterns_stay_in_width(self):
+        for t in (int_(5), uint(3)):
+            values = np.arange(int(t.min_value), int(t.max_value) + 1)
+            bits = t.to_bits(values)
+            assert int(bits.max()) < (1 << t.nbits)

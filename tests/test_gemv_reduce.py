@@ -1,0 +1,140 @@
+"""The ReduceSum instruction and the SIMT GEMV decode kernel."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.dtypes import dtype_from_name, float16, float32, uint8
+from repro.errors import CompilationError, TypeCheckError
+from repro.kernels import MatmulConfig, matmul_layouts, quantized_gemv_program
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import local, spatial
+from repro.layout.core import replicate
+from repro.quant import QuantScheme, dequantize_weight, quantize_weight, transform_weight
+from repro.vm import Interpreter
+
+
+class TestReduceSum:
+    def _run_reduce(self, axis, in_layout, out_layout, shape):
+        pb = ProgramBuilder("red", grid=[1])
+        ptr = pb.param("p", pointer(float32))
+        out_ptr = pb.param("q", pointer(float32))
+        g = pb.view_global(ptr, dtype=float32, shape=list(shape))
+        out_shape = [1 if d == axis else e for d, e in enumerate(shape)]
+        go = pb.view_global(out_ptr, dtype=float32, shape=out_shape)
+        tile = pb.load_global(g, layout=in_layout, offset=[0, 0])
+        red = pb.reduce_sum(tile, axis=axis, layout=out_layout)
+        pb.store_global(red, go, offset=[0, 0])
+        prog = pb.finish()
+        interp = Interpreter()
+        data = np.random.default_rng(0).standard_normal(shape).astype(np.float32)
+        a = interp.upload(data, float32)
+        b = interp.alloc_output(out_shape, float32)
+        interp.launch(prog, [a, b])
+        return data, interp.download(b, out_shape, float32)
+
+    def test_reduce_axis0(self):
+        in_layout = spatial(8, 4).local(1, 2)
+        out_layout = replicate(4, rank=2).compose(spatial(1, 8))
+        data, result = self._run_reduce(0, in_layout, out_layout, (8, 8))
+        assert np.allclose(result, data.sum(axis=0, keepdims=True), atol=1e-4)
+
+    def test_reduce_axis1(self):
+        in_layout = spatial(8, 4).local(1, 2)
+        out_layout = spatial(8, 1).replicate(4).compose(local(1, 1))
+        data, result = self._run_reduce(1, in_layout, out_layout, (8, 8))
+        assert np.allclose(result, data.sum(axis=1, keepdims=True), atol=1e-4)
+
+    def test_bad_axis_rejected(self):
+        pb = ProgramBuilder("bad", grid=[1])
+        t = pb.allocate_register(float32, layout=spatial(8, 4))
+        with pytest.raises(TypeCheckError, match="axis"):
+            pb.reduce_sum(t, axis=2, layout=spatial(8, 4))
+
+    def test_bad_output_shape_rejected(self):
+        pb = ProgramBuilder("bad2", grid=[1])
+        t = pb.allocate_register(float32, layout=spatial(8, 4))
+        with pytest.raises(TypeCheckError, match="shape"):
+            pb.reduce_sum(t, axis=0, layout=spatial(8, 4))
+
+    def test_codegen_uses_shuffle(self):
+        pb = ProgramBuilder("redgen", grid=[1])
+        ptr = pb.param("p", pointer(float32))
+        g = pb.view_global(ptr, dtype=float32, shape=[8, 8])
+        tile = pb.load_global(g, layout=spatial(8, 4).local(1, 2), offset=[0, 0])
+        red = pb.reduce_sum(
+            tile, axis=0, layout=replicate(4, rank=2).compose(spatial(1, 8))
+        )
+        pb.store_global(red, g, offset=[0, 0], masked=True)
+        kernel = compile_program(pb.finish())
+        assert "__shfl_xor_sync" in kernel.source
+
+
+class TestGemvKernel:
+    @pytest.mark.parametrize("wname,bn", [("u4", 8), ("i6", 8), ("f6e3m2", 8), ("u4", 16)])
+    def test_matches_reference(self, wname, bn):
+        wd = dtype_from_name(wname)
+        n, k = 32, 64
+        cfg = MatmulConfig(16, bn, 16)
+        scheme = QuantScheme(wd, group_size=32)
+        rng = np.random.default_rng(1)
+        x = float16.quantize(rng.standard_normal((1, k)) * 0.3)
+        q, scales = quantize_weight(rng.standard_normal((k, n)), scheme)
+        s16 = float16.quantize(scales)
+        lay = matmul_layouts(cfg, wd)
+        packed = transform_weight(q, wd, lay.b_warp)
+
+        prog = quantized_gemv_program(n, k, float16, scheme, cfg)
+        interp = Interpreter()
+        args = [
+            interp.upload(x.reshape(k, 1), float16),
+            interp.upload(packed, uint8),
+            interp.upload(s16, float16),
+            interp.alloc_output([1, n], float16),
+        ]
+        interp.launch(prog, args)
+        y = interp.download(args[-1], [1, n], float16)
+        ref = x.astype(np.float64) @ dequantize_weight(q, s16, scheme)
+        err = np.max(np.abs(y - ref) / (np.abs(ref) + 0.5))
+        assert err < 0.02, (wname, bn, err)
+
+    def test_shares_packed_format_with_matmul(self):
+        """The same transformed bytes feed both the mma template and the
+        GEMV kernel — one weight preparation serves decode and prefill."""
+        from repro.kernels import quantized_matmul_program
+
+        wd = dtype_from_name("u4")
+        n, k = 16, 64
+        cfg = MatmulConfig(16, 8, 16)
+        scheme = QuantScheme(wd, group_size=32)
+        rng = np.random.default_rng(2)
+        x = float16.quantize(rng.standard_normal((1, k)) * 0.3)
+        q, scales = quantize_weight(rng.standard_normal((k, n)), scheme)
+        s16 = float16.quantize(scales)
+        lay = matmul_layouts(cfg, wd)
+        packed = transform_weight(q, wd, lay.b_warp)
+
+        interp = Interpreter()
+        x_dev = interp.upload(x.reshape(k, 1), float16)
+        xr_dev = interp.upload(x, float16)
+        b_dev = interp.upload(packed, uint8)
+        s_dev = interp.upload(s16, float16)
+        y1_dev = interp.alloc_output([1, n], float16)
+        y2_dev = interp.alloc_output([1, n], float16)
+
+        interp.launch(
+            quantized_gemv_program(n, k, float16, scheme, cfg),
+            [x_dev, b_dev, s_dev, y1_dev],
+        )
+        interp.launch(
+            quantized_matmul_program(1, n, k, float16, scheme, cfg),
+            [xr_dev, b_dev, s_dev, y2_dev],
+        )
+        y_gemv = interp.download(y1_dev, [1, n], float16)
+        y_mma = interp.download(y2_dev, [1, n], float16)
+        assert np.allclose(y_gemv, y_mma, atol=0.02, rtol=0.02)
+
+    def test_single_warp_enforced(self):
+        scheme = QuantScheme(dtype_from_name("u4"), 32)
+        with pytest.raises(CompilationError, match="single-warp"):
+            quantized_gemv_program(32, 64, float16, scheme, MatmulConfig(32, 16, 16, 2, 1))

@@ -1,0 +1,187 @@
+"""IR scalar expressions: construction, typing, evaluation, simplification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import simplify_expr
+from repro.dtypes import float32, int32, int64, uint32
+from repro.errors import IRError, VMError
+from repro.ir import (
+    Binary,
+    Constant,
+    Var,
+    cast,
+    evaluate,
+    try_const,
+    where,
+    wrap,
+)
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        x = Var("x", int32)
+        expr = (x * 4 + 1) // 2 % 3
+        assert "x" in repr(expr)
+        assert expr.dtype == int32
+
+    def test_wrap_literals(self):
+        assert isinstance(wrap(5), Constant)
+        assert wrap(5).dtype == int32
+        assert wrap(2**40).dtype == int64
+        assert wrap(1.5).dtype == float32
+        assert wrap(True).dtype.name == "bool"
+
+    def test_wrap_expr_is_identity(self):
+        x = Var("x", int32)
+        assert wrap(x) is x
+
+    def test_wrap_rejects_junk(self):
+        with pytest.raises(IRError):
+            wrap("hello")
+
+    def test_reverse_operators(self):
+        x = Var("x", int32)
+        assert evaluate(10 - x, {x: 4}) == 6
+        assert evaluate(10 % x, {x: 4}) == 2
+        assert evaluate(2 * x, {x: 4}) == 8
+
+    def test_comparison_yields_bool(self):
+        x = Var("x", int32)
+        assert (x < 5).dtype.name == "bool"
+        assert (x.equals(5)).dtype.name == "bool"
+
+    def test_conditional(self):
+        x = Var("x", int32)
+        expr = where(x > 0, x, -x)
+        assert evaluate(expr, {x: -7}) == 7
+        assert evaluate(expr, {x: 7}) == 7
+
+
+class TestPromotion:
+    def test_float_beats_int(self):
+        x, y = Var("x", int32), Var("y", float32)
+        assert (x + y).dtype == float32
+
+    def test_wider_wins(self):
+        x, y = Var("x", int32), Var("y", int64)
+        assert (x + y).dtype == int64
+
+    def test_signed_wins_tie(self):
+        x, y = Var("x", int32), Var("y", uint32)
+        assert (x + y).dtype == int32
+
+    def test_pointer_arithmetic(self):
+        from repro.lang import pointer
+
+        p = Var("p", pointer("f16"))
+        assert (p + 4).dtype.is_pointer
+
+
+class TestEvaluation:
+    def test_c_division_semantics(self):
+        """Integer / and % truncate toward zero, like the generated CUDA."""
+        x, y = Var("x", int32), Var("y", int32)
+        assert evaluate(x / y, {x: -7, y: 2}) == -3  # not -4
+        assert evaluate(x % y, {x: -7, y: 2}) == -1  # not 1
+        assert evaluate(x / y, {x: 7, y: -2}) == -3
+
+    def test_division_by_zero(self):
+        x = Var("x", int32)
+        with pytest.raises(VMError):
+            evaluate(x / 0, {x: 1})
+
+    def test_bitwise(self):
+        x = Var("x", int32)
+        env = {x: 0b1100}
+        assert evaluate(x & 0b1010, env) == 0b1000
+        assert evaluate(x | 0b0011, env) == 0b1111
+        assert evaluate(x ^ 0b1111, env) == 0b0011
+        assert evaluate(x << 2, env) == 0b110000
+        assert evaluate(x >> 2, env) == 0b11
+        assert evaluate(~x, env) == ~0b1100
+
+    def test_logical_short_circuit(self):
+        x = Var("x", int32)
+        # The right side would divide by zero; && must skip it.
+        expr = (x > 0).logical_and((10 / x) > 1)
+        assert evaluate(expr, {x: 0}) is False
+        assert evaluate((x.equals(0)).logical_or((10 / x) > 1), {x: 0}) is True
+
+    def test_unbound_var(self):
+        with pytest.raises(IRError):
+            evaluate(Var("ghost", int32), {})
+
+    def test_cast_eval(self):
+        x = Var("x", float32)
+        assert evaluate(cast(x, int32), {x: 3.9}) == 3
+
+    def test_try_const(self):
+        x = Var("x", int32)
+        assert try_const(wrap(3) * 4) == 12
+        assert try_const(x + 1) is None
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify_expr(wrap(3) + wrap(4)).value == 7
+        assert simplify_expr(wrap(3) * wrap(4) - 2).value == 10
+
+    def test_identities(self):
+        x = Var("x", int32)
+        assert simplify_expr(x + 0) is x
+        assert simplify_expr(x * 1) is x
+        assert simplify_expr(x / 1) is x
+        assert simplify_expr(x - 0) is x
+        assert simplify_expr(x * 0).value == 0
+        assert simplify_expr(x % 1).value == 0
+
+    def test_nested_constants_fold(self):
+        x = Var("x", int32)
+        simplified = simplify_expr((x * 4) * 2)
+        assert isinstance(simplified, Binary)
+        assert simplified.rhs.value == 8
+        simplified = simplify_expr((x + 3) + 5)
+        assert simplified.rhs.value == 8
+
+    def test_double_negation(self):
+        x = Var("x", int32)
+        assert simplify_expr(-(-x)) is x
+
+    def test_conditional_folds(self):
+        x = Var("x", int32)
+        assert simplify_expr(where(wrap(3) > 2, x, x + 1)) is x
+
+    def test_logical_folds(self):
+        x = Var("x", int32)
+        t = wrap(3) > 2
+        assert simplify_expr(t.logical_and(x > 0)) is not None
+        assert simplify_expr((wrap(1) > 2).logical_and(x > 0)).value is False
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_simplification_preserves_value(self, data):
+        """Property: simplified expression evaluates identically."""
+        x = Var("x", int32)
+        y = Var("y", int32)
+
+        def build(depth):
+            if depth == 0:
+                return data.draw(
+                    st.sampled_from([x, y, wrap(0), wrap(1), wrap(3), wrap(7)])
+                )
+            op = data.draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+            lhs, rhs = build(depth - 1), build(depth - 1)
+            return Binary(op, lhs, rhs)
+
+        expr = build(data.draw(st.integers(1, 3)))
+        env = {
+            x: data.draw(st.integers(-20, 20)),
+            y: data.draw(st.integers(-20, 20)),
+        }
+        try:
+            expected = evaluate(expr, env)
+        except VMError:
+            return  # division by zero: nothing to compare
+        assert evaluate(simplify_expr(expr), env) == expected

@@ -1,0 +1,186 @@
+"""Program structure, the DSL builder, and the printer."""
+
+import pytest
+
+from repro.dtypes import float16, float32, int6, uint8
+from repro.errors import IRError, TypeCheckError
+from repro.ir import ForStmt, IfStmt, Program, format_program
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import local, spatial
+
+
+def tiny_program() -> Program:
+    pb = ProgramBuilder("demo", grid=[4, 2])
+    ptr = pb.param("x_ptr", pointer(float16))
+    bi, bj = pb.block_indices()
+    g = pb.view_global(ptr, dtype=float16, shape=[64, 32])
+    r = pb.load_global(g, layout=spatial(8, 4), offset=[bi * 8, bj * 4])
+    r2 = pb.mul(r, 2.0)
+    pb.store_global(r2, g, offset=[bi * 8, bj * 4])
+    return pb.finish()
+
+
+class TestProgramStructure:
+    def test_grid_and_params(self):
+        prog = tiny_program()
+        assert prog.grid_rank == 2
+        assert prog.static_grid() == (4, 2)
+        assert [p.name for p in prog.params] == ["x_ptr"]
+
+    def test_runtime_grid(self):
+        from repro.dtypes import int32
+
+        pb = ProgramBuilder("dyn", grid=[])
+        pb2 = ProgramBuilder("dyn2", grid=[0])
+        n = pb2.param("n", int32)
+        pb3 = ProgramBuilder("dyn3", grid=[n / 16])
+        pb3._params.append(n)
+        prog = pb3.finish()
+        assert prog.static_grid() is None
+        assert prog.grid_size([64]) == (4,)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(IRError):
+            Program("not a name", [1], [], __import__("repro.ir", fromlist=["SeqStmt"]).SeqStmt())
+
+    def test_thread_count_validation(self):
+        with pytest.raises(IRError):
+            ProgramBuilder("p", grid=[1], num_threads=33).finish()
+
+    def test_printer_output(self):
+        text = format_program(tiny_program())
+        assert "def demo<4, 2>" in text
+        assert "BlockIndices()" in text
+        assert "LoadGlobal" in text
+        assert "StoreGlobal" in text
+        assert "Mul" in text
+
+
+class TestBuilderControlFlow:
+    def test_for_loop(self):
+        pb = ProgramBuilder("loop", grid=[1])
+        with pb.for_range(10) as i:
+            pb.assign("i32", i * 2)
+        prog = pb.finish()
+        stmts = list(prog.body.walk())
+        assert any(isinstance(s, ForStmt) for s in stmts)
+
+    def test_if_else(self):
+        pb = ProgramBuilder("cond", grid=[1])
+        v = pb.assign("i32", 5)
+        with pb.if_then(v > 3):
+            pb.assign("i32", 1)
+        with pb.otherwise():
+            pb.assign("i32", 2)
+        prog = pb.finish()
+        if_stmt = next(s for s in prog.body.walk() if isinstance(s, IfStmt))
+        assert if_stmt.else_body is not None
+
+    def test_orphan_else_rejected(self):
+        pb = ProgramBuilder("bad", grid=[1])
+        with pytest.raises(IRError):
+            with pb.otherwise():
+                pass
+
+    def test_double_else_rejected(self):
+        pb = ProgramBuilder("bad2", grid=[1])
+        with pb.if_then(wrap_true()):
+            pass
+        with pb.otherwise():
+            pass
+        with pytest.raises(IRError):
+            with pb.otherwise():
+                pass
+
+    def test_emit_after_finish_rejected(self):
+        pb = ProgramBuilder("done", grid=[1])
+        pb.finish()
+        with pytest.raises(IRError):
+            pb.block_indices()
+
+    def test_while_break_continue(self):
+        pb = ProgramBuilder("w", grid=[1])
+        v = pb.assign("i32", 0)
+        with pb.while_loop(v < 10):
+            pb.break_()
+            pb.continue_()
+        prog = pb.finish()
+        assert "while" in format_program(prog)
+        assert "break" in format_program(prog)
+
+
+def wrap_true():
+    from repro.ir import wrap
+
+    return wrap(True)
+
+
+class TestBuilderTypeChecks:
+    def test_view_thread_mismatch(self):
+        pb = ProgramBuilder("v", grid=[1])
+        r = pb.allocate_register(uint8, layout=local(3).spatial(32))
+        with pytest.raises(TypeCheckError):
+            pb.view(r, dtype=int6, layout=local(4, 1).spatial(4, 4))  # 16 threads
+
+    def test_view_bits_mismatch(self):
+        pb = ProgramBuilder("v2", grid=[1])
+        r = pb.allocate_register(uint8, layout=local(3).spatial(32))  # 24 bits
+        with pytest.raises(TypeCheckError):
+            pb.view(r, dtype=int6, layout=local(1, 1).spatial(4, 8).local(2, 1))  # 12 bits
+
+    def test_view_valid_fig2c(self):
+        """Figure 2(c): u8[96] local(3).spatial(32) -> i6[16,8]."""
+        from repro.layout import column_spatial
+
+        pb = ProgramBuilder("v3", grid=[1])
+        r = pb.allocate_register(uint8, layout=local(3).spatial(32))
+        viewed = pb.view(
+            r, dtype=int6, layout=local(2, 1).compose(column_spatial(4, 8)).local(2, 1)
+        )
+        assert viewed.ttype.dtype == int6
+        assert viewed.ttype.layout.shape == (16, 8)
+
+    def test_dot_shape_mismatch(self):
+        from repro.layout import mma_m16n8k16
+
+        mma = mma_m16n8k16()
+        pb = ProgramBuilder("d", grid=[1])
+        a = pb.allocate_register(float16, layout=mma.a_layout)
+        b = pb.allocate_register(float16, layout=mma.b_layout)
+        c_bad = pb.allocate_register(float32, layout=mma.a_layout)  # 16x16, not 16x8
+        with pytest.raises(TypeCheckError):
+            pb.dot(a, b, c_bad)
+
+    def test_elementwise_layout_mismatch(self):
+        pb = ProgramBuilder("e", grid=[1])
+        a = pb.allocate_register(float16, layout=spatial(8, 4))
+        b = pb.allocate_register(float16, layout=spatial(4, 8))
+        with pytest.raises(TypeCheckError):
+            pb.add(a, b)
+
+    def test_scope_checks(self):
+        pb = ProgramBuilder("s", grid=[1])
+        ptr = pb.param("p", pointer(float16))
+        g = pb.view_global(ptr, dtype=float16, shape=[8, 8])
+        with pytest.raises(TypeCheckError):
+            pb.cast(g, float32)  # cast needs a register tensor
+
+    def test_layout_exceeds_block_threads(self):
+        pb = ProgramBuilder("t", grid=[1], num_threads=32)
+        with pytest.raises(TypeCheckError):
+            pb.allocate_register(float16, layout=spatial(8, 8))  # 64 threads
+
+    def test_offset_rank_check(self):
+        pb = ProgramBuilder("o", grid=[1])
+        ptr = pb.param("p", pointer(float16))
+        g = pb.view_global(ptr, dtype=float16, shape=[8, 8])
+        with pytest.raises(TypeCheckError):
+            pb.load_global(g, layout=spatial(8, 4), offset=[0])
+
+    def test_copy_async_dtype_mismatch(self):
+        pb = ProgramBuilder("c", grid=[1])
+        ptr = pb.param("p", pointer(float16))
+        g = pb.view_global(ptr, dtype=float16, shape=[8, 8])
+        s = pb.allocate_shared(uint8, [8, 8])
+        with pytest.raises(TypeCheckError):
+            pb.copy_async(s, g, src_offset=[0, 0])

@@ -1,0 +1,115 @@
+"""Layout division — the inverse of the Kronecker product (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.helpers import composed_layouts, primitive_layouts
+from repro.errors import LayoutError
+from repro.layout import (
+    canonicalize,
+    column_local,
+    divide,
+    is_divisible,
+    left_divide,
+    local,
+    spatial,
+)
+
+
+class TestPaperExample:
+    def test_local24_by_local12(self):
+        """Paper: local(2, 4) / local(1, 2) == local(2, 2)."""
+        quotient = divide(local(2, 4), local(1, 2))
+        assert quotient.equivalent(local(2, 2))
+
+    def test_figure3_layout_division(self):
+        layout = local(2, 1).spatial(8, 4).local(1, 2)
+        quotient = divide(layout, local(1, 2))
+        assert quotient.equivalent(local(2, 1).spatial(8, 4))
+
+
+class TestRoundTrip:
+    @given(f=composed_layouts(max_factors=2), g=primitive_layouts(max_extent=3))
+    @settings(max_examples=50, deadline=None)
+    def test_compose_then_divide(self, f, g):
+        h = f.compose(g)
+        quotient = divide(h, g)
+        assert quotient.equivalent(f)
+
+    @given(f=primitive_layouts(max_extent=3), g=composed_layouts(max_factors=2))
+    @settings(max_examples=50, deadline=None)
+    def test_compose_then_left_divide(self, f, g):
+        h = f.compose(g)
+        quotient = left_divide(h, f)
+        assert quotient.equivalent(g)
+
+    def test_divide_requires_suffix(self):
+        # h = g ⊗ f is NOT divisible by g on the right in general.
+        g, f = spatial(2, 1), local(2, 1)
+        h = g.compose(f)
+        with pytest.raises(LayoutError):
+            divide(h, g)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LayoutError):
+            divide(local(2, 3), local(2, 2))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(LayoutError):
+            divide(local(4), local(2, 2))
+
+
+class TestFunctionalDivisibility:
+    @given(f=composed_layouts(max_factors=2), g=primitive_layouts(max_extent=3))
+    @settings(max_examples=50, deadline=None)
+    def test_products_are_divisible(self, f, g):
+        assert is_divisible(f.compose(g), g)
+
+    def test_non_divisor_detected(self):
+        h = local(2, 1).spatial(8, 4).local(1, 2)  # fig-3 layout
+        assert not is_divisible(h, spatial(8, 4).local(1, 4))
+        assert is_divisible(h, spatial(8, 4).local(1, 2))
+
+    def test_self_division(self):
+        h = spatial(4, 2).local(2, 2)
+        assert is_divisible(h, h)
+        assert divide(h, h).equivalent(local(1, 1))
+
+    def test_unit_divisor(self):
+        h = spatial(4, 2)
+        assert is_divisible(h, local(1, 1))
+
+    def test_mode_splitting(self):
+        """Division must split a fused mode: local(4) / local(2)."""
+        quotient = divide(local(4), local(2))
+        assert quotient.equivalent(local(2))
+
+    def test_column_divisor(self):
+        h = local(2, 2).compose(column_local(2, 2))
+        assert is_divisible(h, column_local(2, 2))
+        assert divide(h, column_local(2, 2)).equivalent(local(2, 2))
+
+
+class TestCanonicalize:
+    @given(a=composed_layouts(max_factors=3))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_is_equivalent(self, a):
+        assert canonicalize(a).equivalent(a)
+
+    def test_unit_modes_dropped(self):
+        a = local(1, 1).compose(spatial(2, 2)).compose(local(1, 1))
+        c = canonicalize(a)
+        assert all(e > 1 for e in c.mode_shape)
+        assert c.equivalent(a)
+
+    def test_adjacent_modes_merge(self):
+        a = local(2, 1).compose(local(2, 1))
+        c = canonicalize(a)
+        assert c == canonicalize(local(4, 1))
+
+    @given(a=composed_layouts(max_factors=3))
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_idempotent(self, a):
+        once = canonicalize(a)
+        twice = canonicalize(once)
+        assert once == twice

@@ -1,0 +1,134 @@
+"""Primitive layouts: local, spatial and their column-major variants
+(paper Section 4.1, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import column_local, column_spatial, local, repeat, spatial
+
+
+class TestLocal:
+    def test_figure4_local23(self):
+        """local(2, 3): f(t, i) = (i / 3, i % 3)."""
+        layout = local(2, 3)
+        assert layout.num_threads == 1
+        assert layout.local_size == 6
+        for i in range(6):
+            assert layout.map(0, i) == (i // 3, i % 3)
+
+    def test_local_1d(self):
+        layout = local(5)
+        assert layout.shape == (5,)
+        assert [layout.map(0, i) for i in range(5)] == [(i,) for i in range(5)]
+
+    def test_repeat_alias(self):
+        assert repeat(2, 3).equivalent(local(2, 3))
+
+    def test_unit_extents(self):
+        layout = local(1, 4, 1)
+        assert layout.shape == (1, 4, 1)
+        assert layout.local_size == 4
+        assert layout.map(0, 2) == (0, 2, 0)
+
+
+class TestSpatial:
+    def test_figure4_spatial23(self):
+        """spatial(2, 3): f(t, i) = (t / 3, t % 3)."""
+        layout = spatial(2, 3)
+        assert layout.num_threads == 6
+        assert layout.local_size == 1
+        for t in range(6):
+            assert layout.map(t, 0) == (t // 3, t % 3)
+
+    def test_warp(self):
+        layout = spatial(32)
+        assert layout.num_threads == 32
+        assert layout.is_bijective()
+
+
+class TestColumnMajor:
+    def test_column_local(self):
+        """column_local(2, 2) counts the first dimension fastest."""
+        layout = column_local(2, 2)
+        expected = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        assert [layout.map(0, i) for i in range(4)] == expected
+
+    def test_column_spatial(self):
+        layout = column_spatial(2, 3)
+        # Thread index advances down the first dimension first.
+        expected = [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        assert [layout.map(t, 0) for t in range(6)] == expected
+
+    def test_column_equals_product_of_rows(self):
+        """Paper Figure 5(e): local(1,2).local(2,1) == column_local(2,2)."""
+        assert local(1, 2).compose(local(2, 1)).equivalent(column_local(2, 2))
+
+    def test_row_vs_column_differ(self):
+        assert not local(2, 2).equivalent(column_local(2, 2))
+        assert not spatial(2, 3).equivalent(column_spatial(2, 3))
+
+    def test_square_1d_same(self):
+        # In one dimension, row and column order coincide.
+        assert local(4).equivalent(column_local(4))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            local()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(LayoutError):
+            spatial(0, 2)
+        with pytest.raises(LayoutError):
+            local(-1)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize(
+        "layout",
+        [
+            local(2, 3),
+            spatial(4, 2),
+            column_local(3, 2),
+            column_spatial(2, 4),
+            local(2, 1).spatial(8, 4).local(1, 2),
+        ],
+    )
+    def test_bijective(self, layout):
+        assert layout.is_bijective()
+
+    def test_inverse_on_primitives(self):
+        for layout in (local(2, 3), spatial(3, 2), column_spatial(2, 2)):
+            for t in range(layout.num_threads):
+                for i in range(layout.local_size):
+                    assert layout.locate(layout.map(t, i)) == (t, i)
+
+
+class TestFigure3:
+    """The tensor-core operand-A layout of paper Figure 3."""
+
+    def test_exact_function(self):
+        layout = local(2, 1).spatial(8, 4).local(1, 2)
+        assert layout.shape == (16, 8)
+        assert layout.num_threads == 32
+        assert layout.local_size == 4
+        for t in range(32):
+            for i in range(4):
+                expected = (t // 4 + (i // 2) * 8, (t % 4) * 2 + i % 2)
+                assert layout.map(t, i) == expected
+
+    def test_dense_table_matches_figure(self):
+        layout = local(2, 1).spatial(8, 4).local(1, 2)
+        table = np.zeros((16, 8, 2), dtype=int)  # (row, col) -> (t, i)
+        for t in range(32):
+            for i in range(4):
+                r, c = layout.map(t, i)
+                table[r, c] = (t, i)
+        # Spot-check the corners shown in the figure.
+        assert tuple(table[0, 0]) == (0, 0)
+        assert tuple(table[0, 1]) == (0, 1)
+        assert tuple(table[0, 7]) == (3, 1)
+        assert tuple(table[8, 0]) == (0, 2)
+        assert tuple(table[15, 7]) == (31, 3)

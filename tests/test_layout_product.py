@@ -1,0 +1,123 @@
+"""The Kronecker product of layouts (paper Section 4.2, Figure 5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.helpers import composed_layouts, layout_table_dict, primitive_layouts
+from repro.errors import LayoutError
+from repro.layout import Layout, local, spatial
+from repro.utils.indexmath import prod
+
+
+class TestFigure5:
+    def test_c_equals_a_times_b(self):
+        """Layout (c) = local(2,1) ⊗ [spatial(2,3).local(1,2)]."""
+        a = local(2, 1)
+        b = spatial(2, 3).local(1, 2)
+        c = a.compose(b)
+        assert c.shape == (4, 6)
+        assert c.num_threads == 6
+        assert c.local_size == 4
+        # Definition: c(t, i) = a(t/6, i/2) * (2, 6) + b(t%6, i%2)
+        for t in range(6):
+            for i in range(4):
+                ar, ac = a.map(t // 6, i // 2)
+                br, bc = b.map(t % 6, i % 2)
+                assert c.map(t, i) == (ar * 2 + br, ac * 6 + bc)
+
+    def test_shape_multiplies(self):
+        c = local(2, 3).compose(spatial(4, 5))
+        assert c.shape == (8, 15)
+        assert c.num_threads == 20
+        assert c.local_size == 6
+
+    def test_mul_operator(self):
+        assert (local(2, 1) * spatial(2, 2)).equivalent(
+            local(2, 1).compose(spatial(2, 2))
+        )
+
+
+class TestAlgebraicLaws:
+    @given(
+        a=primitive_layouts(max_extent=3),
+        b=primitive_layouts(max_extent=3),
+        c=primitive_layouts(max_extent=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_associativity(self, a, b, c):
+        """(a ⊗ b) ⊗ c == a ⊗ (b ⊗ c), paper Section 4.2."""
+        left = a.compose(b).compose(c)
+        right = a.compose(b.compose(c))
+        assert left.equivalent(right)
+
+    def test_not_commutative(self):
+        a, b = local(2, 1), spatial(2, 1)
+        assert not a.compose(b).equivalent(b.compose(a))
+
+    @given(a=composed_layouts())
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, a):
+        one = local(*([1] * a.rank))
+        assert a.compose(one).equivalent(a)
+        assert one.compose(a).equivalent(a)
+
+    @given(a=primitive_layouts(), b=primitive_layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_multiply(self, a, b):
+        c = a.compose(b)
+        assert c.num_threads == a.num_threads * b.num_threads
+        assert c.local_size == a.local_size * b.local_size
+        assert prod(c.shape) == prod(a.shape) * prod(b.shape)
+
+    @given(a=composed_layouts(max_factors=2), b=primitive_layouts(max_extent=3))
+    @settings(max_examples=40, deadline=None)
+    def test_product_definition(self, a, b):
+        """h(t, i) = f(t/Tg, i/Ng) * Sg + g(t%Tg, i%Ng), elementwise."""
+        h = a.compose(b)
+        tg, ng, sg = b.num_threads, b.local_size, b.shape
+        for t in range(min(h.num_threads, 24)):
+            for i in range(min(h.local_size, 24)):
+                fa = a.map(t // tg, i // ng)
+                gb = b.map(t % tg, i % ng)
+                expected = tuple(x * s + y for x, s, y in zip(fa, sg, gb))
+                assert h.map(t, i) == expected
+
+    @given(a=composed_layouts())
+    @settings(max_examples=30, deadline=None)
+    def test_bijective_products_stay_bijective(self, a):
+        assert a.is_bijective()
+
+
+class TestRankChecks:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(LayoutError):
+            local(2).compose(local(2, 2))
+
+
+class TestFluentChaining:
+    def test_paper_surface_syntax(self):
+        """local(2,1).spatial(8,4).local(1,2) from the paper reads as-is."""
+        chained = local(2, 1).spatial(8, 4).local(1, 2)
+        explicit = local(2, 1).compose(spatial(8, 4)).compose(local(1, 2))
+        assert chained.equivalent(explicit)
+
+    def test_column_chaining(self):
+        chained = local(2, 1).column_spatial(4, 8).local(2, 1)
+        assert chained.shape == (16, 8)
+        assert chained.num_threads == 32
+        assert chained.local_size == 4
+        assert chained.is_bijective()
+
+
+class TestStructuralIdentity:
+    def test_eq_is_structural(self):
+        assert local(2, 2) == local(2, 2)
+        # Equivalent but structurally different:
+        a = local(2, 1).local(1, 2)
+        b = local(2, 2)
+        assert a.equivalent(b)
+        assert a.canonical() == b.canonical()
+
+    def test_hashable(self):
+        seen = {local(2, 2), spatial(2, 2), local(2, 2)}
+        assert len(seen) == 2

@@ -1,0 +1,119 @@
+"""Replicated layouts: multi-warp operand sharing."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import float16
+from repro.errors import LayoutError
+from repro.layout import local, mma_m16n8k16, spatial
+from repro.layout.core import replicate
+from repro.vm import RegisterValue
+
+
+class TestReplicatePrimitive:
+    def test_shape_and_threads(self):
+        r = replicate(4, rank=2)
+        assert r.shape == (1, 1)
+        assert r.num_threads == 4
+        assert r.local_size == 1
+
+    def test_all_threads_map_to_origin(self):
+        r = replicate(6, rank=1)
+        for t in range(6):
+            assert r.map(t, 0) == (0,)
+
+    def test_not_bijective(self):
+        assert not replicate(2, rank=1).is_bijective()
+
+    def test_invalid_extent(self):
+        with pytest.raises(LayoutError):
+            replicate(0)
+
+    def test_unit_replication_is_identity_like(self):
+        r = replicate(1, rank=2)
+        assert r.num_threads == 1
+        assert r.map(0, 0) == (0, 0)
+
+
+class TestWarpSharing:
+    def make_a_layout(self, wm=2, wn=2):
+        """A operand shared across warp columns (see kernels.layouts)."""
+        mma = mma_m16n8k16()
+        return (
+            spatial(wm, 1)
+            .compose(replicate(wn, rank=2))
+            .compose(local(1, 1))
+            .compose(mma.a_layout)
+        )
+
+    def test_thread_count_includes_replicas(self):
+        a = self.make_a_layout()
+        assert a.num_threads == 2 * 2 * 32
+        assert a.shape == (32, 16)
+
+    def test_warp_columns_see_same_elements(self):
+        a = self.make_a_layout()
+        wn = 2
+        for lane in (0, 7, 31):
+            for i in range(8):
+                base = a.map(lane, i)  # warp (0, 0)
+                for wc in range(1, wn):
+                    assert a.map(wc * 32 + lane, i) == base
+
+    def test_warp_rows_see_disjoint_rows(self):
+        a = self.make_a_layout()
+        wn = 2
+        row0 = a.map(0, 0)[0]
+        row1 = a.map(wn * 32, 0)[0]
+        assert row1 == row0 + 16
+
+    def test_register_roundtrip_with_replication(self):
+        a = self.make_a_layout()
+        data = np.arange(32 * 16, dtype=float).reshape(32, 16)
+        rv = RegisterValue.from_logical(float16, a, data)
+        assert np.array_equal(rv.to_logical(), data)
+        # Replicated threads hold identical values.
+        vals = rv.thread_values()
+        assert np.array_equal(vals[0:32], vals[32:64])
+
+    def test_locate_selects_replica_zero(self):
+        a = self.make_a_layout()
+        t, i = a.locate((0, 0))
+        assert t < 32  # the first replica
+
+
+class TestReplicatedComposition:
+    def test_compose_preserves_flags(self):
+        c = replicate(2, rank=1).compose(spatial(4))
+        assert c.num_threads == 8
+        assert c.shape == (4,)
+        for t in range(8):
+            assert c.map(t, 0) == (t % 4,)
+
+    def test_replicate_on_right(self):
+        c = spatial(4).compose(replicate(2, rank=1))
+        for t in range(8):
+            assert c.map(t, 0) == (t // 2,)
+
+    def test_canonicalize_keeps_replication(self):
+        c = replicate(2, rank=1).compose(spatial(4)).canonical()
+        assert c.num_threads == 8
+        assert not c.is_bijective()
+
+    def test_structural_division_rejected(self):
+        from repro.layout import divide
+
+        c = replicate(2, rank=1).compose(spatial(4))
+        with pytest.raises(LayoutError):
+            divide(c, spatial(4))
+
+    def test_functional_divisibility_still_works(self):
+        from repro.layout import is_divisible
+
+        c = replicate(2, rank=1).compose(spatial(4))
+        assert is_divisible(c, spatial(4))
+
+    def test_fluent_helper(self):
+        a = spatial(2, 1).replicate(3)
+        assert a.num_threads == 6
+        assert a.shape == (2, 1)

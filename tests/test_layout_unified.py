@@ -1,0 +1,123 @@
+"""The unified layout representation (paper Section 5, Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from tests.helpers import composed_layouts
+from repro.errors import LayoutError
+from repro.layout import Layout
+from repro.utils.indexmath import ravel_index, unravel_index
+
+
+class TestRavelUnravel:
+    def test_paper_examples(self):
+        """unravel(i, [4,2,8]) == [i/16, i/8%2, i%8]; ravel([i2,j1],[8,4])."""
+        for i in range(64):
+            assert unravel_index(i, [4, 2, 8]) == [i // 16, i // 8 % 2, i % 8]
+        assert ravel_index([3, 2], [8, 4]) == 3 * 4 + 2
+
+    def test_inverse(self):
+        shape = [3, 5, 2]
+        for linear in range(30):
+            assert ravel_index(unravel_index(linear, shape), shape) == linear
+
+    def test_vectorized(self):
+        linear = np.arange(24)
+        parts = unravel_index(linear, [2, 3, 4])
+        back = ravel_index(parts, [2, 3, 4])
+        assert np.array_equal(back, linear)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(LayoutError):
+            ravel_index([1, 2], [4])
+
+
+class TestFigure6:
+    """The worked example: shape [64, 64], mode_shape [4,2,8,8,4,2],
+    spatial_modes [2, 4], local_modes [0, 3, 1, 5]."""
+
+    def make(self) -> Layout:
+        return Layout(
+            shape=[64, 64],
+            mode_shape=[4, 2, 8, 8, 4, 2],
+            spatial_modes=[2, 4],
+            local_modes=[0, 3, 1, 5],
+        )
+
+    def test_sizes(self):
+        layout = self.make()
+        assert layout.num_threads == 8 * 4
+        assert layout.local_size == 4 * 8 * 2 * 2
+        assert layout.size == 64 * 64
+
+    def test_mapping_follows_split_distribute_merge(self):
+        layout = self.make()
+        for i, j in [(0, 0), (17, 5), (63, 63), (32, 16), (5, 40)]:
+            i0, i1, i2 = i // 16, i // 8 % 2, i % 8
+            j0, j1, j2 = j // 8, j // 2 % 4, j % 2
+            thread = i2 * 4 + j1
+            local = ((i0 * 8 + j0) * 2 + i1) * 2 + j2
+            assert layout.locate([i, j]) == (thread, local)
+
+    def test_bijective(self):
+        assert self.make().is_bijective()
+
+    def test_forward_inverse_consistency(self):
+        layout = self.make()
+        t = np.repeat(np.arange(32), layout.local_size)
+        i = np.tile(np.arange(layout.local_size), 32)
+        coords = layout.map_batch(t, i)
+        tt, ii = layout.locate_batch(coords)
+        assert np.array_equal(tt, t)
+        assert np.array_equal(ii, i)
+
+
+class TestConstructionErrors:
+    def test_modes_must_partition(self):
+        with pytest.raises(LayoutError):
+            Layout([4], [2, 2], [0], [0])  # mode 0 assigned twice
+        with pytest.raises(LayoutError):
+            Layout([4], [2, 2], [0], [])  # mode 1 unassigned
+
+    def test_mode_shape_must_factor(self):
+        with pytest.raises(LayoutError):
+            Layout([4], [3], [0], [])
+        with pytest.raises(LayoutError):
+            Layout([4], [2, 2, 2], [0, 1], [2])
+
+    def test_positive_shape(self):
+        with pytest.raises(LayoutError):
+            Layout([0], [], [], [])
+
+
+class TestClosure:
+    @given(a=composed_layouts(max_factors=3))
+    @settings(max_examples=40, deadline=None)
+    def test_products_stay_in_unified_form(self, a):
+        """The unified representation is closed under ⊗ (Section 5):
+        any composed layout is again a valid Layout whose attributes
+        reconstruct the same function."""
+        rebuilt = Layout(a.shape, a.mode_shape, a.spatial_modes, a.local_modes)
+        assert rebuilt.equivalent(a)
+
+    @given(a=composed_layouts(max_factors=2))
+    @settings(max_examples=40, deadline=None)
+    def test_locate_inverts_map(self, a):
+        for t in range(min(a.num_threads, 16)):
+            for i in range(min(a.local_size, 16)):
+                assert a.locate(a.map(t, i)) == (t, i)
+
+    @given(a=composed_layouts(max_factors=2))
+    @settings(max_examples=20, deadline=None)
+    def test_table_covers_all_indices(self, a):
+        table = a.table().reshape(-1, a.rank)
+        linear = np.ravel_multi_index(tuple(table.T), a.shape)
+        assert np.unique(linear).size == a.size
+
+
+class TestRepr:
+    def test_repr_and_short_repr(self):
+        layout = Layout([4, 4], [2, 2, 2, 2], [0, 2], [1, 3])
+        assert "mode_shape" in repr(layout)
+        assert layout.short_repr() == "{4x4, threads=4, locals=4}"

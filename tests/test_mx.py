@@ -1,0 +1,119 @@
+"""Microscaling (MX) block formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import float16, uint8
+from repro.errors import DataTypeError
+from repro.quant import (
+    MX_BLOCK,
+    MX_FORMATS,
+    MXFP4,
+    MXFP6,
+    MXINT8,
+    dequantize_mx,
+    mx_error,
+    quantize_mx,
+    scales_are_powers_of_two,
+)
+
+
+class TestMxQuantization:
+    def test_scales_are_powers_of_two(self):
+        w = np.random.default_rng(0).standard_normal((128, 16))
+        for fmt in MX_FORMATS.values():
+            _, scales = quantize_mx(w, fmt)
+            assert scales_are_powers_of_two(scales), fmt.name
+
+    def test_block_granularity(self):
+        w = np.random.default_rng(1).standard_normal((96, 8))
+        _, scales = quantize_mx(w, MXFP6)
+        assert scales.shape == (96 // MX_BLOCK, 8)
+
+    def test_block_size_enforced(self):
+        with pytest.raises(DataTypeError):
+            quantize_mx(np.zeros((48, 4)), MXFP6)
+
+    def test_elements_within_format_range(self):
+        w = np.random.default_rng(2).standard_normal((64, 8)) * 100
+        q, _ = quantize_mx(w, MXFP4)
+        assert np.abs(q).max() <= MXFP4.element_dtype.max_value
+
+    def test_roundtrip_error_ordering(self):
+        """mxfp4 > mxfp6 > mxint8 in error, as the widths suggest."""
+        w = np.random.default_rng(3).standard_normal((256, 16))
+        e4 = mx_error(w, MXFP4)
+        e6 = mx_error(w, MXFP6)
+        e8 = mx_error(w, MXINT8)
+        assert e4 > e6 > e8
+        assert e8 < 0.01
+
+    def test_effective_bits(self):
+        assert MXFP4.bits_per_element == 4 + 0.25
+        assert MXINT8.bits_per_element == 8.25
+
+    def test_zero_blocks_safe(self):
+        w = np.zeros((64, 4))
+        q, scales = quantize_mx(w, MXFP6)
+        assert np.array_equal(dequantize_mx(q, scales), w)
+
+    def test_handles_outlier_blocks_locally(self):
+        """A single huge block must not destroy other blocks' precision —
+        the whole point of 32-element scaling granularity."""
+        rng = np.random.default_rng(4)
+        w = rng.standard_normal((128, 4))
+        w[:32] *= 1000  # one loud block per column
+        q, scales = quantize_mx(w, MXFP6)
+        recon = dequantize_mx(q, scales)
+        quiet_err = np.abs(recon[32:] - w[32:]).max()
+        assert quiet_err < 0.3  # bounded by the quiet blocks' own scale
+
+    @given(seed=st.integers(0, 300), cols=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_bounded(self, seed, cols):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((64, cols)) * np.exp(rng.standard_normal())
+        q, scales = quantize_mx(w, MXFP6)
+        recon = dequantize_mx(q, scales)
+        # Per-block relative bound: scale * max element quant step.
+        grouped_err = np.abs(recon - w).reshape(2, 32, cols).max(axis=1)
+        bound = scales * 2.0  # coarse but format-derived
+        assert (grouped_err <= bound + 1e-12).all()
+
+
+class TestMxThroughKernel:
+    def test_mxfp6_matmul_via_template(self):
+        """MX formats run through the standard template: e8m0 scales are
+        exact in f16, block size 32 is the group size."""
+        from repro.kernels import MatmulConfig, matmul_layouts, quantized_matmul_program
+        from repro.quant import QuantScheme, transform_weight
+        from repro.vm import Interpreter
+
+        m, n, k = 8, 16, 64
+        fmt = MXFP6
+        rng = np.random.default_rng(5)
+        a = float16.quantize(rng.standard_normal((m, k)) * 0.3)
+        w = rng.standard_normal((k, n))
+        q, scales = quantize_mx(w, fmt)
+        assert scales_are_powers_of_two(scales)
+
+        cfg = MatmulConfig(16, 8, 32)
+        scheme = QuantScheme(fmt.element_dtype, group_size=MX_BLOCK)
+        lay = matmul_layouts(cfg, fmt.element_dtype)
+        packed = transform_weight(q, fmt.element_dtype, lay.b_warp)
+        prog = quantized_matmul_program(m, n, k, float16, scheme, cfg)
+
+        interp = Interpreter()
+        args = [
+            interp.upload(a, float16),
+            interp.upload(packed, uint8),
+            interp.upload(float16.quantize(scales), float16),
+            interp.alloc_output([m, n], float16),
+        ]
+        interp.launch(prog, args)
+        result = interp.download(args[-1], [m, n], float16)
+        reference = a.astype(np.float64) @ dequantize_mx(q, scales)
+        err = np.max(np.abs(result - reference) / (np.abs(reference) + 0.5))
+        assert err < 0.02

@@ -1,0 +1,129 @@
+"""The user-facing ops API and the runtime system."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.dtypes import float16, int4, int6, uint2, uint4
+from repro.errors import VMError
+from repro.kernels import MatmulConfig
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import spatial
+from repro.runtime import Runtime
+
+
+class TestOpsApi:
+    @pytest.mark.parametrize("dtype", [uint4, int6, uint2])
+    def test_one_shot_matmul(self, dtype):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 64)) * 0.3
+        w = rng.standard_normal((64, 16))
+        out = ops.quantized_matmul(a, w, weight_dtype=dtype, group_size=32)
+        ref = ops.reference_quantized_matmul(a, w, dtype, 32)
+        err = np.max(np.abs(out - ref) / (np.abs(ref) + 0.5))
+        assert err < 0.02, dtype
+
+    def test_prepared_linear_reused(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((64, 16))
+        linear = ops.prepare_linear(w, int4, group_size=32)
+        out1 = linear(rng.standard_normal((4, 64)) * 0.3)
+        out2 = linear(rng.standard_normal((4, 64)) * 0.3)
+        assert out1.shape == out2.shape == (4, 16)
+        assert not np.array_equal(out1, out2)
+
+    def test_batch_one_token(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((64, 16))
+        linear = ops.prepare_linear(w, uint4, group_size=64)
+        out = linear(rng.standard_normal((1, 64)))
+        assert out.shape == (1, 16)
+
+    def test_wrong_activation_shape(self):
+        w = np.zeros((64, 16))
+        linear = ops.prepare_linear(w, uint4)
+        with pytest.raises(ValueError):
+            linear(np.zeros((4, 32)))
+
+    def test_custom_config(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((4, 64)) * 0.3
+        w = rng.standard_normal((64, 16))
+        out = ops.quantized_matmul(
+            a, w, uint4, group_size=32, config=MatmulConfig(16, 16, 32, num_stages=2)
+        )
+        ref = ops.reference_quantized_matmul(a, w, uint4, 32)
+        assert np.max(np.abs(out - ref) / (np.abs(ref) + 0.5)) < 0.02
+
+
+class TestRuntime:
+    def _copy_program(self):
+        pb = ProgramBuilder("copy", grid=[1])
+        src = pb.param("src", pointer(float16))
+        dst = pb.param("dst", pointer(float16))
+        g_in = pb.view_global(src, dtype=float16, shape=[8, 4])
+        g_out = pb.view_global(dst, dtype=float16, shape=[8, 4])
+        tile = pb.load_global(g_in, layout=spatial(8, 4), offset=[0, 0])
+        pb.store_global(tile, g_out, offset=[0, 0])
+        return pb.finish()
+
+    def test_launch_and_download(self):
+        rt = Runtime()
+        prog = self._copy_program()
+        data = float16.quantize(np.random.default_rng(0).standard_normal((8, 4)))
+        a = rt.upload(data, float16)
+        b = rt.empty([8, 4], float16)
+        rt.launch(prog, [a, b])
+        assert np.array_equal(rt.download(b, [8, 4], float16), data)
+        assert rt.context.launches == 1
+
+    def test_kernel_cache_hit(self):
+        rt = Runtime()
+        prog = self._copy_program()
+        data = np.zeros((8, 4))
+        a = rt.upload(data, float16)
+        b = rt.empty([8, 4], float16)
+        rt.launch(prog, [a, b])
+        rt.launch(prog, [a, b])
+        assert rt.cache.misses == 1
+        assert rt.cache.hits == 1
+        assert len(rt.cache) == 1
+
+    def test_distinct_programs_cached_separately(self):
+        rt = Runtime()
+        p1, p2 = self._copy_program(), self._copy_program()
+        data = np.zeros((8, 4))
+        a = rt.upload(data, float16)
+        b = rt.empty([8, 4], float16)
+        rt.launch(p1, [a, b])
+        rt.launch(p2, [a, b])
+        assert len(rt.cache) == 2
+
+    def test_workspace_grows(self):
+        rt = Runtime()
+        w1 = rt.ensure_workspace(1024)
+        w2 = rt.ensure_workspace(512)
+        assert w1 == w2  # no shrink, reuse
+        w3 = rt.ensure_workspace(4096)
+        assert w3 != w1
+
+    def test_error_wrapped_with_kernel_name(self):
+        rt = Runtime()
+        pb = ProgramBuilder("oob_kernel", grid=[1])
+        ptr = pb.param("p", pointer(float16))
+        g = pb.view_global(ptr, dtype=float16, shape=[2, 2])
+        tile = pb.load_global(g, layout=spatial(8, 4), offset=[0, 0])
+        pb.store_global(tile, g, offset=[0, 0])
+        prog = pb.finish()
+        addr = rt.upload(np.zeros((2, 2)), float16)
+        with pytest.raises(VMError, match="oob_kernel"):
+            rt.launch(prog, [addr])
+
+    def test_stats_accumulate(self):
+        rt = Runtime()
+        prog = self._copy_program()
+        data = np.zeros((8, 4))
+        a = rt.upload(data, float16)
+        b = rt.empty([8, 4], float16)
+        rt.launch(prog, [a, b])
+        assert rt.stats().global_bits_loaded > 0

@@ -1,0 +1,116 @@
+"""Quantization schemes: scales, zero points, error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import dtype_from_name, f6e3m2, int4, int8, uint4
+from repro.errors import DataTypeError
+from repro.quant import (
+    QuantScheme,
+    dequantize_weight,
+    quantization_error,
+    quantize_weight,
+)
+
+
+class TestScheme:
+    def test_zero_point_unsigned(self):
+        assert QuantScheme(uint4).zero_point == 8
+        assert QuantScheme(int4).zero_point == 0
+        assert QuantScheme(f6e3m2).zero_point == 0
+        assert QuantScheme(dtype_from_name("u1")).zero_point == 0
+
+    def test_max_magnitude(self):
+        assert QuantScheme(int4).max_magnitude == 7
+        assert QuantScheme(uint4).max_magnitude == 7  # 15 - 8
+        assert QuantScheme(f6e3m2).max_magnitude == 28.0
+
+    def test_invalid_group(self):
+        with pytest.raises(DataTypeError):
+            QuantScheme(int4, group_size=0)
+
+
+class TestQuantizeDequantize:
+    def test_shapes(self):
+        w = np.random.default_rng(0).standard_normal((64, 16))
+        q, scales = quantize_weight(w, QuantScheme(int4, group_size=32))
+        assert q.shape == (64, 16)
+        assert scales.shape == (2, 16)
+
+    def test_group_must_divide(self):
+        w = np.zeros((60, 8))
+        with pytest.raises(DataTypeError):
+            quantize_weight(w, QuantScheme(int4, group_size=32))
+
+    def test_values_in_range(self):
+        w = np.random.default_rng(1).standard_normal((32, 8)) * 10
+        for name in ("i4", "u4", "u2", "i8"):
+            scheme = QuantScheme(dtype_from_name(name), group_size=32)
+            q, _ = quantize_weight(w, scheme)
+            assert q.min() >= scheme.dtype.min_value
+            assert q.max() <= scheme.dtype.max_value
+
+    def test_roundtrip_error_small_for_8bit(self):
+        w = np.random.default_rng(2).standard_normal((128, 32))
+        err = quantization_error(w, QuantScheme(int8, group_size=64))
+        assert err < 0.01
+
+    def test_more_bits_less_error(self):
+        w = np.random.default_rng(3).standard_normal((128, 32))
+        errors = [
+            quantization_error(w, QuantScheme(dtype_from_name(f"i{b}"), 64))
+            for b in (2, 3, 4, 6, 8)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_smaller_groups_less_error(self):
+        rng = np.random.default_rng(4)
+        # Heteroscedastic rows make group granularity matter.
+        w = rng.standard_normal((128, 16)) * np.exp(rng.standard_normal((128, 1)))
+        coarse = quantization_error(w, QuantScheme(int4, group_size=128))
+        fine = quantization_error(w, QuantScheme(int4, group_size=32))
+        assert fine < coarse
+
+    def test_uint_encodes_negatives(self):
+        """The mid-point zero offset lets unsigned types hold signed data."""
+        w = np.array([[-1.0], [1.0], [0.0], [-0.5]])
+        scheme = QuantScheme(uint4, group_size=4)
+        q, scales = quantize_weight(w, scheme)
+        recon = dequantize_weight(q, scales, scheme)
+        assert np.max(np.abs(recon - w)) < 0.2
+
+    def test_zero_column_safe(self):
+        w = np.zeros((32, 4))
+        q, scales = quantize_weight(w, QuantScheme(int4, 32))
+        recon = dequantize_weight(q, scales, scheme=QuantScheme(int4, 32))
+        assert np.array_equal(recon, w)
+
+    def test_float_dtype_stores_quantized_floats(self):
+        w = np.random.default_rng(5).standard_normal((32, 8))
+        scheme = QuantScheme(f6e3m2, group_size=32)
+        q, _ = quantize_weight(w, scheme)
+        assert np.array_equal(f6e3m2.quantize(q), q)
+
+    def test_1d_rejected(self):
+        with pytest.raises(DataTypeError):
+            quantize_weight(np.zeros(16), QuantScheme(int4))
+
+    @given(
+        bits=st.integers(2, 8),
+        seed=st.integers(0, 100),
+        group=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_property(self, bits, seed, group):
+        """Quantization error is bounded by half a step of the grid."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((64, 8))
+        scheme = QuantScheme(dtype_from_name(f"i{bits}"), group_size=group)
+        q, scales = quantize_weight(w, scheme)
+        recon = dequantize_weight(q, scales, scheme)
+        groups = w.reshape(64 // group, group, 8)
+        step = np.abs(groups).max(axis=1) / scheme.max_magnitude
+        bound = np.repeat(step * 0.5 + 1e-12, group, axis=0).reshape(64, 8)
+        assert (np.abs(recon - w) <= bound + 1e-9).all()

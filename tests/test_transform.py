@@ -1,0 +1,117 @@
+"""Weight layout transformation: host path vs device program (Figure 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import random_values_for
+from repro.dtypes import dtype_from_name, uint8
+from repro.errors import LayoutError
+from repro.kernels import MatmulConfig, make_transform_program, matmul_layouts
+from repro.layout import local, spatial
+from repro.quant import byte_view_layout, tile_bytes, transform_weight, untransform_weight
+from repro.vm import Interpreter
+
+
+class TestByteViewLayout:
+    def test_paper_rule(self):
+        """n bytes/thread -> local(n/n1).spatial(T).local(n1), n1=gcd(n,16)."""
+        reg = local(2, 1).compose(spatial(8, 4)).local(2, 1)  # 4 locals, 32 thr
+        view = byte_view_layout(reg, 6)  # 24 bits = 3 bytes/thread
+        assert view.num_threads == 32
+        assert view.local_size == 3
+        # n=3: n1 = gcd(3,16) = 1, n2 = 3.
+        assert view.shape == (96,)
+
+    def test_vectorized_grouping(self):
+        reg = local(4, 2).compose(spatial(8, 4)).local(2, 1)  # 16 locals
+        view = byte_view_layout(reg, 8)  # 16 bytes/thread
+        # n=16: n1=16 -> single 128-bit load per thread.
+        assert view.local_size == 16
+        first_bytes = [view.map(0, j)[0] for j in range(16)]
+        assert first_bytes == list(range(first_bytes[0], first_bytes[0] + 16))
+
+    def test_unaligned_bits_rejected(self):
+        reg = spatial(8, 4)  # 1 local
+        with pytest.raises(LayoutError):
+            byte_view_layout(reg, 6)  # 6 bits/thread: not a whole byte
+
+    def test_tile_bytes(self):
+        reg = local(2, 1).compose(spatial(8, 4)).local(2, 1)
+        assert tile_bytes(reg, 6) == 96
+        assert tile_bytes(reg, 4) == 64
+
+
+class TestHostTransform:
+    @pytest.mark.parametrize("name", ["u4", "i6", "u3", "f6e3m2", "u8", "u1"])
+    def test_untransform_roundtrip(self, name):
+        dtype = dtype_from_name(name)
+        cfg = MatmulConfig(16, 16, 16)
+        lay = matmul_layouts(cfg, dtype)
+        rng = np.random.default_rng(11)
+        k, n = 32, 32
+        q = random_values_for(dtype, (k, n), rng)
+        packed = transform_weight(q, dtype, lay.b_warp)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (k // 16, n // 16, lay.b_tile_bytes)
+        back = untransform_weight(packed, dtype, lay.b_warp, k, n)
+        assert np.array_equal(back, q)
+
+    def test_non_tiled_shape_rejected(self):
+        cfg = MatmulConfig(16, 8, 16)
+        lay = matmul_layouts(cfg, dtype_from_name("u4"))
+        with pytest.raises(LayoutError):
+            transform_weight(np.zeros((20, 8)), dtype_from_name("u4"), lay.b_warp)
+
+    @given(
+        name=st.sampled_from(["u4", "i6", "u2", "f6e3m2"]),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transform_is_permutation_of_bits(self, name, seed):
+        """The packed tile holds exactly the source bits, rearranged."""
+        dtype = dtype_from_name(name)
+        cfg = MatmulConfig(16, 8, 16)
+        lay = matmul_layouts(cfg, dtype)
+        rng = np.random.default_rng(seed)
+        q = random_values_for(dtype, (16, 8), rng)
+        packed = transform_weight(q, dtype, lay.b_warp)
+        source_bits = np.unpackbits(
+            np.frombuffer(
+                np.ascontiguousarray(dtype.to_bits(q.reshape(-1))), dtype=np.uint8
+            )
+        )
+        # Same population count (permutation preserves multiset of bits
+        # only loosely, but total set bit count must match exactly).
+        packed_pop = int(np.unpackbits(packed.reshape(-1)).sum())
+        source_pop = sum(bin(int(p)).count("1") for p in dtype.to_bits(q.reshape(-1)))
+        assert packed_pop == source_pop
+
+
+class TestDeviceTransform:
+    @pytest.mark.parametrize("name", ["u4", "i6", "f6e3m2"])
+    def test_device_matches_host(self, name):
+        """The Figure 9 VM program produces the identical byte stream."""
+        dtype = dtype_from_name(name)
+        cfg = MatmulConfig(16, 8, 16)
+        lay = matmul_layouts(cfg, dtype)
+        k, n = 32, 16
+        rng = np.random.default_rng(5)
+        q = random_values_for(dtype, (k, n), rng)
+        host = transform_weight(q, dtype, lay.b_warp)
+
+        prog = make_transform_program(k, n, dtype, cfg)
+        interp = Interpreter()
+        b_addr = interp.upload(q, dtype)
+        out_addr = interp.alloc_output(host.shape, uint8)
+        interp.launch(prog, [b_addr, out_addr])
+        device = interp.download(out_addr, host.shape, uint8)
+        assert np.array_equal(device, host)
+
+    def test_transform_program_structure(self):
+        prog = make_transform_program(64, 32, dtype_from_name("i6"), MatmulConfig(16, 8, 16))
+        text = repr(prog)
+        assert "transform_b" in text
+        assert "View" in text
+        assert prog.static_grid() == (4, 4)

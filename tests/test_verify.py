@@ -1,0 +1,139 @@
+"""The program verifier (compiler front door)."""
+
+import pytest
+
+from repro.compiler import verify_program
+from repro.dtypes import float16, float32, int6, uint8
+from repro.errors import TypeCheckError
+from repro.ir import (
+    InstructionStmt,
+    Program,
+    SeqStmt,
+    TensorType,
+    TensorVar,
+    Var,
+    instructions as insts,
+)
+from repro.ir.scope import MemoryScope
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import local, mma_m16n8k16, spatial
+
+
+def valid_program() -> Program:
+    pb = ProgramBuilder("ok", grid=[2])
+    ptr = pb.param("p", pointer(float16))
+    (bi,) = pb.block_indices()
+    g = pb.view_global(ptr, dtype=float16, shape=[64, 32])
+    r = pb.load_global(g, layout=spatial(8, 4), offset=[bi * 8, 0])
+    pb.store_global(r, g, offset=[bi * 8, 0])
+    return pb.finish()
+
+
+class TestAcceptsValid:
+    def test_valid_program(self):
+        report = verify_program(valid_program())
+        assert report.num_instructions == 4
+
+    def test_matmul_template_verifies(self):
+        from repro.kernels import MatmulConfig, quantized_matmul_program
+        from repro.quant import QuantScheme
+
+        prog = quantized_matmul_program(
+            32, 16, 32, float16, QuantScheme(int6, 32), MatmulConfig(16, 8, 16)
+        )
+        report = verify_program(prog)
+        assert report.num_register_tensors >= 1
+        assert report.max_register_bits_per_thread > 0
+
+
+def _raw_program(body_instructions) -> Program:
+    body = SeqStmt([InstructionStmt(i) for i in body_instructions])
+    return Program("raw", grid=[1], params=[], body=body)
+
+
+class TestRejections:
+    def test_tensor_use_before_def(self):
+        ghost = TensorVar(
+            "ghost", TensorType(MemoryScope.REGISTER, float16, (8, 4), spatial(8, 4))
+        )
+        out = TensorVar(
+            "out", TensorType(MemoryScope.REGISTER, float16, (8, 4), spatial(8, 4))
+        )
+        prog = _raw_program([insts.Neg(ghost, out)])
+        with pytest.raises(TypeCheckError, match="before definition"):
+            verify_program(prog)
+
+    def test_scalar_use_before_def(self):
+        from repro.dtypes import int32
+
+        ghost = Var("i", int32)
+        g = TensorVar("g", TensorType(MemoryScope.GLOBAL, float16, (64, 64)))
+        out = TensorVar(
+            "r", TensorType(MemoryScope.REGISTER, float16, (8, 4), spatial(8, 4))
+        )
+        view = insts.ViewGlobal(Var("p", pointer(float16)), g)
+        with pytest.raises(TypeCheckError):
+            verify_program(_raw_program([view, insts.LoadGlobal(g, [ghost, 0], out)]))
+
+    def test_block_indices_arity(self):
+        from repro.dtypes import int32
+
+        bad = insts.BlockIndices([Var("a", int32), Var("b", int32)])
+        with pytest.raises(TypeCheckError, match="rank"):
+            verify_program(_raw_program([bad]))  # grid rank is 1
+
+    def test_invalid_view_bits(self):
+        src = TensorVar(
+            "s", TensorType(MemoryScope.REGISTER, uint8, (96,), local(3).spatial(32))
+        )
+        dst = TensorVar(
+            "d",
+            TensorType(
+                MemoryScope.REGISTER, int6, (16,), local(1).spatial(16).local(1)
+            ),
+        )
+        alloc = insts.AllocateRegister(src)
+        with pytest.raises(TypeCheckError):
+            verify_program(_raw_program([alloc, insts.View(src, dst)]))
+
+    def test_dot_requires_standard_operand_a(self):
+        mma = mma_m16n8k16()
+        a = TensorVar(
+            "a", TensorType(MemoryScope.REGISTER, int6, (16, 16), mma.a_layout)
+        )
+        b = TensorVar(
+            "b", TensorType(MemoryScope.REGISTER, float16, (16, 8), mma.b_layout)
+        )
+        c = TensorVar(
+            "c", TensorType(MemoryScope.REGISTER, float32, (16, 8), mma.c_layout)
+        )
+        prog = _raw_program(
+            [
+                insts.AllocateRegister(a),
+                insts.AllocateRegister(b),
+                insts.AllocateRegister(c),
+                insts.Dot(a, b, c, c),
+            ]
+        )
+        with pytest.raises(TypeCheckError, match="standard type"):
+            verify_program(prog)
+
+    def test_layout_thread_overflow(self):
+        big = TensorVar(
+            "big",
+            TensorType(MemoryScope.REGISTER, float16, (8, 8), spatial(8, 8)),
+        )
+        prog = _raw_program([insts.AllocateRegister(big)])  # 64 > 32 threads
+        with pytest.raises(TypeCheckError, match="threads"):
+            verify_program(prog)
+
+    def test_if_branch_definitions_merge(self):
+        """A tensor defined in only one branch is not defined after."""
+        pb = ProgramBuilder("branchy", grid=[1])
+        v = pb.assign("i32", 1)
+        with pb.if_then(v > 0):
+            r = pb.allocate_register(float16, layout=spatial(8, 4))
+        # Using r after the branch: builder permits it, verifier must not.
+        pb._emit(insts.Neg(r, r))
+        with pytest.raises(TypeCheckError):
+            verify_program(pb.finish())

@@ -1,0 +1,104 @@
+"""Dot on different mma configurations and accumulation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import float16, float32
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import mma_m16n8k8, mma_m16n8k16
+from repro.vm import Interpreter
+
+
+def run_single_mma(mma, seed=0):
+    """One Dot on one mma-shaped fragment; returns (result, reference)."""
+    m, n, k = mma.m, mma.n, mma.k
+    pb = ProgramBuilder("one_mma", grid=[1])
+    a_ptr = pb.param("a", pointer(float16))
+    b_ptr = pb.param("b", pointer(float16))
+    c_ptr = pb.param("c", pointer(float32))
+    ga = pb.view_global(a_ptr, dtype=float16, shape=[m, k])
+    gb = pb.view_global(b_ptr, dtype=float16, shape=[k, n])
+    gc = pb.view_global(c_ptr, dtype=float32, shape=[m, n])
+    a = pb.load_global(ga, layout=mma.a_layout, offset=[0, 0])
+    b = pb.load_global(gb, layout=mma.b_layout, offset=[0, 0])
+    acc = pb.allocate_register(float32, layout=mma.c_layout, init=0.0)
+    acc = pb.dot(a, b, acc, out=acc)
+    pb.store_global(acc, gc, offset=[0, 0])
+    prog = pb.finish()
+
+    rng = np.random.default_rng(seed)
+    a_host = float16.quantize(rng.standard_normal((m, k)))
+    b_host = float16.quantize(rng.standard_normal((k, n)))
+    interp = Interpreter()
+    args = [
+        interp.upload(a_host, float16),
+        interp.upload(b_host, float16),
+        interp.alloc_output([m, n], float32),
+    ]
+    interp.launch(prog, args)
+    result = interp.download(args[-1], [m, n], float32)
+    reference = a_host.astype(np.float64) @ b_host.astype(np.float64)
+    return result, reference
+
+
+class TestMmaVariants:
+    def test_m16n8k16(self):
+        result, reference = run_single_mma(mma_m16n8k16())
+        assert np.allclose(result, reference, atol=1e-2)
+
+    def test_m16n8k8(self):
+        result, reference = run_single_mma(mma_m16n8k8())
+        assert np.allclose(result, reference, atol=1e-2)
+
+    def test_accumulation_chains(self):
+        """acc = dot(a, b) + acc over several iterations."""
+        mma = mma_m16n8k16()
+        m, n, k = mma.m, mma.n, mma.k
+        pb = ProgramBuilder("chain", grid=[1])
+        a_ptr = pb.param("a", pointer(float16))
+        b_ptr = pb.param("b", pointer(float16))
+        c_ptr = pb.param("c", pointer(float32))
+        ga = pb.view_global(a_ptr, dtype=float16, shape=[m, k])
+        gb = pb.view_global(b_ptr, dtype=float16, shape=[k, n])
+        gc = pb.view_global(c_ptr, dtype=float32, shape=[m, n])
+        acc = pb.allocate_register(float32, layout=mma.c_layout, init=0.0)
+        with pb.for_range(3):
+            a = pb.load_global(ga, layout=mma.a_layout, offset=[0, 0])
+            b = pb.load_global(gb, layout=mma.b_layout, offset=[0, 0])
+            pb.dot(a, b, acc, out=acc)
+        pb.store_global(acc, gc, offset=[0, 0])
+        prog = pb.finish()
+
+        rng = np.random.default_rng(1)
+        a_host = float16.quantize(rng.standard_normal((m, k)))
+        b_host = float16.quantize(rng.standard_normal((k, n)))
+        interp = Interpreter()
+        args = [
+            interp.upload(a_host, float16),
+            interp.upload(b_host, float16),
+            interp.alloc_output([m, n], float32),
+        ]
+        interp.launch(prog, args)
+        result = interp.download(args[-1], [m, n], float32)
+        expected = 3 * (a_host.astype(np.float64) @ b_host.astype(np.float64))
+        assert np.allclose(result, expected, atol=3e-2)
+
+    def test_dot_into_fresh_output(self):
+        """Without out=, Dot produces a new tensor: d = dot(a,b) + c."""
+        mma = mma_m16n8k16()
+        pb = ProgramBuilder("fresh", grid=[1])
+        a = pb.allocate_register(float16, layout=mma.a_layout, init=1.0)
+        b = pb.allocate_register(float16, layout=mma.b_layout, init=2.0)
+        c = pb.allocate_register(float32, layout=mma.c_layout, init=5.0)
+        d = pb.dot(a, b, c)
+        assert d is not c
+        c_ptr = pb.param("c", pointer(float32))
+        gc = pb.view_global(c_ptr, dtype=float32, shape=[mma.m, mma.n])
+        pb.store_global(d, gc, offset=[0, 0])
+        prog = pb.finish()
+        interp = Interpreter()
+        out_addr = interp.alloc_output([mma.m, mma.n], float32)
+        interp.launch(prog, [out_addr])
+        result = interp.download(out_addr, [mma.m, mma.n], float32)
+        # dot(ones, twos) over k=16 gives 32, plus c=5.
+        assert np.allclose(result, 37.0)

@@ -1,0 +1,180 @@
+"""Register values: bit storage, views, casts, elementwise arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import random_values_for
+from repro.dtypes import (
+    dtype_from_name,
+    f6e3m2,
+    float16,
+    float32,
+    int6,
+    uint4,
+    uint8,
+)
+from repro.errors import VMError
+from repro.layout import column_spatial, local, spatial
+from repro.vm import RegisterValue
+
+
+class TestConstruction:
+    def test_zeros(self):
+        rv = RegisterValue.zeros(float16, spatial(8, 4))
+        assert rv.bits.shape == (32, 16)
+        assert (rv.to_logical() == 0).all()
+
+    def test_filled(self):
+        rv = RegisterValue.filled(float16, spatial(8, 4), 2.5)
+        assert (rv.to_logical() == 2.5).all()
+
+    def test_logical_roundtrip(self):
+        layout = local(2, 1).spatial(8, 4).local(1, 2)
+        data = np.random.default_rng(0).standard_normal((16, 8))
+        data = float16.quantize(data)
+        rv = RegisterValue.from_logical(float16, layout, data)
+        assert np.array_equal(rv.to_logical(), data)
+
+    def test_bits_shape_validated(self):
+        with pytest.raises(VMError):
+            RegisterValue(float16, spatial(8, 4), np.zeros((32, 8), dtype=np.uint8))
+
+    def test_pattern_roundtrip(self):
+        layout = local(3).spatial(32)
+        patterns = np.random.default_rng(1).integers(0, 256, size=(32, 3)).astype(np.uint64)
+        rv = RegisterValue.from_patterns(uint8, layout, patterns)
+        assert np.array_equal(rv.thread_patterns(), patterns)
+
+
+class TestView:
+    def test_figure2c_bit_exact(self):
+        """u8[96] local(3).spatial(32) <-> i6[16,8]: same bits, both ways."""
+        b_layout = local(2, 1).compose(column_spatial(4, 8)).local(2, 1)
+        rng = np.random.default_rng(7)
+        data = rng.integers(-32, 32, size=(16, 8))
+        as_i6 = RegisterValue.from_logical(int6, b_layout, data)
+        as_u8 = as_i6.view(uint8, local(3).spatial(32))
+        back = as_u8.view(int6, b_layout)
+        assert np.array_equal(back.to_logical(), data)
+        assert np.shares_memory(back.bits, as_i6.bits)
+
+    def test_u4_pairs_in_bytes(self):
+        """Two u4 lanes pack little-endian into one byte."""
+        layout = local(2).spatial(1)
+        rv = RegisterValue.from_thread_values(uint4, layout, np.array([[0x3, 0xA]]))
+        as_byte = rv.view(uint8, local(1).spatial(1))
+        assert int(as_byte.thread_values()[0, 0]) == 0xA3
+
+    def test_view_thread_mismatch(self):
+        rv = RegisterValue.zeros(uint8, local(3).spatial(32))
+        with pytest.raises(VMError):
+            rv.view(uint8, local(6).spatial(16))
+
+    def test_view_bits_mismatch(self):
+        rv = RegisterValue.zeros(uint8, local(3).spatial(32))
+        with pytest.raises(VMError):
+            rv.view(int6, local(3).spatial(32))  # 18 bits != 24
+
+    @given(
+        name=st.sampled_from(["u1", "u2", "u4", "i6", "f6e3m2", "u8"]),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_view_roundtrip_any_dtype(self, name, seed):
+        """view(u8).view(original) is the identity whenever byte-aligned."""
+        dtype = dtype_from_name(name)
+        locals_needed = 24 // np.gcd(24, dtype.nbits) if dtype.nbits not in (8,) else 3
+        # Choose a local count giving whole bytes: lcm-based.
+        lcm = np.lcm(dtype.nbits, 8)
+        locals_count = lcm // dtype.nbits
+        layout = local(locals_count).spatial(32)
+        nbytes = locals_count * dtype.nbits // 8
+        rng = np.random.default_rng(seed)
+        values = random_values_for(dtype, (32, locals_count), rng)
+        rv = RegisterValue.from_thread_values(dtype, layout, values)
+        u8_layout = local(nbytes).spatial(32)
+        back = rv.view(uint8, u8_layout).view(dtype, layout)
+        assert np.array_equal(back.thread_values(), rv.thread_values())
+
+
+class TestCast:
+    def test_i6_to_f16_exact(self):
+        layout = spatial(8, 4)
+        vals = np.arange(-16, 16).reshape(32, 1)
+        rv = RegisterValue.from_thread_values(int6, layout, vals)
+        f = rv.cast(float16)
+        assert np.array_equal(f.thread_values(), vals.astype(float))
+
+    def test_f16_to_i6_truncates_toward_zero(self):
+        layout = spatial(8, 4)
+        vals = np.full((32, 1), -2.7)
+        rv = RegisterValue.from_thread_values(float16, layout, vals)
+        assert (rv.cast(int6).thread_values() == -2).all()
+
+    def test_cast_saturates(self):
+        layout = spatial(8, 4)
+        vals = np.full((32, 1), 1000.0)
+        rv = RegisterValue.from_thread_values(float16, layout, vals)
+        assert (rv.cast(int6).thread_values() == 31).all()
+
+    def test_f6_to_f16_preserves_representables(self):
+        layout = local(2).spatial(32)
+        reps = f6e3m2.representable_values()
+        pick = np.resize(reps, (32, 2))
+        rv = RegisterValue.from_thread_values(f6e3m2, layout, pick)
+        assert np.array_equal(rv.cast(float16).thread_values(), pick)
+
+
+class TestElementwise:
+    def _pair(self):
+        layout = spatial(8, 4)
+        rng = np.random.default_rng(3)
+        a = float16.quantize(rng.standard_normal((32, 1)))
+        b = float16.quantize(rng.standard_normal((32, 1)) + 2.0)
+        return (
+            RegisterValue.from_thread_values(float16, layout, a),
+            RegisterValue.from_thread_values(float16, layout, b),
+            a,
+            b,
+        )
+
+    def test_add_sub_mul(self):
+        ra, rb, a, b = self._pair()
+        assert np.allclose(ra.binary("+", rb).thread_values(), float16.quantize(a + b))
+        assert np.allclose(ra.binary("-", rb).thread_values(), float16.quantize(a - b))
+        assert np.allclose(ra.binary("*", rb).thread_values(), float16.quantize(a * b))
+
+    def test_scalar_broadcast(self):
+        ra, _, a, _ = self._pair()
+        assert np.allclose(
+            ra.binary("*", 3.0).thread_values(), float16.quantize(a * 3.0)
+        )
+
+    def test_neg(self):
+        ra, _, a, _ = self._pair()
+        assert np.array_equal(ra.neg().thread_values(), -a)
+
+    def test_integer_division_truncates(self):
+        layout = spatial(8, 4)
+        a = RegisterValue.from_thread_values(int6, layout, np.full((32, 1), -7))
+        assert (a.binary("/", 2).thread_values() == -3).all()
+        assert (a.binary("%", 2).thread_values() == -1).all()
+
+    def test_layout_mismatch_rejected(self):
+        a = RegisterValue.zeros(float16, spatial(8, 4))
+        b = RegisterValue.zeros(float16, local(1, 2).spatial(8, 4))
+        with pytest.raises(VMError):
+            a.binary("+", b)
+
+    def test_unknown_op_rejected(self):
+        a = RegisterValue.zeros(float16, spatial(8, 4))
+        with pytest.raises(VMError):
+            a.binary("**", a)
+
+    def test_copy_is_independent(self):
+        a = RegisterValue.filled(float16, spatial(8, 4), 1.0)
+        b = a.copy()
+        b.bits[:] = 0
+        assert (a.to_logical() == 1.0).all()
