@@ -14,6 +14,7 @@ mirroring the paper's compiled-kernel cache.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from repro.errors import AutotuneError, CompilationError
@@ -170,3 +171,82 @@ class Autotuner:
 
     def cache_size(self) -> int:
         return len(self._cache)
+
+    # -- measured tuning -----------------------------------------------------
+    def tune_measured(
+        self,
+        workload: MatmulWorkload,
+        runtime=None,
+        top_k: int = 3,
+        repeats: int = 3,
+    ) -> AutotuneResult:
+        """Refine the analytical ranking by executing the top candidates.
+
+        The ``top_k`` analytically best configurations are instantiated as
+        real VM programs and launched ``repeats`` times each on the given
+        (or a fresh) :class:`~repro.runtime.Runtime`; the fastest measured
+        wall-clock wins.  Every repeat of a trial after the first is a
+        specialization-cache hit — the cache key is structural, so even
+        though each launch rebuilds nothing, re-tuning the same workload
+        later skips lowering entirely as well.  Results are memoized per
+        workload key.
+        """
+        import numpy as np
+
+        from repro.runtime import Runtime
+
+        key = self._key(workload) + ("measured",)
+        if key in self._cache:
+            return self._cache[key]
+        # One analytical pass orders the search space; measurement refines
+        # the head of that ranking (split-k needs the runtime workspace
+        # reduction pass, so measured trials stick to single-kernel configs).
+        candidates = enumerate_valid_configs(workload, self.gpu, include_split_k=False)
+        scored = sorted(
+            ((config_latency_estimate(workload, cfg, self.gpu), cfg) for cfg in candidates),
+            key=lambda pair: pair[0],
+        )
+        trials = [cfg for _, cfg in scored[:top_k]]
+        if not trials:
+            raise AutotuneError(
+                f"no measurable configuration for {workload.describe()} on {self.gpu}"
+            )
+        runtime = runtime if runtime is not None else Runtime()
+        rng = np.random.default_rng(0)
+
+        from repro.dtypes import float16, uint8
+        from repro.kernels import matmul_layouts, quantized_matmul_program
+        from repro.quant import QuantScheme, quantize_weight, transform_weight
+
+        best_cfg, best_time = None, math.inf
+        for cfg in trials:
+            scheme = QuantScheme(
+                workload.weight_dtype, group_size=min(workload.group_size, workload.k)
+            )
+            q, scales = quantize_weight(
+                rng.standard_normal((workload.k, workload.n)), scheme
+            )
+            lay = matmul_layouts(cfg, workload.weight_dtype)
+            packed = transform_weight(q, workload.weight_dtype, lay.b_warp)
+            program = quantized_matmul_program(
+                workload.m, workload.n, workload.k, workload.act_dtype, scheme, cfg
+            )
+            a = workload.act_dtype.quantize(
+                rng.standard_normal((workload.m, workload.k))
+            )
+            args = [
+                runtime.upload(a, workload.act_dtype),
+                runtime.upload(packed, uint8),
+                runtime.upload(float16.quantize(scales), float16),
+                runtime.empty([workload.m, workload.n], workload.act_dtype),
+            ]
+            elapsed = math.inf
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                runtime.launch(program, args)
+                elapsed = min(elapsed, time.perf_counter() - start)
+            if elapsed < best_time:
+                best_cfg, best_time = cfg, elapsed
+        result = AutotuneResult(best_cfg, best_time, len(trials))
+        self._cache[key] = result
+        return result

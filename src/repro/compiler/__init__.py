@@ -23,7 +23,13 @@ from repro.compiler.memory_planner import (
     plan_global_workspace,
     plan_shared_memory,
 )
-from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.compiler.pipeline import (
+    CompiledKernel,
+    compile_program,
+    program_dtype_names,
+    program_fingerprint,
+    specialization_key,
+)
 from repro.compiler.selection import (
     MemoryAccess,
     SelectionReport,
@@ -45,6 +51,9 @@ __all__ = [
     "eliminate_dead_code",
     "compile_program",
     "CompiledKernel",
+    "program_fingerprint",
+    "program_dtype_names",
+    "specialization_key",
     "verify_program",
     "VerificationReport",
     "simplify_expr",

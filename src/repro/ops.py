@@ -30,7 +30,12 @@ from repro.runtime import Runtime
 
 @dataclass
 class QuantizedLinear:
-    """A reusable quantized-weight operator (weights resident on device)."""
+    """A reusable quantized-weight operator (weights resident on device).
+
+    Programs are memoized per activation row count ``m``; combined with the
+    runtime's specialization cache this makes repeated calls launch-only —
+    no template re-instantiation and no re-lowering on the hot path.
+    """
 
     runtime: Runtime
     scheme: QuantScheme
@@ -41,15 +46,32 @@ class QuantizedLinear:
     s_addr: int
     act_dtype: DataType = float16
 
+    #: Bound on memoized per-``m`` programs (oldest evicted beyond this),
+    #: mirroring the runtime cache's LRU bound one layer down.
+    MAX_PROGRAMS = 32
+
+    def __post_init__(self) -> None:
+        self._programs: dict[int, object] = {}
+
+    def program_for(self, m: int):
+        """The matmul program specialized to ``m`` rows (memoized, bounded)."""
+        program = self._programs.pop(m, None)
+        if program is None:
+            program = quantized_matmul_program(
+                m, self.n, self.k, self.act_dtype, self.scheme, self.config
+            )
+        self._programs[m] = program  # reinsert = most recently used
+        while len(self._programs) > self.MAX_PROGRAMS:
+            self._programs.pop(next(iter(self._programs)))
+        return program
+
     def __call__(self, a: np.ndarray) -> np.ndarray:
         """Compute ``a @ dequant(W)`` for activations ``a[m, k]``."""
         a = np.asarray(a)
         if a.ndim != 2 or a.shape[1] != self.k:
             raise ValueError(f"activations must be [m, {self.k}], got {a.shape}")
         m = a.shape[0]
-        program = quantized_matmul_program(
-            m, self.n, self.k, self.act_dtype, self.scheme, self.config
-        )
+        program = self.program_for(m)
         a_addr = self.runtime.upload(self.act_dtype.quantize(a), self.act_dtype)
         c_addr = self.runtime.empty([m, self.n], self.act_dtype)
         self.runtime.launch(program, [a_addr, self.b_addr, self.s_addr, c_addr])

@@ -1,5 +1,10 @@
 """Runtime system (paper Section 8.1, step 4)."""
 
-from repro.runtime.runtime import ExecutionContext, KernelCache, Runtime
+from repro.runtime.runtime import (
+    ExecutionContext,
+    KernelCache,
+    Runtime,
+    SpecializationCache,
+)
 
-__all__ = ["Runtime", "KernelCache", "ExecutionContext"]
+__all__ = ["Runtime", "KernelCache", "SpecializationCache", "ExecutionContext"]

@@ -6,23 +6,35 @@ Maintains the three pieces of state the paper describes:
    ``AllocateGlobal``;
 2. an **execution context** holding the (simulated) stream kernels are
    launched on;
-3. a **kernel cache** so each program compiles once and is reused.
+3. a **kernel specialization cache** keyed on (program hash, const-bound
+   scalar params, dtype set), so structurally identical programs —
+   including fresh re-instantiations of the same template — compile once
+   and every later launch skips lowering entirely.
 
-Execution is delegated to the VM interpreter; compilation to the
-compiler pipeline.
+Execution is delegated to one of the two VM engines — the sequential
+interpreter or the grid-vectorized batched executor — selected per launch
+by :func:`repro.vm.batched.select_engine` (policy: batched for multi-block
+grids of batchable programs).  Compilation is delegated to the compiler
+pipeline.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.compiler.pipeline import (
+    CompiledKernel,
+    compile_program,
+    specialization_key,
+)
 from repro.dtypes import DataType
 from repro.errors import VMError
 from repro.ir.program import Program
+from repro.vm.batched import BatchedExecutor, select_engine
 from repro.vm.interp import ExecutionStats, Interpreter
 from repro.vm.memory import GlobalMemory
 
@@ -36,34 +48,93 @@ class ExecutionContext:
     stats: ExecutionStats = field(default_factory=ExecutionStats)
 
 
-class KernelCache:
-    """Compile-once cache keyed by program identity."""
+class SpecializationCache:
+    """Bounded LRU cache of compiled kernels keyed by specialization.
 
-    def __init__(self) -> None:
-        self._kernels: dict[int, CompiledKernel] = {}
+    The key is :func:`repro.compiler.pipeline.specialization_key`:
+    ``(program fingerprint, const-bound scalar args, dtype set)``.  Two
+    structurally identical programs share one entry even when they are
+    distinct objects, which is what makes per-call template
+    re-instantiation (the common operator pattern) cheap.
+
+    ``max_entries`` bounds memory: least-recently-used kernels are evicted
+    once the bound is exceeded; ``hits``/``misses``/``evictions`` expose
+    the cache behaviour to tests and benchmarks.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._kernels: OrderedDict[tuple, CompiledKernel] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, program: Program) -> CompiledKernel:
-        key = id(program)
-        if key in self._kernels:
+    def get(self, program: Program, args: Sequence = ()) -> CompiledKernel:
+        """Return the compiled kernel for ``program``, compiling on miss."""
+        key = specialization_key(program, args)
+        kernel = self._kernels.get(key)
+        if kernel is not None:
             self.hits += 1
-        else:
-            self.misses += 1
-            self._kernels[key] = compile_program(program)
-        return self._kernels[key]
+            self._kernels.move_to_end(key)
+            return kernel
+        self.misses += 1
+        kernel = compile_program(program)
+        self._kernels[key] = kernel
+        while len(self._kernels) > self.max_entries:
+            self._kernels.popitem(last=False)
+            self.evictions += 1
+        return kernel
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._kernels)
 
+    def __repr__(self) -> str:
+        return (
+            f"SpecializationCache({len(self)}/{self.max_entries} entries, "
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evicted)"
+        )
+
+
+#: Backwards-compatible name: the runtime's kernel cache *is* the
+#: specialization cache.
+KernelCache = SpecializationCache
+
 
 class Runtime:
-    """Device handle: memory, kernel cache, context, launch API."""
+    """Device handle: memory, kernel cache, execution engines, launch API.
 
-    def __init__(self, dram_bytes: int = 1 << 30, shared_capacity: int = 228 * 1024) -> None:
+    ``engine`` selects how kernels execute:
+
+    - ``"auto"`` (default): the grid-vectorized batched executor for
+      multi-block grids, the sequential interpreter otherwise;
+    - ``"sequential"`` / ``"batched"``: force one engine for every launch.
+    """
+
+    def __init__(
+        self,
+        dram_bytes: int = 1 << 30,
+        shared_capacity: int = 228 * 1024,
+        engine: str = "auto",
+        cache_entries: int = 128,
+    ) -> None:
+        if engine not in ("auto", "sequential", "batched"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.memory = GlobalMemory(dram_bytes)
         self.interpreter = Interpreter(self.memory, shared_capacity=shared_capacity)
-        self.cache = KernelCache()
+        # Both engines share the memory and the stats object, so
+        # ``stats()`` reflects every launch regardless of engine.
+        self.batched = BatchedExecutor(
+            self.memory, shared_capacity=shared_capacity, stats=self.interpreter.stats
+        )
+        self.engine = engine
+        self.cache = SpecializationCache(max_entries=cache_entries)
         self.context = ExecutionContext()
         self._workspace_addr: int | None = None
         self._workspace_size = 0
@@ -91,13 +162,34 @@ class Runtime:
         return self._workspace_addr
 
     # -- execution -------------------------------------------------------------
-    def launch(self, program: Program, args: Sequence) -> CompiledKernel:
-        """Compile (cached), provision the workspace, and execute."""
-        kernel = self.cache.get(program)
+    def launch(
+        self, program: Program, args: Sequence, engine: str | None = None
+    ) -> CompiledKernel:
+        """Compile (specialization-cached), provision workspace, execute.
+
+        A cache hit executes the *cached* kernel's program, so launching a
+        freshly rebuilt but structurally identical program skips both
+        lowering and any recompilation side effects.
+        """
+        if engine is not None and engine not in ("auto", "sequential", "batched"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if len(args) != len(program.params):
+            # Check before touching the cache: a truncated zip would
+            # otherwise build a bogus specialization key and cache a kernel
+            # for a launch that can never run.
+            raise VMError(
+                f"{program.name} expects {len(program.params)} args, got {len(args)}"
+            )
+        kernel = self.cache.get(program, args)
+        program = kernel.program
         if kernel.workspace_bytes:
             self.ensure_workspace(kernel.workspace_bytes)
+        choice = engine or self.engine
+        if choice == "auto":
+            choice = select_engine(program, program.grid_size(args))
+        executor = self.batched if choice == "batched" else self.interpreter
         try:
-            self.interpreter.launch(program, args)
+            executor.launch(program, args)
         except VMError as exc:
             raise VMError(f"kernel {program.name!r} failed: {exc}") from exc
         self.context.launches += 1

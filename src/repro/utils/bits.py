@@ -22,19 +22,30 @@ def bit_mask(nbits: int) -> int:
     return (1 << nbits) - 1
 
 
-def pack_bits(values: np.ndarray, nbits: int) -> np.ndarray:
+def _check_bitorder(name: str, bitorder: str) -> None:
+    if bitorder not in ("little", "big"):
+        raise DataTypeError(
+            f"{name}: bitorder must be 'little' or 'big', got {bitorder!r}"
+        )
+
+
+def pack_bits(values: np.ndarray, nbits: int, bitorder: str = "little") -> np.ndarray:
     """Pack unsigned bit patterns into a compact uint8 byte stream.
 
     Args:
         values: array of non-negative integers, each < 2**nbits.  Flattened
             in C order before packing.
         nbits: width of each element in bits (1..64).
+        bitorder: ``"little"`` (the VM's native order, LSB first within
+            each element and each byte) or ``"big"`` (MSB first — the
+            order used by e.g. big-endian bitstream formats).
 
     Returns:
         A 1-D uint8 array of length ``ceil(len(values) * nbits / 8)``.
     """
     if not 1 <= nbits <= 64:
         raise DataTypeError(f"pack_bits: nbits must be in [1, 64], got {nbits}")
+    _check_bitorder("pack_bits", bitorder)
     flat = np.ascontiguousarray(values).reshape(-1).astype(np.uint64)
     if flat.size and int(flat.max()) >> nbits:
         raise DataTypeError(
@@ -44,35 +55,49 @@ def pack_bits(values: np.ndarray, nbits: int) -> np.ndarray:
     nbytes = (total_bits + 7) // 8
     # Expand each value into its individual bits, then repack by 8.
     bit_idx = np.arange(nbits, dtype=np.uint64)
+    if bitorder == "big":
+        bit_idx = bit_idx[::-1]
     bits = ((flat[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8).reshape(-1)
     padded = np.zeros(nbytes * 8, dtype=np.uint8)
     padded[:total_bits] = bits
-    byte_weights = np.uint8(1) << np.arange(8, dtype=np.uint8)
+    shifts = np.arange(8, dtype=np.uint8)
+    if bitorder == "big":
+        shifts = shifts[::-1]
+    byte_weights = np.uint8(1) << shifts
     return (padded.reshape(nbytes, 8) * byte_weights).sum(axis=1).astype(np.uint8)
 
 
-def unpack_bits(data: np.ndarray, nbits: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`.
+def unpack_bits(
+    data: np.ndarray, nbits: int, count: int, bitorder: str = "little"
+) -> np.ndarray:
+    """Inverse of :func:`pack_bits` (pass the matching ``bitorder``).
 
     Args:
         data: uint8 byte stream.
         nbits: width of each element in bits.
         count: number of elements to extract.
+        bitorder: ``"little"`` or ``"big"``; see :func:`pack_bits`.
 
     Returns:
         A 1-D uint64 array of ``count`` bit patterns.
     """
     if not 1 <= nbits <= 64:
         raise DataTypeError(f"unpack_bits: nbits must be in [1, 64], got {nbits}")
+    _check_bitorder("unpack_bits", bitorder)
     data = np.ascontiguousarray(data).reshape(-1).astype(np.uint8)
     total_bits = count * nbits
     if data.size * 8 < total_bits:
         raise DataTypeError(
             f"unpack_bits: need {total_bits} bits but buffer has {data.size * 8}"
         )
-    bits = ((data[:, None] >> np.arange(8, dtype=np.uint8)[None, :]) & 1).reshape(-1)
+    shifts = np.arange(8, dtype=np.uint8)
+    if bitorder == "big":
+        shifts = shifts[::-1]
+    bits = ((data[:, None] >> shifts[None, :]) & 1).reshape(-1)
     bits = bits[:total_bits].reshape(count, nbits).astype(np.uint64)
     weights = np.uint64(1) << np.arange(nbits, dtype=np.uint64)
+    if bitorder == "big":
+        weights = weights[::-1]
     return (bits * weights).sum(axis=1, dtype=np.uint64)
 
 

@@ -1,11 +1,35 @@
-"""Virtual machine: simulated device memory and the program interpreter."""
+"""Virtual machine: simulated device memory and the execution engines.
 
+Two engines execute the same instruction set: the sequential
+:class:`Interpreter` (one block at a time) and the grid-vectorized
+:class:`BatchedExecutor` (all blocks in lockstep as stacked numpy ops).
+:func:`select_engine` implements the runtime's ``engine="auto"`` policy.
+"""
+
+from repro.vm.batched import (
+    BatchedExecutor,
+    BatchedRegisterValue,
+    BatchedSharedMemory,
+    BatchedView,
+    select_engine,
+    supports_batched,
+)
+from repro.vm.dispatch import BATCHED, SEQUENTIAL, DispatchTable
 from repro.vm.interp import BlockContext, ExecutionStats, Interpreter
 from repro.vm.memory import GlobalMemory, SharedMemory, TensorView
 from repro.vm.values import RegisterValue
 
 __all__ = [
     "Interpreter",
+    "BatchedExecutor",
+    "BatchedRegisterValue",
+    "BatchedSharedMemory",
+    "BatchedView",
+    "select_engine",
+    "supports_batched",
+    "DispatchTable",
+    "SEQUENTIAL",
+    "BATCHED",
     "BlockContext",
     "ExecutionStats",
     "GlobalMemory",

@@ -1,4 +1,4 @@
-"""The Tilus virtual machine interpreter.
+"""The Tilus virtual machine interpreter (sequential engine).
 
 Executes a :class:`~repro.ir.Program` over a simulated device: thread
 blocks run sequentially (their semantics are independent), and inside a
@@ -8,11 +8,19 @@ thread-block-level (SIMB) execution model of paper Section 6.
 The interpreter is *functionally* faithful — including bit-exact sub-byte
 storage and register reinterpretation — while timing behaviour is the
 domain of :mod:`repro.perf`.
+
+Instruction semantics live in module-level handlers registered in the
+:data:`repro.vm.dispatch.SEQUENTIAL` table; the class only owns statement
+execution (control flow), launch bookkeeping and the host-side memory
+helpers.  The grid-vectorized sibling engine is
+:class:`repro.vm.batched.BatchedExecutor`, which shares this module's
+semantics instruction by instruction (locked in by the differential test
+harness under ``tests/harness``).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -21,7 +29,6 @@ from repro.ir import instructions as insts
 from repro.ir.evaluator import evaluate
 from repro.ir.expr import Var
 from repro.ir.program import Program
-from repro.ir.scope import MemoryScope
 from repro.ir.stmt import (
     AssignStmt,
     BreakStmt,
@@ -34,6 +41,13 @@ from repro.ir.stmt import (
     WhileStmt,
 )
 from repro.ir.types import TensorVar
+from repro.vm.dispatch import (
+    SEQUENTIAL,
+    bounds_mask,
+    decompose_linear,
+    layout_tile_coords,
+    pad_tile_indices,
+)
 from repro.vm.memory import GlobalMemory, SharedMemory, TensorView
 from repro.vm.values import RegisterValue
 
@@ -65,6 +79,10 @@ class ExecutionStats:
         self.dot_ops = 0
         self.synchronizations = 0
 
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy of all counters (for comparisons in tests)."""
+        return {k: v for k, v in vars(self).items()}
+
     def __repr__(self) -> str:
         return (
             f"ExecutionStats(blocks={self.blocks_run}, insts={self.instructions}, "
@@ -92,7 +110,7 @@ class BlockContext:
 
 
 class Interpreter:
-    """Executes Tilus programs on a simulated device."""
+    """Executes Tilus programs on a simulated device, block by block."""
 
     def __init__(
         self,
@@ -137,14 +155,10 @@ class Interpreter:
             )
         self.launch_env = {p: a for p, a in zip(program.params, args)}
         grid = program.grid_size(args)
-        for linear in range(int(np.prod(grid)) if grid else 1):
-            idx = []
-            rem = linear
-            for extent in reversed(grid):
-                idx.append(rem % extent)
-                rem //= extent
-            idx.reverse()
-            ctx = BlockContext(self, tuple(idx))
+        nblocks = int(np.prod(grid)) if grid else 1
+        coords = decompose_linear(tuple(grid))
+        for linear in range(nblocks):
+            ctx = BlockContext(self, tuple(int(c[linear]) for c in coords))
             self.stats.blocks_run += 1
             try:
                 self._run_stmt(program.body, ctx)
@@ -194,245 +208,292 @@ class Interpreter:
 
     # -- instruction execution ------------------------------------------------------
     def _run_instruction(self, inst: insts.Instruction, ctx: BlockContext) -> None:
-        handler = getattr(self, f"_exec_{type(inst).__name__}", None)
-        if handler is None:
-            raise VMError(f"no handler for instruction {type(inst).__name__}")
-        handler(inst, ctx)
+        SEQUENTIAL.lookup(inst)(self, inst, ctx)
 
-    # tensor creation -------------------------------------------------------------
-    def _exec_BlockIndices(self, inst: insts.BlockIndices, ctx: BlockContext) -> None:
-        if len(inst.out_vars) != len(ctx.block_idx):
+
+# ---------------------------------------------------------------------------
+# Sequential instruction handlers
+# ---------------------------------------------------------------------------
+
+
+def _tile_indices(layout, offset, ctx: BlockContext, broadcast_dims=frozenset()):
+    """Global/shared indices touched by a register tile at ``offset``.
+
+    When the register tile has lower rank than the memory tensor (e.g.
+    a 1-D ``u8[96]`` tile stored into ``u8[K/BK, N/BN, 96]`` at
+    ``offset=[bk, bj, 0]``), the tile addresses the trailing dimensions
+    and the leading ones are fixed by the offset alone.  Dimensions in
+    ``broadcast_dims`` ignore the tile coordinate entirely (scale-vector
+    broadcast loads).
+    """
+    coords = layout_tile_coords(layout)
+    origin = [int(evaluate(o, ctx.env)) for o in offset]
+    return pad_tile_indices(coords, origin, broadcast_dims)
+
+
+# tensor creation -------------------------------------------------------------
+
+
+@SEQUENTIAL.register(insts.BlockIndices)
+def _exec_block_indices(vm: Interpreter, inst: insts.BlockIndices, ctx: BlockContext) -> None:
+    if len(inst.out_vars) != len(ctx.block_idx):
+        raise VMError(
+            f"BlockIndices unpacks {len(inst.out_vars)} values but the grid "
+            f"has rank {len(ctx.block_idx)}"
+        )
+    for var, value in zip(inst.out_vars, ctx.block_idx):
+        ctx.env[var] = value
+
+
+@SEQUENTIAL.register(insts.ViewGlobal)
+def _exec_view_global(vm: Interpreter, inst: insts.ViewGlobal, ctx: BlockContext) -> None:
+    ptr = int(evaluate(inst.ptr, ctx.env))
+    ttype = inst.out.ttype
+    shape = tuple(
+        int(evaluate(s, ctx.env)) if hasattr(s, "dtype") else int(s)
+        for s in ttype.shape
+    )
+    ctx.env[inst.out] = TensorView(vm.memory.buffer, ptr * 8, ttype.dtype, shape)
+
+
+@SEQUENTIAL.register(insts.AllocateRegister)
+def _exec_allocate_register(
+    vm: Interpreter, inst: insts.AllocateRegister, ctx: BlockContext
+) -> None:
+    ttype = inst.out.ttype
+    if inst.init is not None:
+        value = RegisterValue.filled(ttype.dtype, ttype.layout, inst.init)
+    else:
+        value = RegisterValue.zeros(ttype.dtype, ttype.layout)
+    ctx.env[inst.out] = value
+
+
+@SEQUENTIAL.register(insts.AllocateShared)
+def _exec_allocate_shared(
+    vm: Interpreter, inst: insts.AllocateShared, ctx: BlockContext
+) -> None:
+    ttype = inst.out.ttype
+    shape = ttype.static_shape()
+    if shape is None:
+        raise VMError("shared tensors require static shapes")
+    addr = ctx.shared.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
+    ctx.env[inst.out] = TensorView(ctx.shared.buffer, addr * 8, ttype.dtype, shape)
+
+
+@SEQUENTIAL.register(insts.FreeShared)
+def _exec_free_shared(vm: Interpreter, inst: insts.FreeShared, ctx: BlockContext) -> None:
+    # The VM gives each block fresh shared buffers; reuse is the
+    # planner's concern.  Freeing just drops the binding.
+    ctx.env.pop(inst.tensor, None)
+
+
+@SEQUENTIAL.register(insts.AllocateGlobal)
+def _exec_allocate_global(
+    vm: Interpreter, inst: insts.AllocateGlobal, ctx: BlockContext
+) -> None:
+    ttype = inst.out.ttype
+    shape = ttype.static_shape()
+    if shape is None:
+        raise VMError("workspace tensors require static shapes")
+    addr = vm.memory.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
+    ctx.env[inst.out] = TensorView(vm.memory.buffer, addr * 8, ttype.dtype, shape)
+
+
+# transfer ------------------------------------------------------------------
+
+
+@SEQUENTIAL.register(insts.LoadGlobal)
+def _exec_load_global(vm: Interpreter, inst: insts.LoadGlobal, ctx: BlockContext) -> None:
+    src: TensorView = ctx.lookup_tensor(inst.src)
+    layout = inst.out.ttype.layout
+    indices = _tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
+    if inst.masked:
+        valid = bounds_mask(indices, src.shape)
+        clipped = [np.clip(i, 0, e - 1) for i, e in zip(indices, src.shape)]
+        patterns = src.gather_bits(clipped)
+        patterns = np.where(valid, patterns, np.uint64(0))
+    else:
+        patterns = src.gather_bits(indices)
+    patterns = patterns.reshape(layout.num_threads, layout.local_size)
+    vm.stats.global_bits_loaded += layout.size * src.dtype.nbits
+    ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
+
+
+@SEQUENTIAL.register(insts.LoadShared)
+def _exec_load_shared(vm: Interpreter, inst: insts.LoadShared, ctx: BlockContext) -> None:
+    src: TensorView = ctx.lookup_tensor(inst.src)
+    layout = inst.out.ttype.layout
+    indices = _tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
+    patterns = src.gather_bits(indices).reshape(layout.num_threads, layout.local_size)
+    vm.stats.shared_bits_loaded += layout.size * src.dtype.nbits
+    ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
+
+
+@SEQUENTIAL.register(insts.StoreGlobal)
+def _exec_store_global(vm: Interpreter, inst: insts.StoreGlobal, ctx: BlockContext) -> None:
+    value: RegisterValue = ctx.lookup_tensor(inst.src)
+    dst: TensorView = ctx.lookup_tensor(inst.dst)
+    indices = _tile_indices(value.layout, inst.offset, ctx)
+    patterns = value.thread_patterns().reshape(-1)
+    if inst.masked:
+        valid = bounds_mask(indices, dst.shape)
+        if not valid.any():
+            return
+        indices = [i[valid] for i in indices]
+        patterns = patterns[valid]
+    dst.scatter_bits(indices, patterns)
+    vm.stats.global_bits_stored += value.layout.size * dst.dtype.nbits
+
+
+@SEQUENTIAL.register(insts.StoreShared)
+def _exec_store_shared(vm: Interpreter, inst: insts.StoreShared, ctx: BlockContext) -> None:
+    value: RegisterValue = ctx.lookup_tensor(inst.src)
+    dst: TensorView = ctx.lookup_tensor(inst.dst)
+    indices = _tile_indices(value.layout, inst.offset, ctx)
+    dst.scatter_bits(indices, value.thread_patterns().reshape(-1))
+    vm.stats.shared_bits_stored += value.layout.size * dst.dtype.nbits
+
+
+@SEQUENTIAL.register(insts.CopyAsync)
+def _exec_copy_async(vm: Interpreter, inst: insts.CopyAsync, ctx: BlockContext) -> None:
+    src: TensorView = ctx.lookup_tensor(inst.src)
+    dst: TensorView = ctx.lookup_tensor(inst.dst)
+    shape = inst.copy_shape()
+    src_origin = [int(evaluate(o, ctx.env)) for o in inst.src_offset]
+    dst_origin = [int(evaluate(o, ctx.env)) for o in inst.dst_offset]
+    # Functional semantics: copy eagerly; group tracking validates usage.
+    size = int(np.prod(shape))
+    idx = decompose_linear(tuple(shape))
+    # Region rank may be lower than either tensor's rank: address the
+    # trailing dimensions, leading ones fixed by the offsets.
+    zero = np.zeros(size, dtype=np.int64)
+    src_idx = [zero] * (len(src_origin) - len(idx)) + idx
+    dst_idx = [zero] * (len(dst_origin) - len(idx)) + idx
+    src_idx = [i + o for i, o in zip(src_idx, src_origin)]
+    dst_idx = [i + o for i, o in zip(dst_idx, dst_origin)]
+    # cp.async zero-fills out-of-bounds source elements (zfill semantics).
+    valid = bounds_mask(src_idx, src.shape)
+    clipped = [np.clip(i, 0, e - 1) for i, e in zip(src_idx, src.shape)]
+    patterns = np.where(valid, src.gather_bits(clipped), np.uint64(0))
+    dst.scatter_bits(dst_idx, patterns)
+    ctx.pending_copies.append(inst)
+    vm.stats.copy_async_issued += 1
+    vm.stats.global_bits_loaded += size * src.dtype.nbits
+
+
+@SEQUENTIAL.register(insts.CopyAsyncCommitGroup)
+def _exec_copy_async_commit(vm: Interpreter, inst, ctx: BlockContext) -> None:
+    ctx.committed_groups.append(ctx.pending_copies)
+    ctx.pending_copies = []
+
+
+@SEQUENTIAL.register(insts.CopyAsyncWaitGroup)
+def _exec_copy_async_wait(
+    vm: Interpreter, inst: insts.CopyAsyncWaitGroup, ctx: BlockContext
+) -> None:
+    while len(ctx.committed_groups) > inst.n:
+        ctx.committed_groups.pop(0)
+
+
+# computation --------------------------------------------------------------
+
+
+@SEQUENTIAL.register(insts.ElementwiseBinary)
+def _exec_elementwise_binary(
+    vm: Interpreter, inst: insts.ElementwiseBinary, ctx: BlockContext
+) -> None:
+    a: RegisterValue = ctx.lookup_tensor(inst.a)
+    if isinstance(inst.b, TensorVar):
+        b = ctx.lookup_tensor(inst.b)
+    else:
+        b = evaluate(inst.b, ctx.env)
+    ctx.env[inst.out] = a.binary(inst.op, b)
+
+
+@SEQUENTIAL.register(insts.Neg)
+def _exec_neg(vm: Interpreter, inst: insts.Neg, ctx: BlockContext) -> None:
+    ctx.env[inst.out] = ctx.lookup_tensor(inst.a).neg()
+
+
+@SEQUENTIAL.register(insts.Cast)
+def _exec_cast(vm: Interpreter, inst: insts.Cast, ctx: BlockContext) -> None:
+    ctx.env[inst.out] = ctx.lookup_tensor(inst.a).cast(inst.dtype)
+
+
+@SEQUENTIAL.register(insts.ReduceSum)
+def _exec_reduce_sum(vm: Interpreter, inst: insts.ReduceSum, ctx: BlockContext) -> None:
+    value: RegisterValue = ctx.lookup_tensor(inst.a)
+    logical = value.to_logical()
+    reduced = logical.sum(axis=inst.axis, keepdims=True)
+    out_t = inst.out.ttype
+    ctx.env[inst.out] = RegisterValue.from_logical(out_t.dtype, out_t.layout, reduced)
+
+
+@SEQUENTIAL.register(insts.Lookup)
+def _exec_lookup(vm: Interpreter, inst: insts.Lookup, ctx: BlockContext) -> None:
+    codes: RegisterValue = ctx.lookup_tensor(inst.codes)
+    table = ctx.lookup_tensor(inst.table)
+    indices = codes.thread_values().astype(np.int64)
+    if isinstance(table, RegisterValue):
+        # Register-held codebook: use the logical 1-D table.
+        logical = table.to_logical()
+        extent = logical.shape[0]
+        if indices.size and (indices.min() < 0 or indices.max() >= extent):
             raise VMError(
-                f"BlockIndices unpacks {len(inst.out_vars)} values but the grid "
-                f"has rank {len(ctx.block_idx)}"
+                f"lookup code {int(indices.max())} exceeds table of {extent}"
             )
-        for var, value in zip(inst.out_vars, ctx.block_idx):
-            ctx.env[var] = value
-
-    def _exec_ViewGlobal(self, inst: insts.ViewGlobal, ctx: BlockContext) -> None:
-        ptr = int(evaluate(inst.ptr, ctx.env))
-        ttype = inst.out.ttype
-        shape = tuple(
-            int(evaluate(s, ctx.env)) if hasattr(s, "dtype") else int(s)
-            for s in ttype.shape
-        )
-        ctx.env[inst.out] = TensorView(self.memory.buffer, ptr * 8, ttype.dtype, shape)
-
-    def _exec_AllocateRegister(self, inst: insts.AllocateRegister, ctx: BlockContext) -> None:
-        ttype = inst.out.ttype
-        if inst.init is not None:
-            value = RegisterValue.filled(ttype.dtype, ttype.layout, inst.init)
-        else:
-            value = RegisterValue.zeros(ttype.dtype, ttype.layout)
-        ctx.env[inst.out] = value
-
-    def _exec_AllocateShared(self, inst: insts.AllocateShared, ctx: BlockContext) -> None:
-        ttype = inst.out.ttype
-        shape = ttype.static_shape()
-        if shape is None:
-            raise VMError("shared tensors require static shapes")
-        addr = ctx.shared.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
-        ctx.env[inst.out] = TensorView(ctx.shared.buffer, addr * 8, ttype.dtype, shape)
-
-    def _exec_FreeShared(self, inst: insts.FreeShared, ctx: BlockContext) -> None:
-        # The VM gives each block fresh shared buffers; reuse is the
-        # planner's concern.  Freeing just drops the binding.
-        ctx.env.pop(inst.tensor, None)
-
-    def _exec_AllocateGlobal(self, inst: insts.AllocateGlobal, ctx: BlockContext) -> None:
-        ttype = inst.out.ttype
-        shape = ttype.static_shape()
-        if shape is None:
-            raise VMError("workspace tensors require static shapes")
-        addr = self.memory.alloc((int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8)
-        ctx.env[inst.out] = TensorView(self.memory.buffer, addr * 8, ttype.dtype, shape)
-
-    # transfer ------------------------------------------------------------------
-    def _tile_indices(self, layout, offset, ctx: BlockContext, broadcast_dims=frozenset()):
-        """Global/shared indices touched by a register tile at ``offset``.
-
-        When the register tile has lower rank than the memory tensor (e.g.
-        a 1-D ``u8[96]`` tile stored into ``u8[K/BK, N/BN, 96]`` at
-        ``offset=[bk, bj, 0]``), the tile addresses the trailing dimensions
-        and the leading ones are fixed by the offset alone.  Dimensions in
-        ``broadcast_dims`` ignore the tile coordinate entirely (scale-vector
-        broadcast loads).
-        """
-        t = np.repeat(np.arange(layout.num_threads), layout.local_size)
-        i = np.tile(np.arange(layout.local_size), layout.num_threads)
-        coords = [np.broadcast_to(c, t.shape) for c in layout.map_batch(t, i)]
-        origin = [int(evaluate(o, ctx.env)) for o in offset]
-        pad = len(origin) - len(coords)
-        if pad < 0:
+        values = logical[indices.reshape(-1)]
+    else:
+        extent = table.shape[0]
+        if indices.size and (indices.min() < 0 or indices.max() >= extent):
             raise VMError(
-                f"register tile rank {len(coords)} exceeds tensor rank {len(origin)}"
+                f"lookup code {int(indices.max())} exceeds table of {extent}"
             )
-        coords = [np.zeros(t.shape, dtype=np.int64)] * pad + coords
-        zero = np.zeros(t.shape, dtype=np.int64)
-        return [
-            (zero if d in broadcast_dims else c) + o
-            for d, (c, o) in enumerate(zip(coords, origin))
-        ]
+        bits = table.gather_bits([indices.reshape(-1)])
+        values = table.dtype.from_bits(bits)
+    out_t = inst.out.ttype
+    ctx.env[inst.out] = RegisterValue.from_thread_values(
+        out_t.dtype, out_t.layout, values.reshape(indices.shape)
+    )
 
-    @staticmethod
-    def _bounds_mask(indices, shape) -> np.ndarray:
-        valid = np.ones(indices[0].shape, dtype=bool)
-        for idx, extent in zip(indices, shape):
-            valid &= (idx >= 0) & (idx < extent)
-        return valid
 
-    def _exec_LoadGlobal(self, inst: insts.LoadGlobal, ctx: BlockContext) -> None:
-        src: TensorView = ctx.lookup_tensor(inst.src)
-        layout = inst.out.ttype.layout
-        indices = self._tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
-        if inst.masked:
-            valid = self._bounds_mask(indices, src.shape)
-            clipped = [np.clip(i, 0, e - 1) for i, e in zip(indices, src.shape)]
-            patterns = src.gather_bits(clipped)
-            patterns = np.where(valid, patterns, np.uint64(0))
-        else:
-            patterns = src.gather_bits(indices)
-        patterns = patterns.reshape(layout.num_threads, layout.local_size)
-        self.stats.global_bits_loaded += layout.size * src.dtype.nbits
-        ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
+@SEQUENTIAL.register(insts.View)
+def _exec_view(vm: Interpreter, inst: insts.View, ctx: BlockContext) -> None:
+    out_t = inst.out.ttype
+    ctx.env[inst.out] = ctx.lookup_tensor(inst.a).view(out_t.dtype, out_t.layout)
 
-    def _exec_LoadShared(self, inst: insts.LoadShared, ctx: BlockContext) -> None:
-        src: TensorView = ctx.lookup_tensor(inst.src)
-        layout = inst.out.ttype.layout
-        indices = self._tile_indices(layout, inst.offset, ctx, inst.broadcast_dims)
-        patterns = src.gather_bits(indices).reshape(layout.num_threads, layout.local_size)
-        self.stats.shared_bits_loaded += layout.size * src.dtype.nbits
-        ctx.env[inst.out] = RegisterValue.from_patterns(inst.out.ttype.dtype, layout, patterns)
 
-    def _exec_StoreGlobal(self, inst: insts.StoreGlobal, ctx: BlockContext) -> None:
-        value: RegisterValue = ctx.lookup_tensor(inst.src)
-        dst: TensorView = ctx.lookup_tensor(inst.dst)
-        indices = self._tile_indices(value.layout, inst.offset, ctx)
-        patterns = value.thread_patterns().reshape(-1)
-        if inst.masked:
-            valid = self._bounds_mask(indices, dst.shape)
-            if not valid.any():
-                return
-            indices = [i[valid] for i in indices]
-            patterns = patterns[valid]
-        dst.scatter_bits(indices, patterns)
-        self.stats.global_bits_stored += value.layout.size * dst.dtype.nbits
+@SEQUENTIAL.register(insts.Dot)
+def _exec_dot(vm: Interpreter, inst: insts.Dot, ctx: BlockContext) -> None:
+    a = ctx.lookup_tensor(inst.a).to_logical()
+    b = ctx.lookup_tensor(inst.b).to_logical()
+    c = ctx.lookup_tensor(inst.c).to_logical()
+    result = a.astype(np.float64) @ b.astype(np.float64) + c
+    out_t = inst.out.ttype
+    ctx.env[inst.out] = RegisterValue.from_logical(out_t.dtype, out_t.layout, result)
+    vm.stats.dot_ops += a.shape[0] * a.shape[1] * b.shape[1]
 
-    def _exec_StoreShared(self, inst: insts.StoreShared, ctx: BlockContext) -> None:
-        value: RegisterValue = ctx.lookup_tensor(inst.src)
-        dst: TensorView = ctx.lookup_tensor(inst.dst)
-        indices = self._tile_indices(value.layout, inst.offset, ctx)
-        dst.scatter_bits(indices, value.thread_patterns().reshape(-1))
-        self.stats.shared_bits_stored += value.layout.size * dst.dtype.nbits
 
-    def _exec_CopyAsync(self, inst: insts.CopyAsync, ctx: BlockContext) -> None:
-        src: TensorView = ctx.lookup_tensor(inst.src)
-        dst: TensorView = ctx.lookup_tensor(inst.dst)
-        shape = inst.copy_shape()
-        src_origin = [int(evaluate(o, ctx.env)) for o in inst.src_offset]
-        dst_origin = [int(evaluate(o, ctx.env)) for o in inst.dst_offset]
-        # Functional semantics: copy eagerly; group tracking validates usage.
-        size = int(np.prod(shape))
-        linear = np.arange(size, dtype=np.int64)
-        idx = []
-        rem = linear
-        for extent in reversed(shape):
-            idx.append(rem % extent)
-            rem //= extent
-        idx.reverse()
-        # Region rank may be lower than either tensor's rank: address the
-        # trailing dimensions, leading ones fixed by the offsets.
-        src_idx = [np.zeros(size, dtype=np.int64)] * (len(src_origin) - len(idx)) + idx
-        dst_idx = [np.zeros(size, dtype=np.int64)] * (len(dst_origin) - len(idx)) + idx
-        src_idx = [i + o for i, o in zip(src_idx, src_origin)]
-        dst_idx = [i + o for i, o in zip(dst_idx, dst_origin)]
-        # cp.async zero-fills out-of-bounds source elements (zfill semantics).
-        valid = self._bounds_mask(src_idx, src.shape)
-        clipped = [np.clip(i, 0, e - 1) for i, e in zip(src_idx, src.shape)]
-        patterns = np.where(valid, src.gather_bits(clipped), np.uint64(0))
-        dst.scatter_bits(dst_idx, patterns)
-        ctx.pending_copies.append(inst)
-        self.stats.copy_async_issued += 1
-        self.stats.global_bits_loaded += size * src.dtype.nbits
+# misc --------------------------------------------------------------------
 
-    def _exec_CopyAsyncCommitGroup(self, inst, ctx: BlockContext) -> None:
-        ctx.committed_groups.append(ctx.pending_copies)
-        ctx.pending_copies = []
 
-    def _exec_CopyAsyncWaitGroup(self, inst: insts.CopyAsyncWaitGroup, ctx: BlockContext) -> None:
-        while len(ctx.committed_groups) > inst.n:
-            ctx.committed_groups.pop(0)
+@SEQUENTIAL.register(insts.Synchronize)
+def _exec_synchronize(vm: Interpreter, inst, ctx: BlockContext) -> None:
+    vm.stats.synchronizations += 1
 
-    # computation --------------------------------------------------------------
-    def _exec_ElementwiseBinary(self, inst: insts.ElementwiseBinary, ctx: BlockContext) -> None:
-        a: RegisterValue = ctx.lookup_tensor(inst.a)
-        if isinstance(inst.b, TensorVar):
-            b = ctx.lookup_tensor(inst.b)
-        else:
-            b = evaluate(inst.b, ctx.env)
-        ctx.env[inst.out] = a.binary(inst.op, b)
 
-    def _exec_Neg(self, inst: insts.Neg, ctx: BlockContext) -> None:
-        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).neg()
+@SEQUENTIAL.register(insts.Exit)
+def _exec_exit(vm: Interpreter, inst, ctx: BlockContext) -> None:
+    raise _Exit()
 
-    def _exec_Cast(self, inst: insts.Cast, ctx: BlockContext) -> None:
-        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).cast(inst.dtype)
 
-    def _exec_ReduceSum(self, inst: insts.ReduceSum, ctx: BlockContext) -> None:
-        value: RegisterValue = ctx.lookup_tensor(inst.a)
-        logical = value.to_logical()
-        reduced = logical.sum(axis=inst.axis, keepdims=True)
-        out_t = inst.out.ttype
-        ctx.env[inst.out] = RegisterValue.from_logical(
-            out_t.dtype, out_t.layout, reduced
-        )
-
-    def _exec_Lookup(self, inst: insts.Lookup, ctx: BlockContext) -> None:
-        codes: RegisterValue = ctx.lookup_tensor(inst.codes)
-        table = ctx.lookup_tensor(inst.table)
-        indices = codes.thread_values().astype(np.int64)
-        if isinstance(table, RegisterValue):
-            # Register-held codebook: use the logical 1-D table.
-            values = table.to_logical()[indices.reshape(-1)]
-        else:
-            extent = table.shape[0]
-            if indices.size and (indices.min() < 0 or indices.max() >= extent):
-                raise VMError(
-                    f"lookup code {int(indices.max())} exceeds table of {extent}"
-                )
-            bits = table.gather_bits([indices.reshape(-1)])
-            values = table.dtype.from_bits(bits)
-        out_t = inst.out.ttype
-        ctx.env[inst.out] = RegisterValue.from_thread_values(
-            out_t.dtype, out_t.layout, values.reshape(indices.shape)
-        )
-
-    def _exec_View(self, inst: insts.View, ctx: BlockContext) -> None:
-        out_t = inst.out.ttype
-        ctx.env[inst.out] = ctx.lookup_tensor(inst.a).view(out_t.dtype, out_t.layout)
-
-    def _exec_Dot(self, inst: insts.Dot, ctx: BlockContext) -> None:
-        a = ctx.lookup_tensor(inst.a).to_logical()
-        b = ctx.lookup_tensor(inst.b).to_logical()
-        c = ctx.lookup_tensor(inst.c).to_logical()
-        result = a.astype(np.float64) @ b.astype(np.float64) + c
-        out_t = inst.out.ttype
-        ctx.env[inst.out] = RegisterValue.from_logical(out_t.dtype, out_t.layout, result)
-        self.stats.dot_ops += a.shape[0] * a.shape[1] * b.shape[1]
-
-    # misc --------------------------------------------------------------------
-    def _exec_Synchronize(self, inst, ctx: BlockContext) -> None:
-        self.stats.synchronizations += 1
-
-    def _exec_Exit(self, inst, ctx: BlockContext) -> None:
-        raise _Exit()
-
-    def _exec_PrintTensor(self, inst: insts.PrintTensor, ctx: BlockContext) -> None:
-        value = ctx.lookup_tensor(inst.tensor)
-        rendered = value.to_logical() if isinstance(value, RegisterValue) else value.read_all()
-        prefix = f"{inst.message}: " if inst.message else ""
-        text = f"{prefix}{inst.tensor.name} =\n{rendered}"
-        if self._stdout is not None:
-            self._stdout.write(text + "\n")
-        else:
-            print(text)
+@SEQUENTIAL.register(insts.PrintTensor)
+def _exec_print_tensor(vm: Interpreter, inst: insts.PrintTensor, ctx: BlockContext) -> None:
+    value = ctx.lookup_tensor(inst.tensor)
+    rendered = value.to_logical() if isinstance(value, RegisterValue) else value.read_all()
+    prefix = f"{inst.message}: " if inst.message else ""
+    text = f"{prefix}{inst.tensor.name} =\n{rendered}"
+    if vm._stdout is not None:
+        vm._stdout.write(text + "\n")
+    else:
+        print(text)

@@ -74,11 +74,17 @@ class TensorView:
         self.dtype = dtype
         self.shape = tuple(int(s) for s in shape)
         self.size = prod(self.shape)
+        if self.base_bits < 0:
+            raise VMError(
+                f"tensor view [{dtype}{list(self.shape)}] starts before the "
+                f"buffer: bit offset {self.base_bits} is negative"
+            )
         end_bits = self.base_bits + self.size * dtype.nbits
         if end_bits > (len(buffer) - 8) * 8:
             raise VMError(
-                f"tensor view [{dtype}{list(self.shape)}] exceeds its buffer: "
-                f"needs {end_bits} bits, buffer has {(len(buffer) - 8) * 8}"
+                f"tensor view [{dtype}{list(self.shape)}] at bit offset "
+                f"{self.base_bits} exceeds its buffer: needs {end_bits} bits, "
+                f"buffer has {(len(buffer) - 8) * 8}"
             )
 
     # -- addressing -----------------------------------------------------------
@@ -99,19 +105,30 @@ class TensorView:
         return linear
 
     # -- element access ---------------------------------------------------------
+    def _oob(self, exc: IndexError) -> VMError:
+        """Translate a stray numpy IndexError into a typed VM error."""
+        return VMError(
+            f"tensor view [{self.dtype}{list(self.shape)}] at bit offset "
+            f"{self.base_bits} addresses bytes outside its buffer "
+            f"({len(self.buffer)} bytes): {exc}"
+        )
+
     def gather_bits(self, indices: list[np.ndarray]) -> np.ndarray:
         """Read bit patterns at the given multi-indices (vectorized)."""
         linear = self._linear(indices)
         nbits = self.dtype.nbits
         bit_addr = self.base_bits + linear * nbits
-        if nbits % 8 == 0 and self.base_bits % 8 == 0:
-            return self._gather_bytes(bit_addr // 8, nbits // 8)
-        # Sub-byte/unaligned path: read a 64-bit little-endian window.
-        byte_addr = bit_addr // 8
-        shift = (bit_addr % 8).astype(np.uint64)
-        window = np.zeros(linear.shape, dtype=np.uint64)
-        for k in range(8):
-            window |= self.buffer[byte_addr + k].astype(np.uint64) << np.uint64(8 * k)
+        try:
+            if nbits % 8 == 0 and self.base_bits % 8 == 0:
+                return self._gather_bytes(bit_addr // 8, nbits // 8)
+            # Sub-byte/unaligned path: read a 64-bit little-endian window.
+            byte_addr = bit_addr // 8
+            shift = (bit_addr % 8).astype(np.uint64)
+            window = np.zeros(linear.shape, dtype=np.uint64)
+            for k in range(8):
+                window |= self.buffer[byte_addr + k].astype(np.uint64) << np.uint64(8 * k)
+        except IndexError as exc:
+            raise self._oob(exc) from exc
         mask = np.uint64((1 << nbits) - 1)
         return (window >> shift) & mask
 
@@ -126,25 +143,28 @@ class TensorView:
         linear = self._linear(indices)
         patterns = np.broadcast_to(np.asarray(patterns, dtype=np.uint64), linear.shape)
         nbits = self.dtype.nbits
-        if nbits % 8 == 0 and self.base_bits % 8 == 0:
-            byte_addr = (self.base_bits + linear * nbits) // 8
-            for k in range(nbits // 8):
-                self.buffer[byte_addr + k] = (
-                    (patterns >> np.uint64(8 * k)) & np.uint64(0xFF)
-                ).astype(np.uint8)
-            return
-        # Sub-byte path: edit through a bit view of the touched region.
-        bit_addr = self.base_bits + linear.reshape(-1) * nbits
-        lo_byte = int(bit_addr.min() // 8)
-        hi_byte = int((bit_addr.max() + nbits + 7) // 8)
-        region = np.unpackbits(self.buffer[lo_byte:hi_byte], bitorder="little")
-        offsets = bit_addr - lo_byte * 8
-        positions = (offsets[:, None] + np.arange(nbits)).reshape(-1)
-        value_bits = (
-            (patterns.reshape(-1)[:, None] >> np.arange(nbits, dtype=np.uint64)) & np.uint64(1)
-        ).astype(np.uint8).reshape(-1)
-        region[positions] = value_bits
-        self.buffer[lo_byte:hi_byte] = np.packbits(region, bitorder="little")[: hi_byte - lo_byte]
+        try:
+            if nbits % 8 == 0 and self.base_bits % 8 == 0:
+                byte_addr = (self.base_bits + linear * nbits) // 8
+                for k in range(nbits // 8):
+                    self.buffer[byte_addr + k] = (
+                        (patterns >> np.uint64(8 * k)) & np.uint64(0xFF)
+                    ).astype(np.uint8)
+                return
+            # Sub-byte path: edit through a bit view of the touched region.
+            bit_addr = self.base_bits + linear.reshape(-1) * nbits
+            lo_byte = int(bit_addr.min() // 8)
+            hi_byte = int((bit_addr.max() + nbits + 7) // 8)
+            region = np.unpackbits(self.buffer[lo_byte:hi_byte], bitorder="little")
+            offsets = bit_addr - lo_byte * 8
+            positions = (offsets[:, None] + np.arange(nbits)).reshape(-1)
+            value_bits = (
+                (patterns.reshape(-1)[:, None] >> np.arange(nbits, dtype=np.uint64)) & np.uint64(1)
+            ).astype(np.uint8).reshape(-1)
+            region[positions] = value_bits
+            self.buffer[lo_byte:hi_byte] = np.packbits(region, bitorder="little")[: hi_byte - lo_byte]
+        except IndexError as exc:
+            raise self._oob(exc) from exc
 
     # -- whole-tensor convenience ------------------------------------------------
     def read_all(self) -> np.ndarray:

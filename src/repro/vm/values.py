@@ -18,6 +18,40 @@ from repro.errors import VMError
 from repro.layout import Layout
 
 
+def apply_elementwise(dtype: DataType, op: str, a: np.ndarray, b) -> np.ndarray:
+    """Elementwise arithmetic in the decode domain, shared by both engines.
+
+    ``a`` holds decoded values of ``dtype``; ``b`` is a scalar or an array
+    already broadcast-compatible with ``a``.  Integer division truncates
+    toward zero and modulo round-trips its quotient through the storage
+    type (C semantics) — keeping this logic in ONE place is what lets the
+    sequential and batched register values stay bit-exact with each other.
+    """
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if dtype.is_integer:
+            quotient = np.floor_divide(a, b)
+            # C truncation toward zero for negative results.
+            return np.where(
+                (a % b != 0) & ((a < 0) != (np.asarray(b) < 0)), quotient + 1, quotient
+            )
+        return a / b
+    if op == "%":
+        if dtype.is_integer:
+            # Mirror hardware: the quotient materializes in a register of
+            # ``dtype`` before the multiply-subtract, so round-trip it
+            # through the storage codec.
+            quotient = dtype.quantize(apply_elementwise(dtype, "/", a, b))
+            return a - np.asarray(quotient, dtype=a.dtype) * b
+        return np.fmod(a, b)
+    raise VMError(f"unknown elementwise op {op!r}")
+
+
 class RegisterValue:
     """A register tensor: per-thread bit storage plus (dtype, layout).
 
@@ -158,26 +192,7 @@ class RegisterValue:
             b = other.thread_values()
         else:
             b = other
-        if op == "+":
-            result = a + b
-        elif op == "-":
-            result = a - b
-        elif op == "*":
-            result = a * b
-        elif op == "/":
-            if self.dtype.is_integer:
-                quotient = np.floor_divide(a, b)
-                # C truncation toward zero for negative results.
-                result = np.where((a % b != 0) & ((a < 0) != (np.asarray(b) < 0)), quotient + 1, quotient)
-            else:
-                result = a / b
-        elif op == "%":
-            if self.dtype.is_integer:
-                result = a - np.asarray(self.binary("/", other).thread_values(), dtype=a.dtype) * b
-            else:
-                result = np.fmod(a, b)
-        else:
-            raise VMError(f"unknown elementwise op {op!r}")
+        result = apply_elementwise(self.dtype, op, a, b)
         return RegisterValue.from_thread_values(self.dtype, self.layout, result)
 
     def neg(self) -> "RegisterValue":

@@ -1,0 +1,68 @@
+"""Run one generated case through both engines and compare bit-exactly.
+
+Both engines get *identical* device images: a fresh
+:class:`~repro.vm.memory.GlobalMemory`, the same uploads in the same
+order (so identical addresses), and zero-initialized output regions.
+After execution the raw **bit patterns** of every output tensor are
+compared — not decoded values — so NaN payloads, negative zeros and
+sub-byte padding must all agree.  Execution statistics are compared as
+well: the batched engine is required to count work exactly as if blocks
+had run one at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm import BatchedExecutor, GlobalMemory, Interpreter, TensorView
+from repro.vm.dispatch import decompose_linear
+
+from tests.harness.generator import GeneratedCase
+
+
+class DifferentialMismatch(AssertionError):
+    """The two engines disagreed on a generated program."""
+
+
+def _run_engine(case: GeneratedCase, engine: str):
+    memory = GlobalMemory(1 << 24)
+    host = Interpreter(memory)
+    args = [host.upload(data, dtype) for data, dtype in case.inputs]
+    out_addrs = [host.alloc_output(shape, dtype) for shape, dtype in case.outputs]
+    args.extend(out_addrs)
+    if engine == "sequential":
+        executor = host
+    else:
+        executor = BatchedExecutor(memory, stats=host.stats)
+    executor.launch(case.program, args)
+    outputs = []
+    for addr, (shape, dtype) in zip(out_addrs, case.outputs):
+        view = TensorView(memory.buffer, addr * 8, dtype, tuple(shape))
+        bits = view.gather_bits(decompose_linear(tuple(shape)))
+        outputs.append(bits.copy())
+    return outputs, host.stats.snapshot()
+
+
+def run_differential(case: GeneratedCase) -> None:
+    """Assert both engines produce bit-identical outputs and equal stats."""
+    seq_outs, seq_stats = _run_engine(case, "sequential")
+    bat_outs, bat_stats = _run_engine(case, "batched")
+    for idx, (seq_bits, bat_bits) in enumerate(zip(seq_outs, bat_outs)):
+        if not np.array_equal(seq_bits, bat_bits):
+            diff = np.flatnonzero(seq_bits != bat_bits)
+            shape, dtype = case.outputs[idx]
+            raise DifferentialMismatch(
+                f"output {idx} ({dtype}{list(shape)}) differs at "
+                f"{diff.size}/{seq_bits.size} elements (first at linear index "
+                f"{diff[0]}: sequential={seq_bits[diff[0]]:#x} "
+                f"batched={bat_bits[diff[0]]:#x})\n{case.describe()}"
+            )
+    if seq_stats != bat_stats:
+        delta = {
+            k: (seq_stats[k], bat_stats[k])
+            for k in seq_stats
+            if seq_stats[k] != bat_stats[k]
+        }
+        raise DifferentialMismatch(
+            f"execution stats diverge (sequential, batched): {delta}\n{case.describe()}"
+        )

@@ -89,9 +89,31 @@ class TestRuntime:
         assert rt.cache.hits == 1
         assert len(rt.cache) == 1
 
-    def test_distinct_programs_cached_separately(self):
+    def test_identical_rebuilds_share_one_entry(self):
+        # The specialization cache keys on structure, not object identity:
+        # re-instantiating the same template must not re-lower.
         rt = Runtime()
         p1, p2 = self._copy_program(), self._copy_program()
+        data = np.zeros((8, 4))
+        a = rt.upload(data, float16)
+        b = rt.empty([8, 4], float16)
+        rt.launch(p1, [a, b])
+        rt.launch(p2, [a, b])
+        assert len(rt.cache) == 1
+        assert rt.cache.misses == 1 and rt.cache.hits == 1
+
+    def test_distinct_programs_cached_separately(self):
+        rt = Runtime()
+        p1 = self._copy_program()
+        pb = ProgramBuilder("copy", grid=[1])
+        src = pb.param("src", pointer(float16))
+        dst = pb.param("dst", pointer(float16))
+        g_in = pb.view_global(src, dtype=float16, shape=[8, 4])
+        g_out = pb.view_global(dst, dtype=float16, shape=[8, 4])
+        tile = pb.load_global(g_in, layout=spatial(8, 4), offset=[0, 0])
+        doubled = pb.add(tile, tile)  # structural difference
+        pb.store_global(doubled, g_out, offset=[0, 0])
+        p2 = pb.finish()
         data = np.zeros((8, 4))
         a = rt.upload(data, float16)
         b = rt.empty([8, 4], float16)

@@ -97,6 +97,32 @@ class TestTensorView:
         with pytest.raises(VMError):
             TensorView(small, 0, float16, (100, 100))
 
+    def test_oversized_view_error_names_offset_and_shape(self):
+        small = np.zeros(64, dtype=np.uint8)
+        with pytest.raises(VMError, match=r"\[100, 100\].*bit offset 128"):
+            TensorView(small, 128, float16, (100, 100))
+
+    def test_negative_base_rejected_with_offset(self):
+        # A bogus (e.g. negative) pointer must raise a typed VMError rather
+        # than silently wrapping around through numpy negative indexing.
+        mem = GlobalMemory()
+        with pytest.raises(VMError, match=r"-800.*negative"):
+            TensorView(mem.buffer, -800, float16, (4, 4))
+
+    def test_bad_pointer_via_interpreter_raises_vmerror(self):
+        from repro.lang import ProgramBuilder, pointer
+        from repro.layout import spatial
+        from repro.vm import Interpreter
+
+        pb = ProgramBuilder("badptr", grid=[1])
+        ptr = pb.param("p", pointer(float16))
+        g = pb.view_global(ptr, dtype=float16, shape=[4, 4])
+        tile = pb.load_global(g, layout=spatial(4, 4), offset=[0, 0])
+        pb.store_global(tile, g, offset=[0, 0])
+        prog = pb.finish()
+        with pytest.raises(VMError):
+            Interpreter().launch(prog, [-5])
+
     def test_write_shape_mismatch(self):
         mem = GlobalMemory()
         view = TensorView(mem.buffer, 0, float16, (4, 4))
