@@ -1,7 +1,7 @@
 """Microbenchmarks of the reproduction's own machinery: VM kernel
 execution throughput (sequential vs grid-vectorized batched engine),
-kernel-specialization-cache behaviour, layout algebra, transform, and
-compilation speed.
+multi-stream asynchronous launch throughput, kernel-specialization-cache
+behaviour, layout algebra, transform, and compilation speed.
 
 These are honest pytest-benchmark measurements of this library (the
 figures above are analytical); they guard against performance regressions
@@ -9,8 +9,12 @@ in the interpreter and compiler.
 
 Run ``python benchmarks/bench_vm_execution.py --quick`` for a fast
 self-checking summary: it measures the batched-vs-sequential speedup on a
-multi-block program (asserting the >= 3x target) and reports the
-specialization cache hit rate of a repeated-launch scenario.
+multi-block program (asserting the >= 3x target), the multi-stream
+speedup of 8 streams of independent launches over serial issue (asserting
+the >= 1.5x target *and* bit-exactness versus a serial replay), and
+reports the specialization cache hit rate of a repeated-launch scenario.
+``--section engine|streams|all`` selects which quick checks run (the CI
+matrix runs them as separate jobs).
 """
 
 import time
@@ -27,8 +31,8 @@ from repro.compiler import compile_program
 from repro.lang import ProgramBuilder, pointer
 from repro.layout import local, mma_m16n8k16, spatial
 from repro.quant import QuantScheme, quantize_weight, transform_weight
-from repro.runtime import Runtime
-from repro.vm import BatchedExecutor, Interpreter
+from repro.runtime import Runtime, StreamPool
+from repro.vm import BatchedExecutor, GlobalMemory, Interpreter
 
 
 def _setup_matmul(m=32, n=16, k=64, stages=1):
@@ -101,11 +105,11 @@ def test_compile_pipeline(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def _multiblock_program(gb=8, gw=8, th=8, tw=4, steps=4):
+def _multiblock_program(gb=8, gw=8, th=8, tw=4, steps=4, name="multiblock"):
     """An elementwise kernel over a gb*gw grid: out = (a * 2 + 1) summed
     ``steps`` times — the many-small-blocks shape that dominates serving
     traffic and that grid vectorization targets."""
-    pb = ProgramBuilder("multiblock", grid=[gb, gw])
+    pb = ProgramBuilder(name, grid=[gb, gw])
     a_ptr = pb.param("a", pointer(float16))
     out_ptr = pb.param("out", pointer(float16))
     bi, bj = pb.block_indices()
@@ -152,6 +156,105 @@ def test_specialization_cache_relaunch(benchmark):
     rt.launch(prog, args)  # warm the cache
     benchmark(rt.launch, prog, args)
     assert rt.cache.misses == 1 and rt.cache.hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-stream asynchronous issue vs serial issue
+# ---------------------------------------------------------------------------
+
+#: The serving-shaped stream workload: many independent small multi-block
+#: launches (distinct in-flight decode requests), the regime where launch
+#: orchestration — not kernel math — dominates.
+STREAM_GRID = (2, 2)
+STREAM_STEPS = 8
+
+
+def _stream_workload(num_streams: int, per_stream: int):
+    """One device image per issue mode: identical uploads, so outputs can
+    be compared bit-exactly afterwards."""
+    prog, (rows, cols) = _multiblock_program(
+        gb=STREAM_GRID[0], gw=STREAM_GRID[1], steps=STREAM_STEPS, name="stream_block"
+    )
+    rng = np.random.default_rng(0)
+    datas = [
+        float16.quantize(rng.standard_normal((rows, cols)))
+        for _ in range(num_streams * per_stream)
+    ]
+    memory = GlobalMemory(1 << 24)
+    host = Interpreter(memory)
+    args = [
+        (host.upload(d, float16), host.alloc_output([rows, cols], float16))
+        for d in datas
+    ]
+    return prog, (rows, cols), memory, host, args
+
+
+def stream_report(
+    min_speedup: float = 1.5, num_streams: int = 8, per_stream: int = 8
+) -> dict:
+    """Measure 8-stream asynchronous issue against serial issue.
+
+    Serial issue runs every launch to completion before issuing the next
+    (the synchronous ``Runtime.launch`` pattern); streamed issue enqueues
+    all launches round-robin across the streams and synchronizes once.
+    Asserts the >= ``min_speedup`` target and that streamed outputs are
+    bit-identical to the serial replay's.
+    """
+    prog, (rows, cols), mem_serial, host_serial, args_serial = _stream_workload(
+        num_streams, per_stream
+    )
+    executor = BatchedExecutor(mem_serial, stats=host_serial.stats)
+
+    def serial():
+        for a, o in args_serial:
+            executor.launch(prog, [a, o])
+
+    t_serial = _time_best(serial)
+
+    _, _, mem_stream, host_stream, args_stream = _stream_workload(
+        num_streams, per_stream
+    )
+    pool = StreamPool(mem_stream, num_streams=num_streams)
+
+    def streamed():
+        for i, (a, o) in enumerate(args_stream):
+            pool.submit(prog, [a, o], stream=pool.streams[i % num_streams])
+        pool.synchronize()
+
+    try:
+        t_stream = _time_best(streamed, repeats=7)
+        # Counters for exactly one workload pass (not the timing repeats).
+        launches0, executions0 = pool.launches, pool.executions
+        streamed()
+        launches = pool.launches - launches0
+        executions = pool.executions - executions0
+    finally:
+        pool.shutdown()
+    speedup = t_serial / t_stream
+
+    for (_, o_serial), (_, o_stream) in zip(args_serial, args_stream):
+        want = host_serial.download(o_serial, [rows, cols], float16)
+        got = host_stream.download(o_stream, [rows, cols], float16)
+        assert np.array_equal(got, want), "streamed outputs diverge from serial replay"
+
+    report = {
+        "serial_ms": t_serial * 1e3,
+        "streamed_ms": t_stream * 1e3,
+        "stream_speedup": speedup,
+        "launches": launches,
+        "executions": executions,
+    }
+    n = num_streams * per_stream
+    print(
+        f"{n} independent launches: serial issue {report['serial_ms']:.2f} ms, "
+        f"{num_streams} streams {report['streamed_ms']:.2f} ms -> "
+        f"{speedup:.1f}x speedup (bit-exact), "
+        f"{launches} launches coalesced into {executions} executions"
+    )
+    assert speedup >= min_speedup, (
+        f"multi-stream speedup {speedup:.2f}x below the {min_speedup:.1f}x target"
+    )
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -220,9 +323,24 @@ def main() -> None:
         help="run the self-checking speedup/cache summary instead of pytest-benchmark",
     )
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument(
+        "--min-stream-speedup",
+        type=float,
+        default=1.5,
+        help="multi-stream vs serial-issue speedup floor",
+    )
+    parser.add_argument(
+        "--section",
+        choices=("engine", "streams", "all"),
+        default="all",
+        help="which quick checks to run (CI runs these as a matrix)",
+    )
     args = parser.parse_args()
     if args.quick:
-        quick_report(min_speedup=args.min_speedup)
+        if args.section in ("engine", "all"):
+            quick_report(min_speedup=args.min_speedup)
+        if args.section in ("streams", "all"):
+            stream_report(min_speedup=args.min_stream_speedup)
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

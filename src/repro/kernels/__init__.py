@@ -10,7 +10,11 @@ from repro.kernels.elementwise import (
 from repro.kernels.gemv import quantized_gemv_program
 from repro.kernels.layouts import MatmulLayouts, matmul_layouts
 from repro.kernels.matmul import matmul_reference, quantized_matmul_program
-from repro.kernels.splitk import splitk_partial_program, splitk_reduce_program
+from repro.kernels.splitk import (
+    splitk_partial_program,
+    splitk_reduce_program,
+    splitk_slice_program,
+)
 from repro.kernels.transform import make_transform_program
 
 __all__ = [
@@ -27,4 +31,5 @@ __all__ = [
     "scale_bias_program",
     "splitk_partial_program",
     "splitk_reduce_program",
+    "splitk_slice_program",
 ]

@@ -8,6 +8,16 @@ and all in-flight requests decode together (one token per request per
 step, ``m = batch``).  Step latencies come from the serving simulator,
 so the kernel-level differences between systems (Tilus vs Ladder vs f16)
 propagate into throughput and latency percentiles.
+
+Kernel-in-the-loop mode: pass a ``decode_linear``
+(:class:`~repro.ops.QuantizedLinear`) and every simulated decode step
+*actually executes* one quantized-linear kernel per in-flight request on
+the VM, each request issued on its own stream of the operator runtime's
+pool — the concurrent decode/prefill kernel execution pattern the serving
+loop produces on real hardware.  Per-request output buffers are private,
+so the hazard tracker lets all of a step's decode kernels overlap; the
+step barrier is ``pool.synchronize()``.  Latency accounting stays
+analytical (the VM is functional, not a timing model).
 """
 
 from __future__ import annotations
@@ -51,6 +61,9 @@ class TraceResult:
     results: list[RequestResult] = field(default_factory=list)
     total_time_s: float = 0.0
     total_tokens: int = 0
+    #: Kernel-in-the-loop counters (zero in purely analytical runs).
+    kernel_launches: int = 0
+    max_concurrent_streams: int = 0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -69,21 +82,35 @@ class _Inflight:
     result: RequestResult
     remaining: int
     context: int
+    #: Device buffers for kernel-in-the-loop decode (None when analytical).
+    act_addr: int | None = None
+    out_addr: int | None = None
 
 
 class ContinuousBatchingSimulator:
-    """Serves a request trace with continuous batching."""
+    """Serves a request trace with continuous batching.
+
+    ``decode_linear`` switches on kernel-in-the-loop decode (see module
+    docstring): each in-flight request's per-step quantized linear is
+    launched asynchronously on a distinct stream of the operator
+    runtime's pool (``num_streams`` wide, capped by ``max_batch``;
+    ``num_streams=0`` issues the kernels synchronously instead).
+    """
 
     def __init__(
         self,
         model: ModelConfig,
         config: ServingConfig,
         max_batch: int = 16,
+        decode_linear=None,
+        num_streams: int = 4,
     ) -> None:
         self.model = model
         self.config = config
         self.max_batch = max_batch
         self.engine = ServingSimulator(model, config)
+        self.decode_linear = decode_linear
+        self.num_streams = min(num_streams, max_batch)
 
     def run(self, requests: list[Request]) -> TraceResult:
         """Simulate until every request finishes."""
@@ -105,9 +132,11 @@ class ContinuousBatchingSimulator:
                 now += self.engine.prefill_latency(request.prompt_tokens)
                 result = RequestResult(request, first_token_s=now)
                 outcome.total_tokens += request.prompt_tokens
-                inflight.append(
-                    _Inflight(request, result, request.output_tokens, request.prompt_tokens)
+                flight = _Inflight(
+                    request, result, request.output_tokens, request.prompt_tokens
                 )
+                self._provision_buffers(flight)
+                inflight.append(flight)
                 outcome.results.append(result)
                 continue
             if not inflight:
@@ -118,6 +147,7 @@ class ContinuousBatchingSimulator:
             batch = len(inflight)
             context = max(f.context for f in inflight)
             now += self.engine.decode_step_latency(batch=batch, context=context)
+            self._run_decode_kernels(inflight, outcome)
             outcome.total_tokens += batch
             finished: list[_Inflight] = []
             for flight in inflight:
@@ -130,6 +160,56 @@ class ContinuousBatchingSimulator:
                 inflight.remove(flight)
         outcome.total_time_s = now
         return outcome
+
+    # -- kernel-in-the-loop decode -------------------------------------------
+    def _provision_buffers(self, flight: _Inflight) -> None:
+        """Give an admitted request private activation/output buffers so
+        its decode kernels are hazard-free against every other request."""
+        if self.decode_linear is None:
+            return
+        import numpy as np
+
+        linear = self.decode_linear
+        runtime = linear.runtime
+        activation = np.zeros((1, linear.k))
+        flight.act_addr = runtime.upload(
+            linear.act_dtype.quantize(activation), linear.act_dtype
+        )
+        flight.out_addr = runtime.empty([1, linear.n], linear.act_dtype)
+
+    def _run_decode_kernels(self, inflight: list[_Inflight], outcome: TraceResult) -> None:
+        """Issue one decode linear per in-flight request, each on its own
+        stream, then barrier on the pool (one serving step).  With
+        ``num_streams=0`` the kernels run synchronously instead."""
+        if self.decode_linear is None:
+            return
+        linear = self.decode_linear
+        runtime = linear.runtime
+        program = linear.program_for(1)
+        if self.num_streams < 1:
+            for flight in inflight:
+                runtime.launch(
+                    program,
+                    [flight.act_addr, linear.b_addr, linear.s_addr, flight.out_addr],
+                )
+            outcome.kernel_launches += len(inflight)
+            outcome.max_concurrent_streams = max(outcome.max_concurrent_streams, 1)
+            return
+        pool = runtime.stream_pool(self.num_streams)
+        streams_used = set()
+        for idx, flight in enumerate(inflight):
+            stream = pool.streams[idx % len(pool.streams)]
+            runtime.launch(
+                program,
+                [flight.act_addr, linear.b_addr, linear.s_addr, flight.out_addr],
+                stream=stream,
+            )
+            streams_used.add(stream.index)
+        pool.synchronize()
+        outcome.kernel_launches += len(inflight)
+        outcome.max_concurrent_streams = max(
+            outcome.max_concurrent_streams, len(streams_used)
+        )
 
 
 def uniform_trace(

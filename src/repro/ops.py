@@ -22,8 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dtypes import DataType, float16, uint8
-from repro.kernels import MatmulConfig, matmul_layouts, quantized_matmul_program
+from repro.dtypes import DataType, float16, float32, uint8
+from repro.kernels import (
+    MatmulConfig,
+    matmul_layouts,
+    quantized_matmul_program,
+    splitk_reduce_program,
+    splitk_slice_program,
+)
 from repro.quant import QuantScheme, quantize_weight, transform_weight
 from repro.runtime import Runtime
 
@@ -35,6 +41,13 @@ class QuantizedLinear:
     Programs are memoized per activation row count ``m``; combined with the
     runtime's specialization cache this makes repeated calls launch-only —
     no template re-instantiation and no re-lowering on the hot path.
+
+    With ``config.split_k >= 2`` the product runs as ``split_k``
+    independent slice kernels plus a reduce kernel
+    (:mod:`repro.kernels.splitk`); ``streams > 0`` issues each slice on
+    its own stream of the runtime's pool (the slices write disjoint
+    workspace slabs, so they execute concurrently, and the reduce is
+    hazard-ordered behind all of them automatically).
     """
 
     runtime: Runtime
@@ -45,25 +58,45 @@ class QuantizedLinear:
     b_addr: int
     s_addr: int
     act_dtype: DataType = float16
+    #: Streams to spread split-k slices over (0 = synchronous launches).
+    streams: int = 0
 
     #: Bound on memoized per-``m`` programs (oldest evicted beyond this),
     #: mirroring the runtime cache's LRU bound one layer down.
     MAX_PROGRAMS = 32
 
     def __post_init__(self) -> None:
-        self._programs: dict[int, object] = {}
+        self._programs: dict = {}
 
-    def program_for(self, m: int):
-        """The matmul program specialized to ``m`` rows (memoized, bounded)."""
-        program = self._programs.pop(m, None)
+    def _memoized(self, key, build):
+        program = self._programs.pop(key, None)
         if program is None:
-            program = quantized_matmul_program(
-                m, self.n, self.k, self.act_dtype, self.scheme, self.config
-            )
-        self._programs[m] = program  # reinsert = most recently used
+            program = build()
+        self._programs[key] = program  # reinsert = most recently used
         while len(self._programs) > self.MAX_PROGRAMS:
             self._programs.pop(next(iter(self._programs)))
         return program
+
+    def program_for(self, m: int):
+        """The matmul program specialized to ``m`` rows (memoized, bounded)."""
+        return self._memoized(
+            m,
+            lambda: quantized_matmul_program(
+                m, self.n, self.k, self.act_dtype, self.scheme, self.config
+            ),
+        )
+
+    def splitk_programs_for(self, m: int):
+        """The (slice, reduce) program pair for ``m`` rows (memoized)."""
+        return self._memoized(
+            ("splitk", m),
+            lambda: (
+                splitk_slice_program(
+                    m, self.n, self.k, self.act_dtype, self.scheme, self.config
+                ),
+                splitk_reduce_program(m, self.n, self.config.split_k, self.act_dtype),
+            ),
+        )
 
     def __call__(self, a: np.ndarray) -> np.ndarray:
         """Compute ``a @ dequant(W)`` for activations ``a[m, k]``."""
@@ -71,11 +104,51 @@ class QuantizedLinear:
         if a.ndim != 2 or a.shape[1] != self.k:
             raise ValueError(f"activations must be [m, {self.k}], got {a.shape}")
         m = a.shape[0]
-        program = self.program_for(m)
         a_addr = self.runtime.upload(self.act_dtype.quantize(a), self.act_dtype)
         c_addr = self.runtime.empty([m, self.n], self.act_dtype)
-        self.runtime.launch(program, [a_addr, self.b_addr, self.s_addr, c_addr])
+        if self.config.split_k >= 2:
+            self._launch_splitk(m, a_addr, c_addr)
+        else:
+            program = self.program_for(m)
+            self.runtime.launch(program, [a_addr, self.b_addr, self.s_addr, c_addr])
         return self.runtime.download(c_addr, [m, self.n], self.act_dtype)
+
+    def _launch_splitk(self, m: int, a_addr: int, c_addr: int) -> None:
+        """Issue the split-k slice launches (one stream per slice when
+        streaming) and the hazard-ordered reduce; blocks until done."""
+        sk = self.config.split_k
+        slice_prog, reduce_prog = self.splitk_programs_for(m)
+        p_addr = self.runtime.empty([sk, m, self.n], float32)
+        slice_bytes = m * self.n * 4
+        tiles_per_slice = (self.k // self.config.block_k) // sk
+        if self.streams > 0:
+            pool = self.runtime.stream_pool(self.streams)
+            for s in range(sk):
+                self.runtime.launch(
+                    slice_prog,
+                    [
+                        a_addr,
+                        self.b_addr,
+                        self.s_addr,
+                        p_addr + s * slice_bytes,
+                        s * tiles_per_slice,
+                    ],
+                    stream=pool.streams[s % len(pool.streams)],
+                )
+            self.runtime.launch(reduce_prog, [p_addr, c_addr], stream="auto").wait()
+        else:
+            for s in range(sk):
+                self.runtime.launch(
+                    slice_prog,
+                    [
+                        a_addr,
+                        self.b_addr,
+                        self.s_addr,
+                        p_addr + s * slice_bytes,
+                        s * tiles_per_slice,
+                    ],
+                )
+            self.runtime.launch(reduce_prog, [p_addr, c_addr])
 
 
 def _default_config(weight_dtype: DataType) -> MatmulConfig:
@@ -102,8 +175,13 @@ def prepare_linear(
     group_size: int = 128,
     config: MatmulConfig | None = None,
     runtime: Runtime | None = None,
+    streams: int = 0,
 ) -> QuantizedLinear:
-    """Quantize and device-transform a weight matrix once, for many calls."""
+    """Quantize and device-transform a weight matrix once, for many calls.
+
+    ``streams`` (with a ``config`` whose ``split_k >= 2``) spreads the
+    split-k slice kernels over that many runtime streams per call.
+    """
     weight = np.asarray(weight, dtype=np.float64)
     k, n = weight.shape
     scheme = QuantScheme(weight_dtype, group_size=min(group_size, k))
@@ -122,6 +200,7 @@ def prepare_linear(
         n=n,
         b_addr=b_addr,
         s_addr=s_addr,
+        streams=streams,
     )
 
 

@@ -6,5 +6,22 @@ from repro.runtime.runtime import (
     Runtime,
     SpecializationCache,
 )
+from repro.runtime.streams import (
+    Event,
+    LaunchHandle,
+    Stream,
+    StreamPool,
+    launch_ranges,
+)
 
-__all__ = ["Runtime", "KernelCache", "SpecializationCache", "ExecutionContext"]
+__all__ = [
+    "Runtime",
+    "KernelCache",
+    "SpecializationCache",
+    "ExecutionContext",
+    "Stream",
+    "StreamPool",
+    "Event",
+    "LaunchHandle",
+    "launch_ranges",
+]

@@ -4,8 +4,12 @@ Maintains the three pieces of state the paper describes:
 
 1. a **workspace** in global memory that kernels request through
    ``AllocateGlobal``;
-2. an **execution context** holding the (simulated) stream kernels are
-   launched on;
+2. an **execution context** for launch bookkeeping, plus a lazily created
+   **stream pool** (:mod:`repro.runtime.streams`) for asynchronous
+   launches: ``launch(..., stream=...)`` enqueues and returns a handle,
+   independent streams execute concurrently on per-stream engines, and
+   cross-stream hazards on global-memory ranges are ordered
+   automatically;
 3. a **kernel specialization cache** keyed on (program hash, const-bound
    scalar params, dtype set), so structurally identical programs —
    including fresh re-instantiations of the same template — compile once
@@ -34,6 +38,7 @@ from repro.compiler.pipeline import (
 from repro.dtypes import DataType
 from repro.errors import VMError
 from repro.ir.program import Program
+from repro.runtime.streams import LaunchHandle, Stream, StreamPool
 from repro.vm.batched import BatchedExecutor, select_engine
 from repro.vm.interp import ExecutionStats, Interpreter
 from repro.vm.memory import GlobalMemory
@@ -138,6 +143,28 @@ class Runtime:
         self.context = ExecutionContext()
         self._workspace_addr: int | None = None
         self._workspace_size = 0
+        self._pool: StreamPool | None = None
+
+    # -- streams ------------------------------------------------------------
+    def stream_pool(self, num_streams: int = 4) -> StreamPool:
+        """The runtime's stream pool, created on first use.
+
+        The pool shares this runtime's device memory, so tensors uploaded
+        through :meth:`upload` are visible to every stream.  The stream
+        count is fixed on first call; later calls return the same pool.
+        """
+        if self._pool is None:
+            self._pool = StreamPool(
+                self.memory,
+                num_streams=num_streams,
+                shared_capacity=self.interpreter.shared_capacity,
+            )
+        return self._pool
+
+    def synchronize(self) -> None:
+        """Wait for all asynchronously launched kernels to retire."""
+        if self._pool is not None:
+            self._pool.synchronize()
 
     # -- memory -------------------------------------------------------------
     def upload(self, values: np.ndarray, dtype: DataType) -> int:
@@ -163,16 +190,35 @@ class Runtime:
 
     # -- execution -------------------------------------------------------------
     def launch(
-        self, program: Program, args: Sequence, engine: str | None = None
-    ) -> CompiledKernel:
+        self,
+        program: Program,
+        args: Sequence,
+        engine: str | None = None,
+        stream: "Stream | str | None" = None,
+    ) -> CompiledKernel | LaunchHandle:
         """Compile (specialization-cached), provision workspace, execute.
 
         A cache hit executes the *cached* kernel's program, so launching a
         freshly rebuilt but structurally identical program skips both
         lowering and any recompilation side effects.
+
+        ``stream`` makes the launch asynchronous: pass a
+        :class:`~repro.runtime.streams.Stream` (from :meth:`stream_pool`)
+        to enqueue on that stream, or ``"auto"`` to let the pool's
+        scheduler place it.  Async launches return a
+        :class:`~repro.runtime.streams.LaunchHandle` instead of the
+        kernel; ``handle.wait()`` / ``stream.synchronize()`` /
+        :meth:`synchronize` drain them.  Cross-stream ordering on
+        overlapping global-memory ranges is enforced automatically
+        (writes serialize, reads share), so out-of-order completion stays
+        bit-exact with serial issue.
         """
         if engine is not None and engine not in ("auto", "sequential", "batched"):
             raise ValueError(f"unknown engine {engine!r}")
+        if stream is not None and stream != "auto" and not isinstance(stream, Stream):
+            raise ValueError(
+                f"stream must be a Stream, 'auto', or None, got {stream!r}"
+            )
         if len(args) != len(program.params):
             # Check before touching the cache: a truncated zip would
             # otherwise build a bogus specialization key and cache a kernel
@@ -184,6 +230,16 @@ class Runtime:
         program = kernel.program
         if kernel.workspace_bytes:
             self.ensure_workspace(kernel.workspace_bytes)
+        if stream is not None:
+            pool = stream.pool if isinstance(stream, Stream) else self.stream_pool()
+            handle = pool.submit(
+                program,
+                args,
+                stream=stream if isinstance(stream, Stream) else None,
+                engine=engine or self.engine,
+            )
+            self.context.launches += 1
+            return handle
         choice = engine or self.engine
         if choice == "auto":
             choice = select_engine(program, program.grid_size(args))
@@ -197,4 +253,11 @@ class Runtime:
         return kernel
 
     def stats(self) -> ExecutionStats:
-        return self.interpreter.stats
+        """Counters over every launch: the synchronous engines' shared
+        stats plus, when streams are in use, all per-stream stats."""
+        if self._pool is None:
+            return self.interpreter.stats
+        total = ExecutionStats()
+        total.merge(self.interpreter.stats)
+        total.merge(self._pool.aggregate_stats())
+        return total

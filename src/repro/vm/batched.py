@@ -15,13 +15,16 @@ Engine selection
 :class:`repro.runtime.runtime.Runtime` with ``engine="auto"``:
 
 - **batched** is selected when the launch grid has more than one thread
-  block, the program contains no ``PrintTensor`` instruction (printing
-  is inherently per-block-ordered, which lockstep execution cannot
-  reproduce), and every global view shape is block-invariant (built from
+  block and every global view shape is block-invariant (built from
   constants and parameters only);
 - **sequential** is selected otherwise — single-block launches gain
-  nothing from stacking, debug programs need faithful print interleaving,
-  and per-block tensor shapes cannot be stacked.
+  nothing from stacking, and per-block tensor shapes cannot be stacked.
+
+``PrintTensor`` batches too: output is buffered per block during lockstep
+execution and flushed in block order when the launch retires, which
+reproduces the sequential engine's interleaving exactly for register
+tensors and block-private memory (the only prints the SIMB contract
+makes well-defined).
 
 Callers can force either engine explicitly; the differential test harness
 (``tests/harness``) runs randomized programs through both engines and
@@ -45,7 +48,11 @@ through tensor outputs of well-formed programs):
 
 - ``AllocateGlobal`` address assignment order differs when a program
   allocates workspace more than once (contents are still per-block
-  private);
+  private; a single ``AllocateGlobal`` per program gets bit-identical
+  addresses via :meth:`~repro.vm.memory.GlobalMemory.alloc_n`);
+- ``PrintTensor`` of a *global view* renders the view's state at the
+  lockstep execution point, so a program that (illegally) prints memory
+  another block writes may observe a different interleaving;
 - scalar expressions with block-varying operands evaluate both arms of
   short-circuit logicals and conditionals (under guard-refined masks, so
   guarded divisions still behave sequentially);
@@ -598,6 +605,9 @@ class BatchedContext:
         self.exited = np.zeros(nblocks, dtype=bool)
         self.pending_copy_count = 0
         self.committed_group_sizes: list[int] = []
+        #: Per-block buffered ``PrintTensor`` output, flushed in block
+        #: order when the launch retires (created on first print).
+        self.prints: list[list[str]] | None = None
 
     def lookup_tensor(self, var: TensorVar):
         value = self.env.get(var)
@@ -624,12 +634,14 @@ class BatchedExecutor:
         memory: GlobalMemory | None = None,
         shared_capacity: int = 228 * 1024,
         stats: ExecutionStats | None = None,
+        stdout=None,
     ) -> None:
         self.memory = memory if memory is not None else GlobalMemory()
         self.shared_capacity = shared_capacity
         self.stats = stats if stats is not None else ExecutionStats()
         self.launch_env: dict[Var, object] = {}
         self._break_stack: list[np.ndarray] = []
+        self._stdout = stdout
 
     # -- host-side helpers (same API as the sequential engine) -------------
     def upload(self, values: np.ndarray, dtype) -> int:
@@ -658,12 +670,74 @@ class BatchedExecutor:
         grid = program.grid_size(args)
         nblocks = int(np.prod(grid)) if grid else 1
         coords = tuple(decompose_linear(tuple(grid)))
+        return self._execute(program, nblocks, coords)
+
+    def launch_many(self, program: Program, args_list: Sequence[Sequence]) -> ExecutionStats:
+        """Run several independent launches of one program as a single
+        stacked grid.
+
+        All launches must share the same grid shape; any parameter may
+        differ per launch — differing values (pointers or scalars) are
+        bound as per-block arrays, exactly like block-varying scalars.
+        The stacked block order is launch-major, so memory effects,
+        ``AllocateGlobal`` addresses and buffered prints all match the
+        launches running back to back.  Callers are responsible for the
+        launches being independent (no cross-launch read/write hazards);
+        the stream runtime only coalesces launches it has proven disjoint.
+        """
+        if not args_list:
+            return self.stats
+        if len(args_list) == 1:
+            return self.launch(program, args_list[0])
+        for args in args_list:
+            if len(args) != len(program.params):
+                raise VMError(
+                    f"{program.name} expects {len(program.params)} args, got {len(args)}"
+                )
+        grids = {program.grid_size(args) for args in args_list}
+        if len(grids) != 1:
+            raise VMError(
+                f"launch_many requires one grid shape, got {sorted(grids)}"
+            )
+        grid = next(iter(grids))
+        per_launch = int(np.prod(grid)) if grid else 1
+        nlaunches = len(args_list)
+        env: dict[Var, object] = {}
+        for i, p in enumerate(program.params):
+            values = [args[i] for args in args_list]
+            if all(v == values[0] for v in values[1:]) or nlaunches == 1:
+                env[p] = values[0]
+            else:
+                stacked = np.asarray(
+                    values, dtype=np.float64 if p.dtype.is_float else np.int64
+                )
+                env[p] = np.repeat(stacked, per_launch)
+        self.launch_env = env
+        coords = tuple(
+            np.tile(c, nlaunches) for c in decompose_linear(tuple(grid))
+        )
+        return self._execute(program, per_launch * nlaunches, coords)
+
+    def _execute(self, program: Program, nblocks: int, coords: tuple) -> ExecutionStats:
         ctx = BatchedContext(self, nblocks, coords)
         self.stats.blocks_run += nblocks
         active = np.ones(nblocks, dtype=bool)
         self._break_stack = []
         self._run_stmt(program.body, ctx, active)
+        self._flush_prints(ctx)
         return self.stats
+
+    def _flush_prints(self, ctx: "BatchedContext") -> None:
+        """Emit buffered per-block print output in block order (block
+        retire order), matching the sequential engine's interleaving."""
+        if ctx.prints is None:
+            return
+        for texts in ctx.prints:
+            for text in texts:
+                if self._stdout is not None:
+                    self._stdout.write(text + "\n")
+                else:
+                    print(text)
 
     # -- statement execution (SIMT reconvergence) ---------------------------
     def _run_stmt(self, stmt: Stmt, ctx: BatchedContext, active: np.ndarray) -> np.ndarray:
@@ -882,8 +956,12 @@ def _bexec_allocate_global(vm, inst: insts.AllocateGlobal, ctx: BatchedContext, 
         raise VMError("workspace tensors require static shapes")
     nbytes = (int(np.prod(shape)) * ttype.dtype.nbits + 7) // 8
     addrs = np.zeros(ctx.nblocks, dtype=np.int64)
-    for b in np.flatnonzero(active):
-        addrs[b] = vm.memory.alloc(nbytes)
+    idx = np.flatnonzero(active)
+    if idx.size:
+        # One vectorized reservation covering every active block, in block
+        # order — the same addresses a per-block alloc loop (and the
+        # sequential engine's block loop) would assign.
+        addrs[idx] = vm.memory.alloc_n(nbytes, idx.size)
     view = BatchedView(vm.memory.buffer, addrs * 8, ttype.dtype, shape)
     vm._bind_tensor(ctx, inst.out, view, active)
 
@@ -1096,11 +1174,24 @@ def _bexec_exit(vm, inst, ctx: BatchedContext, active) -> None:
 
 @BATCHED.register(insts.PrintTensor)
 def _bexec_print_tensor(vm, inst: insts.PrintTensor, ctx: BatchedContext, active) -> None:
-    raise VMError(
-        "PrintTensor is not supported by the batched engine (lockstep "
-        "execution cannot reproduce per-block print interleaving); "
-        "run with engine='sequential'"
-    )
+    # Rendered now (per-block state at this lockstep point), flushed in
+    # block order at launch retire — see BatchedExecutor._flush_prints.
+    from repro.vm.memory import TensorView
+
+    if ctx.prints is None:
+        ctx.prints = [[] for _ in range(ctx.nblocks)]
+    value = ctx.lookup_tensor(inst.tensor)
+    prefix = f"{inst.message}: " if inst.message else ""
+    if isinstance(value, BatchedRegisterValue):
+        logical = value.to_logical()
+        for b in np.flatnonzero(active):
+            ctx.prints[b].append(f"{prefix}{inst.tensor.name} =\n{logical[b]}")
+    else:
+        for b in np.flatnonzero(active):
+            view = TensorView(
+                value.buffer, int(value.base_bits[b]), value.dtype, value.shape
+            )
+            ctx.prints[b].append(f"{prefix}{inst.tensor.name} =\n{view.read_all()}")
 
 
 # ---------------------------------------------------------------------------
@@ -1134,14 +1225,13 @@ def _uniform_view_shapes(program: Program) -> bool:
 
 def supports_batched(program: Program) -> bool:
     """True when the batched engine can execute ``program``: every
-    instruction has a batched handler, none of them print, and all global
-    view shapes are block-invariant (memoized — this sits on the launch
-    path)."""
+    instruction has a batched handler and all global view shapes are
+    block-invariant (memoized — this sits on the launch path).
+    ``PrintTensor`` programs batch too (per-block buffered output)."""
     cached = program.__dict__.get(_BATCHABLE_ATTR)
     if cached is None:
         cached = all(
-            BATCHED.supports(i) and not isinstance(i, insts.PrintTensor)
-            for i in program.body.instructions()
+            BATCHED.supports(i) for i in program.body.instructions()
         ) and _uniform_view_shapes(program)
         program.__dict__[_BATCHABLE_ATTR] = cached
     return cached

@@ -83,6 +83,13 @@ class ExecutionStats:
         """Plain-dict copy of all counters (for comparisons in tests)."""
         return {k: v for k, v in vars(self).items()}
 
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Add ``other``'s counters into this object (for aggregating
+        per-stream statistics); returns self."""
+        for key, value in vars(other).items():
+            setattr(self, key, getattr(self, key) + value)
+        return self
+
     def __repr__(self) -> str:
         return (
             f"ExecutionStats(blocks={self.blocks_run}, insts={self.instructions}, "

@@ -12,6 +12,8 @@ direct byte views for standard widths.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.dtypes import DataType
@@ -22,13 +24,21 @@ _ALIGN = 256  # allocation alignment in bytes (cudaMalloc-like)
 
 
 class GlobalMemory:
-    """A device DRAM simulation: one byte buffer with a bump allocator."""
+    """A device DRAM simulation: one byte buffer with a bump allocator.
+
+    The allocator is thread-safe: the multi-stream runtime executes
+    kernels on worker threads, and ``AllocateGlobal`` allocates from
+    inside a launch.  Buffer *contents* are not locked — disjoint-range
+    access is the kernels' contract (enforced by the stream runtime's
+    hazard tracking).
+    """
 
     def __init__(self, capacity_bytes: int = 1 << 30) -> None:
         self.capacity = int(capacity_bytes)
         self.buffer = np.zeros(self.capacity + 8, dtype=np.uint8)  # +8 guard
         self._next = 0
         self._allocations: dict[int, int] = {}
+        self._lock = threading.Lock()
 
     @property
     def used_bytes(self) -> int:
@@ -37,22 +47,49 @@ class GlobalMemory:
     def alloc(self, nbytes: int) -> int:
         """Allocate ``nbytes`` and return the byte address."""
         nbytes = int(nbytes)
-        addr = self._next
         aligned = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
-        if addr + aligned > self.capacity:
-            raise OutOfMemoryError(
-                f"device OOM: requested {nbytes} B with {self.capacity - addr} B free "
-                f"of {self.capacity} B"
-            )
-        self._next += aligned
-        self._allocations[addr] = nbytes
+        with self._lock:
+            addr = self._next
+            if addr + aligned > self.capacity:
+                raise OutOfMemoryError(
+                    f"device OOM: requested {nbytes} B with {self.capacity - addr} B free "
+                    f"of {self.capacity} B"
+                )
+            self._next += aligned
+            self._allocations[addr] = nbytes
         return addr
+
+    def alloc_n(self, nbytes: int, count: int) -> np.ndarray:
+        """Vectorized bump allocation: ``count`` consecutive allocations of
+        ``nbytes`` each, in one reservation.
+
+        Returns the byte addresses as an int64 array.  The addresses are
+        exactly what ``count`` successive :meth:`alloc` calls would have
+        produced (same alignment, same order), so engines that allocate
+        per block in bulk stay address-deterministic with engines that
+        allocate in a per-block loop.
+        """
+        nbytes = int(nbytes)
+        count = int(count)
+        aligned = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        with self._lock:
+            base = self._next
+            if base + aligned * count > self.capacity:
+                raise OutOfMemoryError(
+                    f"device OOM: requested {count} x {nbytes} B with "
+                    f"{self.capacity - base} B free of {self.capacity} B"
+                )
+            self._next = base + aligned * count
+            addrs = base + aligned * np.arange(count, dtype=np.int64)
+            self._allocations.update((int(a), nbytes) for a in addrs)
+        return addrs
 
     def free_all(self) -> None:
         """Reset the allocator (buffers become invalid)."""
-        self._next = 0
-        self._allocations.clear()
-        self.buffer[:] = 0
+        with self._lock:
+            self._next = 0
+            self._allocations.clear()
+            self.buffer[:] = 0
 
 
 class TensorView:

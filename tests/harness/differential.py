@@ -1,68 +1,118 @@
-"""Run one generated case through both engines and compare bit-exactly.
+"""Run one generated case through every execution mode and compare
+bit-exactly.
 
-Both engines get *identical* device images: a fresh
+Every mode gets an *identical* device image: a fresh
 :class:`~repro.vm.memory.GlobalMemory`, the same uploads in the same
 order (so identical addresses), and zero-initialized output regions.
-After execution the raw **bit patterns** of every output tensor are
-compared — not decoded values — so NaN payloads, negative zeros and
-sub-byte padding must all agree.  Execution statistics are compared as
-well: the batched engine is required to count work exactly as if blocks
-had run one at a time.
+After executing the case's launch plan the raw **bit patterns** of every
+output tensor are compared — not decoded values — so NaN payloads,
+negative zeros and sub-byte padding must all agree.  Execution
+statistics are compared as well: every mode is required to count work
+exactly as if blocks had run one at a time.
+
+Three modes are locked together:
+
+- ``sequential`` — the block-loop interpreter, the semantic reference;
+- ``batched``    — the grid-vectorized executor, forced for every launch;
+- ``stream``     — the multi-stream runtime: launches are issued
+  round-robin across the streams of a :class:`~repro.runtime.streams.
+  StreamPool`, so multi-launch cases (split-k partial → reduce) rely on
+  cross-stream hazard tracking for their ordering, and out-of-order
+  retirement must still produce serial-replay results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.streams import StreamPool
 from repro.vm import BatchedExecutor, GlobalMemory, Interpreter, TensorView
 from repro.vm.dispatch import decompose_linear
+from repro.vm.interp import ExecutionStats
 
 from tests.harness.generator import GeneratedCase
 
+#: Execution modes every case must agree across.
+MODES = ("sequential", "batched", "stream")
+
 
 class DifferentialMismatch(AssertionError):
-    """The two engines disagreed on a generated program."""
+    """Two execution modes disagreed on a generated program."""
 
 
-def _run_engine(case: GeneratedCase, engine: str):
+def _resolve_args(spec, buffers):
+    """Map a launch's buffer-index spec to device addresses; an entry may
+    be ``idx`` or ``(idx, byte_offset)``."""
+    args = []
+    for entry in spec:
+        if isinstance(entry, tuple):
+            idx, offset = entry
+            args.append(buffers[idx] + offset)
+        else:
+            args.append(buffers[entry])
+    return args
+
+
+def _run_engine(case: GeneratedCase, mode: str):
     memory = GlobalMemory(1 << 24)
     host = Interpreter(memory)
-    args = [host.upload(data, dtype) for data, dtype in case.inputs]
+    buffers = [host.upload(data, dtype) for data, dtype in case.inputs]
     out_addrs = [host.alloc_output(shape, dtype) for shape, dtype in case.outputs]
-    args.extend(out_addrs)
-    if engine == "sequential":
-        executor = host
-    else:
+    buffers.extend(out_addrs)
+    plan = case.launch_plan()
+    if mode == "sequential":
+        for program, spec in plan:
+            host.launch(program, _resolve_args(spec, buffers))
+        stats = host.stats
+    elif mode == "batched":
         executor = BatchedExecutor(memory, stats=host.stats)
-    executor.launch(case.program, args)
+        for program, spec in plan:
+            executor.launch(program, _resolve_args(spec, buffers))
+        stats = host.stats
+    elif mode == "stream":
+        with StreamPool(memory, num_streams=4) as pool:
+            for i, (program, spec) in enumerate(plan):
+                pool.submit(
+                    program,
+                    _resolve_args(spec, buffers),
+                    stream=pool.streams[i % len(pool.streams)],
+                )
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
     outputs = []
     for addr, (shape, dtype) in zip(out_addrs, case.outputs):
         view = TensorView(memory.buffer, addr * 8, dtype, tuple(shape))
         bits = view.gather_bits(decompose_linear(tuple(shape)))
         outputs.append(bits.copy())
-    return outputs, host.stats.snapshot()
+    return outputs, stats.snapshot()
 
 
 def run_differential(case: GeneratedCase) -> None:
-    """Assert both engines produce bit-identical outputs and equal stats."""
-    seq_outs, seq_stats = _run_engine(case, "sequential")
-    bat_outs, bat_stats = _run_engine(case, "batched")
-    for idx, (seq_bits, bat_bits) in enumerate(zip(seq_outs, bat_outs)):
-        if not np.array_equal(seq_bits, bat_bits):
-            diff = np.flatnonzero(seq_bits != bat_bits)
-            shape, dtype = case.outputs[idx]
+    """Assert all modes produce bit-identical outputs and equal stats."""
+    reference_mode = MODES[0]
+    ref_outs, ref_stats = _run_engine(case, reference_mode)
+    for mode in MODES[1:]:
+        outs, stats = _run_engine(case, mode)
+        for idx, (ref_bits, got_bits) in enumerate(zip(ref_outs, outs)):
+            if not np.array_equal(ref_bits, got_bits):
+                diff = np.flatnonzero(ref_bits != got_bits)
+                shape, dtype = case.outputs[idx]
+                raise DifferentialMismatch(
+                    f"output {idx} ({dtype}{list(shape)}) differs at "
+                    f"{diff.size}/{ref_bits.size} elements between "
+                    f"{reference_mode} and {mode} (first at linear index "
+                    f"{diff[0]}: {reference_mode}={ref_bits[diff[0]]:#x} "
+                    f"{mode}={got_bits[diff[0]]:#x})\n{case.describe()}"
+                )
+        if ref_stats != stats:
+            delta = {
+                k: (ref_stats[k], stats[k])
+                for k in ref_stats
+                if ref_stats[k] != stats[k]
+            }
             raise DifferentialMismatch(
-                f"output {idx} ({dtype}{list(shape)}) differs at "
-                f"{diff.size}/{seq_bits.size} elements (first at linear index "
-                f"{diff[0]}: sequential={seq_bits[diff[0]]:#x} "
-                f"batched={bat_bits[diff[0]]:#x})\n{case.describe()}"
+                f"execution stats diverge ({reference_mode}, {mode}): "
+                f"{delta}\n{case.describe()}"
             )
-    if seq_stats != bat_stats:
-        delta = {
-            k: (seq_stats[k], bat_stats[k])
-            for k in seq_stats
-            if seq_stats[k] != bat_stats[k]
-        }
-        raise DifferentialMismatch(
-            f"execution stats diverge (sequential, batched): {delta}\n{case.describe()}"
-        )

@@ -15,10 +15,16 @@ exercising a different slice of the instruction set:
   changed thread mapping, and ``cp.async`` staging with zero-fill;
 - ``dot``          — tensor-core style tile MMA with accumulation;
 - ``reduce``       — row/column reductions;
-- ``lookup``       — codebook expansion from sub-byte codes.
+- ``lookup``       — codebook expansion from sub-byte codes;
+- ``pipelined_matmul`` — the *full* quantized matmul template
+  (``kernels/matmul.py``) on its software-pipelined ``cp.async`` path;
+- ``splitk``       — the split-k partial + reduce kernel pair
+  (``kernels/splitk.py``), a multi-launch case whose second launch reads
+  what the first wrote (exercising cross-launch hazard ordering in the
+  multi-stream execution mode).
 
 All programs write only through their output pointers and keep every
-unmasked access in bounds, so both engines must produce *bit-identical*
+unmasked access in bounds, so every engine must produce *bit-identical*
 device memory for the outputs.
 """
 
@@ -28,19 +34,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dtypes import DataType, dtype_from_name, float16, float32, int32
+from repro.dtypes import DataType, dtype_from_name, float16, float32, int32, uint8
 from repro.ir.program import Program
 from repro.ir.stmt import AssignStmt
 from repro.ir.expr import wrap
+from repro.kernels import (
+    MatmulConfig,
+    matmul_layouts,
+    quantized_matmul_program,
+    splitk_partial_program,
+    splitk_reduce_program,
+)
 from repro.lang import ProgramBuilder, pointer
 from repro.layout import column_spatial, spatial
+from repro.quant import QuantScheme, quantize_weight, transform_weight
 
 from tests.helpers import random_values_for
 
 
 @dataclass
 class GeneratedCase:
-    """One differential test case: a program plus its launch data."""
+    """One differential test case: program(s) plus launch data.
+
+    Buffers are numbered inputs-first then outputs; ``launches`` maps each
+    program to the buffer indices forming its argument list (``None`` for
+    the common single-program case: one launch taking every buffer in
+    order).
+    """
 
     seed: int
     family: str
@@ -50,12 +70,33 @@ class GeneratedCase:
     #: (shape, dtype) pairs allocated (zero-initialized device memory) after
     #: the inputs, continuing the parameter order.
     outputs: list = field(default_factory=list)
+    #: Optional multi-launch plan: (program, buffer-index tuple) pairs.
+    launches: list = field(default=None)
+
+    def launch_plan(self) -> list:
+        """Normalized (program, buffer indices) launch sequence."""
+        if self.launches is not None:
+            return self.launches
+        nbuffers = len(self.inputs) + len(self.outputs)
+        return [(self.program, tuple(range(nbuffers)))]
 
     def describe(self) -> str:
-        return f"seed={self.seed} family={self.family}\n{self.program!r}"
+        programs = "\n".join(repr(p) for p, _ in self.launch_plan())
+        return f"seed={self.seed} family={self.family}\n{programs}"
 
 
-_FAMILIES = ("pipeline", "pipeline", "pipeline", "subbyte_view", "shared", "dot", "reduce", "lookup")
+_FAMILIES = (
+    "pipeline",
+    "pipeline",
+    "pipeline",
+    "subbyte_view",
+    "shared",
+    "dot",
+    "reduce",
+    "lookup",
+    "pipelined_matmul",
+    "splitk",
+)
 
 _GRIDS = [(2, 1), (2, 2), (3, 1), (2, 3), (4, 2), (3, 2)]
 _TILES = [(4, 8), (8, 4), (2, 16)]
@@ -72,6 +113,8 @@ def generate_case(seed: int) -> GeneratedCase:
         "dot": _gen_dot,
         "reduce": _gen_reduce,
         "lookup": _gen_lookup,
+        "pipelined_matmul": _gen_pipelined_matmul,
+        "splitk": _gen_splitk,
     }[family]
     return builder(seed, rng, family)
 
@@ -435,4 +478,74 @@ def _gen_lookup(seed: int, rng, family: str) -> GeneratedCase:
         program,
         inputs=[(code_data, code_d), (table_data, float16)],
         outputs=[((rows, cols), float16)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# template families: the real kernel programs
+# ---------------------------------------------------------------------------
+
+#: Weight types whose per-thread fragment is byte-aligned for the
+#: (block_m=16, block_n=8, block_k=16) tile (4 weight locals per thread,
+#: so any even bit width qualifies).
+_TEMPLATE_WEIGHTS = ["u2", "u4", "i4", "u6", "i6", "u8", "i8"]
+
+
+def _quantized_operands(rng, m, n, k, wdtype: DataType, group: int, cfg: MatmulConfig):
+    """Host-side data for one template instantiation: activations, packed
+    weight, scales (the exact preprocessing `ops.prepare_linear` does)."""
+    scheme = QuantScheme(wdtype, group_size=group)
+    a = float16.quantize(rng.standard_normal((m, k)))
+    q, scales = quantize_weight(rng.standard_normal((k, n)), scheme)
+    lay = matmul_layouts(cfg, wdtype)
+    packed = transform_weight(q, wdtype, lay.b_warp)
+    return scheme, a, packed, float16.quantize(scales)
+
+
+def _gen_pipelined_matmul(seed: int, rng, family: str) -> GeneratedCase:
+    """The full quantized matmul template on its software-pipelined
+    ``cp.async`` path (``num_stages >= 2``): shared-memory multi-buffering,
+    commit/wait groups, masked boundary tiles and sub-byte weight
+    reinterpretation, all in one program."""
+    cfg = MatmulConfig(16, 8, 16, num_stages=int(rng.integers(2, 4)))
+    wdtype = dtype_from_name(_pick(rng, _TEMPLATE_WEIGHTS))
+    m = int(_pick(rng, [8, 16, 24, 32]))
+    n = int(_pick(rng, [16, 24]))
+    k = int(_pick(rng, [32, 48, 64]))
+    group = int(_pick(rng, [g for g in (16, 32) if k % g == 0]))
+    scheme, a, packed, scales = _quantized_operands(rng, m, n, k, wdtype, group, cfg)
+    program = quantized_matmul_program(m, n, k, float16, scheme, cfg)
+    return GeneratedCase(
+        seed,
+        family,
+        program,
+        inputs=[(a, float16), (packed, uint8), (scales, float16)],
+        outputs=[((m, n), float16)],
+    )
+
+
+def _gen_splitk(seed: int, rng, family: str) -> GeneratedCase:
+    """The split-k pair: a partial kernel reducing k-slices into an f32
+    workspace, then a reduce kernel summing the slices.  Two launches with
+    a read-after-write dependency through the workspace — the stream
+    execution mode must order them via hazard tracking."""
+    sk = 2
+    cfg = MatmulConfig(16, 8, 16, split_k=sk)
+    wdtype = dtype_from_name(_pick(rng, _TEMPLATE_WEIGHTS))
+    m = int(_pick(rng, [8, 16, 24]))
+    n = int(_pick(rng, [16, 24]))
+    k = int(_pick(rng, [32, 64]))
+    group = int(_pick(rng, [g for g in (16, 32) if k % g == 0]))
+    scheme, a, packed, scales = _quantized_operands(rng, m, n, k, wdtype, group, cfg)
+    partial = splitk_partial_program(m, n, k, float16, scheme, cfg)
+    reduce = splitk_reduce_program(m, n, sk, float16, tile_n=8)
+    return GeneratedCase(
+        seed,
+        family,
+        partial,
+        inputs=[(a, float16), (packed, uint8), (scales, float16)],
+        # The f32 workspace is compared too: partial sums are fully
+        # deterministic, so engines must agree on them bit-for-bit.
+        outputs=[((sk, m, n), float32), ((m, n), float16)],
+        launches=[(partial, (0, 1, 2, 3)), (reduce, (3, 4))],
     )

@@ -1,10 +1,13 @@
-"""Differential fuzz suite: batched executor ≡ sequential interpreter.
+"""Differential fuzz suite: all execution modes ≡ sequential interpreter.
 
 Every case is a randomized generated program (mixed dtypes including
 sub-byte, control flow, shared-memory staging, register reinterpretation,
-tensor-core tiles) executed by both engines and compared **bit-for-bit**,
-plus execution-stat parity.  This is the safety net behind the
-grid-vectorized executor and any future refactor of either engine.
+tensor-core tiles) — or a full kernel-template instantiation
+(software-pipelined matmul, split-k partial/reduce pair) — executed by
+the sequential interpreter, the grid-vectorized batched executor, and
+the multi-stream runtime, and compared **bit-for-bit**, plus
+execution-stat parity.  This is the safety net behind the batched
+executor, the stream subsystem, and any future refactor of any engine.
 """
 
 from collections import Counter
@@ -13,9 +16,23 @@ import pytest
 
 from repro.vm import select_engine
 from tests.harness import generate_case, run_differential
+from tests.harness.differential import MODES
 
-#: Number of generated programs in the suite (acceptance floor: 200).
-NUM_CASES = 224
+#: Number of generated programs in the suite (acceptance floor: 250).
+NUM_CASES = 256
+
+#: Program families the generator must cover (baseline — CI fails if the
+#: family count ever drops below this set).
+BASELINE_FAMILIES = {
+    "pipeline",
+    "subbyte_view",
+    "shared",
+    "dot",
+    "reduce",
+    "lookup",
+    "pipelined_matmul",
+    "splitk",
+}
 
 
 @pytest.mark.parametrize("seed", range(NUM_CASES))
@@ -25,19 +42,16 @@ def test_engines_agree_bit_exactly(seed):
 
 
 def test_suite_meets_case_floor():
-    assert NUM_CASES >= 200
+    assert NUM_CASES >= 250
+
+
+def test_suite_covers_all_execution_modes():
+    assert set(MODES) == {"sequential", "batched", "stream"}
 
 
 def test_generator_covers_all_families():
     families = Counter(generate_case(seed).family for seed in range(NUM_CASES))
-    assert set(families) == {
-        "pipeline",
-        "subbyte_view",
-        "shared",
-        "dot",
-        "reduce",
-        "lookup",
-    }
+    assert set(families) == BASELINE_FAMILIES
     # Every family contributes a meaningful number of cases.
     assert all(count >= 10 for count in families.values()), families
 
@@ -50,6 +64,22 @@ def test_generator_exercises_subbyte_dtypes():
         if dt.is_subbyte
     }
     assert len(subbyte) >= 3, subbyte
+
+
+def test_splitk_cases_are_multi_launch():
+    # Every split-k case is a two-launch plan with a RAW dependency
+    # through the workspace buffer — the stream mode's hazard coverage.
+    found = 0
+    for seed in range(NUM_CASES):
+        case = generate_case(seed)
+        if case.family != "splitk":
+            continue
+        found += 1
+        plan = case.launch_plan()
+        assert len(plan) == 2
+        (_, partial_args), (_, reduce_args) = plan
+        assert partial_args[-1] == reduce_args[0]  # shared workspace buffer
+    assert found >= 10
 
 
 def test_generated_programs_select_batched_engine():

@@ -9,7 +9,7 @@ from repro.dtypes import float16, float32, int32, uint8
 from repro.errors import VMError
 from repro.lang import ProgramBuilder, pointer
 from repro.layout import local, spatial
-from repro.vm import Interpreter
+from repro.vm import BatchedExecutor, GlobalMemory, Interpreter, select_engine
 
 
 def run_simple(build_body, m=16, n=16, grid=None):
@@ -232,6 +232,102 @@ class TestDebug:
         assert interp.stats.global_bits_loaded == 16 * 16
         assert interp.stats.global_bits_stored == 16 * 16
         assert interp.stats.instructions >= 3
+
+
+class TestBatchedDebug:
+    """Per-block PrintTensor buffering in the grid-vectorized engine."""
+
+    @staticmethod
+    def _print_program(grid=(2, 3), th=4, tw=4):
+        """A multi-block debug kernel: prints a block-dependent register
+        tile twice (once inside a loop) and stores a result."""
+        gb, gw = grid
+        pb = ProgramBuilder("dbg_grid", grid=[gb, gw])
+        in_ptr = pb.param("in0", pointer(float16))
+        out_ptr = pb.param("out0", pointer(float16))
+        bi, bj = pb.block_indices()
+        rows, cols = gb * th, gw * tw
+        g_in = pb.view_global(in_ptr, dtype=float16, shape=[rows, cols])
+        g_out = pb.view_global(out_ptr, dtype=float16, shape=[rows, cols])
+        tile = pb.load_global(g_in, layout=spatial(th, tw), offset=[bi * th, bj * tw])
+        pb.print_tensor(tile, message="loaded")
+        cur = tile
+        with pb.for_range(2):
+            cur = pb.mul(cur, 2.0)
+            pb.print_tensor(cur, message="scaled")
+        pb.store_global(cur, g_out, offset=[bi * th, bj * tw])
+        return pb.finish(), (rows, cols)
+
+    def _run(self, engine_cls):
+        prog, (rows, cols) = self._print_program()
+        out = io.StringIO()
+        memory = GlobalMemory(1 << 20)
+        host = Interpreter(memory)
+        data = float16.quantize(np.random.default_rng(7).standard_normal((rows, cols)))
+        args = [host.upload(data, float16), host.alloc_output([rows, cols], float16)]
+        engine = engine_cls(memory, stdout=out)
+        engine.launch(prog, args)
+        return out.getvalue(), host.download(args[1], [rows, cols], float16)
+
+    def test_batched_print_matches_sequential_capture(self):
+        # The buffered batched output must equal the sequential engine's
+        # interleaving character for character: all of block 0's prints
+        # (program order), then block 1's, and so on.
+        seq_text, seq_out = self._run(lambda m, stdout: Interpreter(m, stdout=stdout))
+        bat_text, bat_out = self._run(lambda m, stdout: BatchedExecutor(m, stdout=stdout))
+        assert seq_text == bat_text
+        assert seq_text.count("loaded") == 6 and seq_text.count("scaled") == 12
+        assert np.array_equal(seq_out, bat_out)
+
+    def test_print_programs_now_select_batched(self):
+        # Debug programs batch: the auto policy no longer forces them
+        # onto the sequential engine.
+        prog, _ = self._print_program()
+        assert select_engine(prog, (2, 3)) == "batched"
+
+
+class TestBatchedAllocateGlobal:
+    """The vectorized per-block workspace allocator must be address-
+    deterministic across engines."""
+
+    @staticmethod
+    def _workspace_program(gb=3, gw=2, th=4, tw=4):
+        """Each block round-trips its tile through a private global
+        workspace allocation before storing ``tile + 1``."""
+        pb = ProgramBuilder("wsalloc", grid=[gb, gw])
+        in_ptr = pb.param("in0", pointer(float16))
+        out_ptr = pb.param("out0", pointer(float16))
+        bi, bj = pb.block_indices()
+        rows, cols = gb * th, gw * tw
+        g_in = pb.view_global(in_ptr, dtype=float16, shape=[rows, cols])
+        g_out = pb.view_global(out_ptr, dtype=float16, shape=[rows, cols])
+        ws = pb.allocate_global(float16, [th, tw])
+        tile = pb.load_global(g_in, layout=spatial(th, tw), offset=[bi * th, bj * tw])
+        pb.store_global(tile, ws, offset=[0, 0])
+        staged = pb.load_global(ws, layout=spatial(th, tw), offset=[0, 0])
+        bumped = pb.add(staged, 1.0)
+        pb.store_global(bumped, g_out, offset=[bi * th, bj * tw])
+        return pb.finish(), (rows, cols)
+
+    def _run(self, engine_cls):
+        prog, (rows, cols) = self._workspace_program()
+        memory = GlobalMemory(1 << 20)
+        host = Interpreter(memory)
+        data = float16.quantize(np.random.default_rng(3).standard_normal((rows, cols)))
+        args = [host.upload(data, float16), host.alloc_output([rows, cols], float16)]
+        engine = engine_cls(memory)
+        engine.launch(prog, args)
+        allocations = dict(memory._allocations)
+        return host.download(args[1], [rows, cols], float16), allocations
+
+    def test_allocation_addresses_deterministic_across_engines(self):
+        seq_out, seq_allocs = self._run(Interpreter)
+        bat_out, bat_allocs = self._run(BatchedExecutor)
+        # Same addresses, same sizes, same outputs: the batched engine's
+        # single alloc_n reservation reproduces the sequential engine's
+        # per-block alloc loop exactly.
+        assert seq_allocs == bat_allocs
+        assert np.array_equal(seq_out, bat_out)
 
 
 def wrap_true():
