@@ -11,10 +11,13 @@ Run ``python benchmarks/bench_vm_execution.py --quick`` for a fast
 self-checking summary: it measures the batched-vs-sequential speedup on a
 multi-block program (asserting the >= 3x target), the multi-stream
 speedup of 8 streams of independent launches over serial issue (asserting
-the >= 1.5x target *and* bit-exactness versus a serial replay), and
-reports the specialization cache hit rate of a repeated-launch scenario.
-``--section engine|streams|all`` selects which quick checks run (the CI
-matrix runs them as separate jobs).
+the >= 1.5x target *and* bit-exactness versus a serial replay), the
+execution-graph replay speedup over per-step eager stream submission on
+the kernel-in-the-loop decode workload (asserting the >= 1.3x target and
+bit-exactness), and reports the specialization cache hit rate of a
+repeated-launch scenario.  ``--section engine|streams|graphs|all``
+selects which quick checks run (the CI matrix runs them as separate
+jobs); an unknown section is rejected with the list of valid ones.
 """
 
 import time
@@ -258,6 +261,127 @@ def stream_report(
 
 
 # ---------------------------------------------------------------------------
+# Execution-graph replay vs per-step eager stream submission
+# ---------------------------------------------------------------------------
+
+#: The decode-shaped graph workload: every "step" runs one tiny kernel
+#: per in-flight request (each updating its own private buffer in place),
+#: spread over the streams — and the step's launch DAG is identical every
+#: time, which is exactly what graph capture freezes.  Single-block
+#: grids with the batched engine forced keep the per-step math minimal
+#: (coalescing stacks each stream's requests into one execution) so the
+#: measurement isolates what capture eliminates: per-launch scheduling,
+#: hazard analysis, and coalescing probes.
+GRAPH_REQUESTS = 32
+GRAPH_STREAMS = 4
+
+
+def _decode_step_program(name="decode_step"):
+    """An in-place per-request kernel: ``buf = buf * 0.5 + 1`` on one
+    (8, 4) tile — small enough that per-launch orchestration, not kernel
+    math, dominates a step."""
+    pb = ProgramBuilder(name, grid=[1, 1])
+    buf_ptr = pb.param("buf", pointer(float16))
+    bi, bj = pb.block_indices()
+    g_buf = pb.view_global(buf_ptr, dtype=float16, shape=[8, 4])
+    tile = pb.load_global(g_buf, layout=spatial(8, 4), offset=[bi * 8, bj * 4])
+    result = pb.add(pb.mul(tile, 0.5), 1.0)
+    pb.store_global(result, g_buf, offset=[bi * 8, bj * 4])
+    return pb.finish(), (8, 4)
+
+
+def _graph_workload(num_requests: int):
+    prog, (rows, cols) = _decode_step_program()
+    memory = GlobalMemory(1 << 24)
+    host = Interpreter(memory)
+    rng = np.random.default_rng(0)
+    bufs = [
+        host.upload(float16.quantize(rng.standard_normal((rows, cols))), float16)
+        for _ in range(num_requests)
+    ]
+    return prog, (rows, cols), memory, host, bufs
+
+
+def graph_report(
+    min_speedup: float = 1.3,
+    num_requests: int = GRAPH_REQUESTS,
+    num_streams: int = GRAPH_STREAMS,
+    steps: int = 20,
+) -> dict:
+    """Measure execution-graph replay against per-step eager submission.
+
+    Eager issue re-submits the step's launch DAG every step — paying
+    scheduling, hazard-range analysis and coalescing probes per launch;
+    graph replay captures the DAG once and drives the per-stream engines
+    directly.  Asserts the >= ``min_speedup`` target and that replayed
+    device memory is bit-identical to the eager run's after the same
+    number of steps.
+    """
+    prog, (rows, cols), _, host_e, bufs_e = _graph_workload(num_requests)
+    pool_e = StreamPool(host_e.memory, num_streams=num_streams)
+
+    def eager_step():
+        for i, buf in enumerate(bufs_e):
+            pool_e.submit(
+                prog, [buf], stream=pool_e.streams[i % num_streams], engine="batched"
+            )
+        pool_e.synchronize()
+
+    _, _, _, host_g, bufs_g = _graph_workload(num_requests)
+    pool_g = StreamPool(host_g.memory, num_streams=num_streams)
+    with pool_g.capture() as graph:
+        for i, buf in enumerate(bufs_g):
+            pool_g.submit(
+                prog, [buf], stream=pool_g.streams[i % num_streams], engine="batched"
+            )
+
+    try:
+        # Correctness first (before the timing loops perturb the data):
+        # the same number of steps through each path must leave device
+        # memory bit-identical.
+        for _ in range(5):
+            eager_step()
+        for _ in range(5):
+            graph.replay()
+        for b_e, b_g in zip(bufs_e, bufs_g):
+            want = host_e.download(b_e, [rows, cols], float16)
+            got = host_g.download(b_g, [rows, cols], float16)
+            assert np.array_equal(got, want), "graph replay diverges from eager issue"
+
+        def eager_steps():
+            for _ in range(steps):
+                eager_step()
+
+        def replay_steps():
+            for _ in range(steps):
+                graph.replay()
+
+        t_eager = _time_best(eager_steps)
+        t_replay = _time_best(replay_steps)
+    finally:
+        pool_e.shutdown()
+        pool_g.shutdown()
+    speedup = t_eager / t_replay
+    report = {
+        "eager_ms": t_eager * 1e3,
+        "replay_ms": t_replay * 1e3,
+        "graph_speedup": speedup,
+        "nodes": graph.num_nodes,
+        "groups": graph.num_groups,
+    }
+    print(
+        f"{steps}-step decode DAG ({num_requests} requests, {num_streams} "
+        f"streams): eager issue {report['eager_ms']:.2f} ms, graph replay "
+        f"{report['replay_ms']:.2f} ms -> {speedup:.1f}x speedup (bit-exact), "
+        f"{graph.num_nodes} nodes frozen into {graph.num_groups} groups"
+    )
+    assert speedup >= min_speedup, (
+        f"graph replay speedup {speedup:.2f}x below the {min_speedup:.1f}x target"
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Quick self-checking mode (CI smoke test)
 # ---------------------------------------------------------------------------
 
@@ -313,6 +437,10 @@ def quick_report(min_speedup: float = 3.0, launches: int = 20) -> dict:
     return report
 
 
+#: Quick-mode sections, in run order.  ``--section all`` runs every one.
+SECTIONS = ("engine", "streams", "graphs")
+
+
 def main() -> None:
     import argparse
 
@@ -330,10 +458,17 @@ def main() -> None:
         help="multi-stream vs serial-issue speedup floor",
     )
     parser.add_argument(
+        "--min-graph-speedup",
+        type=float,
+        default=1.3,
+        help="graph replay vs per-step eager-submission speedup floor",
+    )
+    parser.add_argument(
         "--section",
-        choices=("engine", "streams", "all"),
+        choices=(*SECTIONS, "all"),
         default="all",
-        help="which quick checks to run (CI runs these as a matrix)",
+        help="which quick checks to run (CI runs these as a matrix); "
+        "an unknown value is rejected with the valid choices listed",
     )
     args = parser.parse_args()
     if args.quick:
@@ -341,6 +476,8 @@ def main() -> None:
             quick_report(min_speedup=args.min_speedup)
         if args.section in ("streams", "all"):
             stream_report(min_speedup=args.min_stream_speedup)
+        if args.section in ("graphs", "all"):
+            graph_report(min_speedup=args.min_graph_speedup)
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

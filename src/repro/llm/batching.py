@@ -18,6 +18,14 @@ loop produces on real hardware.  Per-request output buffers are private,
 so the hazard tracker lets all of a step's decode kernels overlap; the
 step barrier is ``pool.synchronize()``.  Latency accounting stays
 analytical (the VM is functional, not a timing model).
+
+Because the decode loop re-submits an *identical* launch DAG every step,
+the kernel-in-the-loop path **graph-captures** it (``use_graphs``, on by
+default): the first step at each batch size records the per-request
+launches as an :class:`~repro.runtime.graphs.ExecutionGraph`, and every
+later step replays the frozen DAG — rebinding each slot's activation and
+output buffers when the in-flight set changes — skipping per-launch
+scheduling, hazard analysis, and coalescing decisions entirely.
 """
 
 from __future__ import annotations
@@ -64,6 +72,10 @@ class TraceResult:
     #: Kernel-in-the-loop counters (zero in purely analytical runs).
     kernel_launches: int = 0
     max_concurrent_streams: int = 0
+    #: Execution-graph counters: decode steps that recorded a fresh graph
+    #: vs. steps that replayed one (captures + replays = decode steps).
+    graph_captures: int = 0
+    graph_replays: int = 0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -95,6 +107,9 @@ class ContinuousBatchingSimulator:
     launched asynchronously on a distinct stream of the operator
     runtime's pool (``num_streams`` wide, capped by ``max_batch``;
     ``num_streams=0`` issues the kernels synchronously instead).
+    ``use_graphs`` captures one execution graph per batch size and
+    replays it every step, rebinding per-request buffers as the
+    in-flight set changes; set it False to eager-submit every step.
     """
 
     def __init__(
@@ -104,6 +119,7 @@ class ContinuousBatchingSimulator:
         max_batch: int = 16,
         decode_linear=None,
         num_streams: int = 4,
+        use_graphs: bool = True,
     ) -> None:
         self.model = model
         self.config = config
@@ -111,6 +127,10 @@ class ContinuousBatchingSimulator:
         self.engine = ServingSimulator(model, config)
         self.decode_linear = decode_linear
         self.num_streams = min(num_streams, max_batch)
+        self.use_graphs = use_graphs
+        #: One captured decode-step graph per batch size, with the
+        #: binding layout it was captured against.
+        self._graphs: dict = {}
 
     def run(self, requests: list[Request]) -> TraceResult:
         """Simulate until every request finishes."""
@@ -180,7 +200,9 @@ class ContinuousBatchingSimulator:
     def _run_decode_kernels(self, inflight: list[_Inflight], outcome: TraceResult) -> None:
         """Issue one decode linear per in-flight request, each on its own
         stream, then barrier on the pool (one serving step).  With
-        ``num_streams=0`` the kernels run synchronously instead."""
+        ``num_streams=0`` the kernels run synchronously instead; with
+        ``use_graphs`` the step is captured once per batch size and
+        replayed (buffers rebound) thereafter."""
         if self.decode_linear is None:
             return
         linear = self.decode_linear
@@ -196,6 +218,9 @@ class ContinuousBatchingSimulator:
             outcome.max_concurrent_streams = max(outcome.max_concurrent_streams, 1)
             return
         pool = runtime.stream_pool(self.num_streams)
+        if self.use_graphs:
+            self._decode_step_graphed(pool, inflight, outcome)
+            return
         streams_used = set()
         for idx, flight in enumerate(inflight):
             stream = pool.streams[idx % len(pool.streams)]
@@ -209,6 +234,44 @@ class ContinuousBatchingSimulator:
         outcome.kernel_launches += len(inflight)
         outcome.max_concurrent_streams = max(
             outcome.max_concurrent_streams, len(streams_used)
+        )
+
+    def _decode_step_graphed(self, pool, inflight, outcome: TraceResult) -> None:
+        """One decode step through the graph subsystem: capture the
+        launch DAG on the first step at this batch size, replay it on
+        every later one (rebinding each request slot's activation and
+        output buffers to the current in-flight set)."""
+        linear = self.decode_linear
+        runtime = linear.runtime
+        program = linear.program_for(1)
+        batch = len(inflight)
+        act_bytes = (linear.k * linear.act_dtype.nbits + 7) // 8
+        out_bytes = (linear.n * linear.act_dtype.nbits + 7) // 8
+        graph = self._graphs.get(batch)
+        if graph is None:
+            with runtime.capture(self.num_streams) as graph:
+                for idx, flight in enumerate(inflight):
+                    runtime.launch(
+                        program,
+                        [flight.act_addr, linear.b_addr, linear.s_addr, flight.out_addr],
+                        stream=pool.streams[idx % len(pool.streams)],
+                    )
+            for idx, flight in enumerate(inflight):
+                graph.bind(f"act{idx}", flight.act_addr, act_bytes)
+                graph.bind(f"out{idx}", flight.out_addr, out_bytes)
+            self._graphs[batch] = graph
+            outcome.graph_captures += 1
+            graph.replay()  # identity bindings: captured from this step
+        else:
+            bindings = {}
+            for idx, flight in enumerate(inflight):
+                bindings[f"act{idx}"] = flight.act_addr
+                bindings[f"out{idx}"] = flight.out_addr
+            graph.replay(bindings)
+            outcome.graph_replays += 1
+        outcome.kernel_launches += batch
+        outcome.max_concurrent_streams = max(
+            outcome.max_concurrent_streams, len(graph.stream_indices)
         )
 
 

@@ -34,6 +34,17 @@ from repro.quant import QuantScheme, quantize_weight, transform_weight
 from repro.runtime import Runtime
 
 
+class _NullCapture:
+    """Context stand-in when graph capture is disabled: launches inside
+    the block execute eagerly and no graph is produced."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
 @dataclass
 class QuantizedLinear:
     """A reusable quantized-weight operator (weights resident on device).
@@ -48,6 +59,13 @@ class QuantizedLinear:
     its own stream of the runtime's pool (the slices write disjoint
     workspace slabs, so they execute concurrently, and the reduce is
     hazard-ordered behind all of them automatically).
+
+    The streamed split-k fan-out is **graph-captured** (``use_graphs``,
+    on by default): the first call for a row count ``m`` records the
+    slice + reduce launch DAG once (:mod:`repro.runtime.graphs`), and
+    every later call replays it with the activation, workspace and
+    output pointers rebound — per-call scheduling, hazard analysis and
+    coalescing decisions are all skipped.
     """
 
     runtime: Runtime
@@ -60,6 +78,8 @@ class QuantizedLinear:
     act_dtype: DataType = float16
     #: Streams to spread split-k slices over (0 = synchronous launches).
     streams: int = 0
+    #: Capture the streamed split-k DAG once per ``m`` and replay it.
+    use_graphs: bool = True
 
     #: Bound on memoized per-``m`` programs (oldest evicted beyond this),
     #: mirroring the runtime cache's LRU bound one layer down.
@@ -67,6 +87,7 @@ class QuantizedLinear:
 
     def __post_init__(self) -> None:
         self._programs: dict = {}
+        self._graphs: dict = {}
 
     def _memoized(self, key, build):
         program = self._programs.pop(key, None)
@@ -115,7 +136,12 @@ class QuantizedLinear:
 
     def _launch_splitk(self, m: int, a_addr: int, c_addr: int) -> None:
         """Issue the split-k slice launches (one stream per slice when
-        streaming) and the hazard-ordered reduce; blocks until done."""
+        streaming) and the hazard-ordered reduce; blocks until done.
+
+        When streaming with ``use_graphs``, the fan-out is captured as an
+        execution graph on the first call per ``m`` and replayed (with
+        the a/p/c buffers rebound) on every later call.
+        """
         sk = self.config.split_k
         slice_prog, reduce_prog = self.splitk_programs_for(m)
         p_addr = self.runtime.empty([sk, m, self.n], float32)
@@ -123,19 +149,39 @@ class QuantizedLinear:
         tiles_per_slice = (self.k // self.config.block_k) // sk
         if self.streams > 0:
             pool = self.runtime.stream_pool(self.streams)
-            for s in range(sk):
-                self.runtime.launch(
-                    slice_prog,
-                    [
-                        a_addr,
-                        self.b_addr,
-                        self.s_addr,
-                        p_addr + s * slice_bytes,
-                        s * tiles_per_slice,
-                    ],
-                    stream=pool.streams[s % len(pool.streams)],
-                )
-            self.runtime.launch(reduce_prog, [p_addr, c_addr], stream="auto").wait()
+            graph = self._graphs.get(m) if self.use_graphs else None
+            if graph is not None:
+                graph.replay({"a": a_addr, "p": p_addr, "c": c_addr})
+                return
+            capture = (
+                self.runtime.capture(self.streams)
+                if self.use_graphs
+                else _NullCapture()
+            )
+            with capture as g:
+                for s in range(sk):
+                    self.runtime.launch(
+                        slice_prog,
+                        [
+                            a_addr,
+                            self.b_addr,
+                            self.s_addr,
+                            p_addr + s * slice_bytes,
+                            s * tiles_per_slice,
+                        ],
+                        stream=pool.streams[s % len(pool.streams)],
+                    )
+                self.runtime.launch(reduce_prog, [p_addr, c_addr], stream="auto").wait()
+            if g is not None:
+                a_bytes = (m * self.k * self.act_dtype.nbits + 7) // 8
+                c_bytes = (m * self.n * self.act_dtype.nbits + 7) // 8
+                g.bind("a", a_addr, a_bytes)
+                g.bind("p", p_addr, sk * slice_bytes)
+                g.bind("c", c_addr, c_bytes)
+                self._graphs[m] = g
+                while len(self._graphs) > self.MAX_PROGRAMS:
+                    self._graphs.pop(next(iter(self._graphs)))
+                g.replay()  # first call executes via the fresh graph
         else:
             for s in range(sk):
                 self.runtime.launch(

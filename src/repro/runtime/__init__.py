@@ -1,5 +1,6 @@
 """Runtime system (paper Section 8.1, step 4)."""
 
+from repro.runtime.graphs import ExecutionGraph, GraphNode
 from repro.runtime.runtime import (
     ExecutionContext,
     KernelCache,
@@ -11,6 +12,7 @@ from repro.runtime.streams import (
     LaunchHandle,
     Stream,
     StreamPool,
+    StreamTask,
     launch_ranges,
 )
 
@@ -19,8 +21,11 @@ __all__ = [
     "KernelCache",
     "SpecializationCache",
     "ExecutionContext",
+    "ExecutionGraph",
+    "GraphNode",
     "Stream",
     "StreamPool",
+    "StreamTask",
     "Event",
     "LaunchHandle",
     "launch_ranges",

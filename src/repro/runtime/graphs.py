@@ -1,0 +1,571 @@
+"""Execution-graph capture & replay: record the launch DAG once, replay
+it with zero scheduling or hazard analysis.
+
+The multi-stream runtime (:mod:`repro.runtime.streams`) pays a fixed
+orchestration tax on *every* ``submit``: resolve the launch's global
+byte ranges (``launch_ranges``), scan outstanding launches for hazards
+(``ranges_conflict``), pick a stream, and re-prove coalescing
+eligibility on the worker.  Launch-bound workloads — the serving decode
+loop re-submits an *identical* DAG every step — pay that tax per step
+for answers that never change.  This module is the CUDA-graph analogue
+for the simulator: **capture** the DAG once, freeze every decision, and
+**replay** it by driving the per-stream engines directly.
+
+Capture
+-------
+::
+
+    with runtime.capture() as g:          # or pool.capture()
+        runtime.launch(prog, args, stream=s0)
+        runtime.launch(prog2, args2, stream="auto")
+    g.bind("act", act_addr, act_nbytes)   # designate rebindable slots
+    g.replay({"act": new_act_addr})
+
+Inside the ``with`` block nothing executes: every launch is recorded as
+a :class:`GraphNode` holding the program, its arguments, its resolved
+global byte ranges, its hazard dependencies (computed against every
+earlier recorded node — writes serialize, reads share, exactly the live
+semantics), its frozen stream assignment (the caller's stream, or the
+same round-robin + memory-aware placement the live scheduler would
+pick), and its resolved engine choice.  Handles returned during capture
+are inert: ``wait()`` is a no-op, so code written for eager streams
+(e.g. ``ops.QuantizedLinear``'s split-k path) captures unchanged.
+
+On exit the graph **instantiates**: nodes are partitioned into
+per-stream *execution groups* — the static image of the live runtime's
+launch coalescing.  Consecutive same-stream nodes merge into one
+stacked :meth:`~repro.vm.batched.BatchedExecutor.launch_many` when they
+run the same program on the batched engine with one grid shape,
+identical shape-contributing scalars, pairwise-disjoint ranges, and no
+dependency on or after the group head (so hoisting their waits to the
+group head cannot deadlock: every dependency strictly precedes the
+head, and dependencies only ever point at earlier submissions).
+Cross-stream group edges are the only synchronization replay performs.
+
+Replay
+------
+:meth:`ExecutionGraph.replay` enqueues one :class:`~repro.runtime.
+streams.StreamTask` per group onto the captured streams and blocks
+until the whole graph retires.  Each task waits on its precomputed
+cross-stream dependency events, then calls the stream's engine directly
+— no ``analyze_access``, no ``launch_ranges``, no ``ranges_conflict``,
+no scheduler, no mergeability probing.  Replay is bit-exact with eager
+stream submission of the same launches and with a serial replay
+(``replay(serial=True)`` runs the nodes one at a time in submission
+order — the debugging oracle).
+
+Rebinding
+---------
+``bind(name, base, nbytes)`` designates a device buffer: every pointer
+argument inside ``[base, base + nbytes)`` becomes a rebindable slot
+(its offset into the buffer is preserved, so e.g. split-k's per-slice
+``p + s*slice_bytes`` pointers rebase correctly).  ``bind(name, value)``
+without ``nbytes`` designates a scalar slot by exact value.  At replay,
+``bindings`` maps names to new values; every rebound launch is
+validated against its capture-time **specialization key** — pointer
+swaps keep the key (kernels are address-agnostic), while any scalar
+change that would alter shapes or the compiled kernel is rejected.
+Rebinding carries the CUDA-graph contract: new buffers must preserve
+the capture-time aliasing relationships (disjoint stays disjoint);
+hazard analysis is *not* re-run — that is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Sequence
+
+from repro.compiler.pipeline import specialization_key
+from repro.errors import VMError
+from repro.ir.program import Program
+from repro.runtime.streams import (
+    Stream,
+    StreamPool,
+    StreamTask,
+    launch_ranges,
+    ranges_conflict,
+    stackable_with_group,
+)
+from repro.vm.batched import BatchedExecutor, select_engine
+from repro.vm.interp import ExecutionStats, Interpreter
+
+
+class GraphNode:
+    """One captured launch: everything the live runtime decides per
+    submission, frozen at capture time."""
+
+    __slots__ = ("index", "program", "args", "ranges", "deps", "stream_index",
+                 "engine", "grid", "key")
+
+    def __init__(self, index, program, args, ranges, deps, stream_index,
+                 engine, grid, key) -> None:
+        self.index = index
+        self.program = program
+        self.args = args
+        self.ranges = ranges
+        self.deps = deps            # indices of earlier conflicting nodes
+        self.stream_index = stream_index
+        self.engine = engine        # resolved: "sequential" | "batched"
+        self.grid = grid
+        self.key = key              # capture-time specialization key
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphNode({self.index}: {self.program.name} on stream "
+            f"{self.stream_index}, deps={list(self.deps)})"
+        )
+
+
+class CapturedLaunchHandle:
+    """The inert handle returned by a launch recorded during capture.
+
+    Nothing executed, so there is nothing to wait for: ``wait()`` is a
+    no-op and ``done`` is always True.  This lets eager-stream call sites
+    (``handle.wait()`` / ``pool.synchronize()``) capture unchanged.
+    """
+
+    __slots__ = ("program", "args", "node", "graph", "error")
+
+    def __init__(self, program, args, node: GraphNode, graph) -> None:
+        self.program = program
+        self.args = args
+        self.node = node
+        self.graph = graph
+        self.error = None
+
+    # Mirror the LaunchHandle surface used by callers.
+    done = True
+
+    def wait(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"CapturedLaunchHandle({self.program.name}, node={self.node.index})"
+
+
+class _Binding:
+    """A designated rebindable region (pointer span) or value (scalar)."""
+
+    __slots__ = ("name", "base", "nbytes")
+
+    def __init__(self, name: str, base, nbytes: int | None) -> None:
+        self.name = name
+        self.base = base
+        self.nbytes = nbytes
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.nbytes is not None
+
+
+class _Group:
+    """A per-stream execution group: one engine invocation at replay."""
+
+    __slots__ = ("stream_index", "node_indices", "dep_groups", "engine", "program")
+
+    def __init__(self, stream_index, node_indices, engine, program) -> None:
+        self.stream_index = stream_index
+        self.node_indices = node_indices
+        self.dep_groups: tuple[int, ...] = ()
+        self.engine = engine
+        self.program = program
+
+
+class _ReplayState:
+    """Shared error latch for one replay's tasks (first error wins;
+    later groups observe it and retire without executing)."""
+
+    __slots__ = ("error", "_lock")
+
+    def __init__(self) -> None:
+        self.error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = exc
+
+
+class _GroupTask(StreamTask):
+    """Replays one execution group on its stream's worker: wait the
+    precomputed cross-stream dependency events, drive the engine, signal
+    completion.  No analysis of any kind happens here."""
+
+    __slots__ = ("group", "args_list", "dep_events", "done_event", "state")
+
+    def __init__(self, group: _Group, args_list, dep_events, done_event, state) -> None:
+        self.group = group
+        self.args_list = args_list
+        self.dep_events = dep_events
+        self.done_event = done_event
+        self.state = state
+
+    def run(self, stream: Stream) -> None:
+        try:
+            for event in self.dep_events:
+                event.wait()
+            if self.state.error is None:
+                group = self.group
+                if len(self.args_list) == 1:
+                    engine = (
+                        stream.batched
+                        if group.engine == "batched"
+                        else stream.interpreter
+                    )
+                    engine.launch(group.program, self.args_list[0])
+                else:
+                    stream.batched.launch_many(group.program, self.args_list)
+                stream.launches += len(self.args_list)
+                stream.executions += 1
+        except BaseException as exc:  # noqa: BLE001 — surfaced by replay()
+            self.state.fail(exc)
+        finally:
+            self.done_event.set()
+
+
+class ExecutionGraph:
+    """A captured launch DAG over a :class:`~repro.runtime.streams.
+    StreamPool`, replayable without scheduling or hazard analysis.
+
+    Lifecycle: ``pool.capture()`` (or ``runtime.capture()``) creates the
+    graph idle; entering it as a context manager records submissions;
+    exiting instantiates it (execution groups + dependency edges frozen);
+    :meth:`replay` then executes it any number of times.  See the module
+    docstring for semantics.
+    """
+
+    def __init__(self, pool: StreamPool) -> None:
+        self.pool = pool
+        self.nodes: list[GraphNode] = []
+        self.replays = 0
+        self._phase = "idle"  # idle -> capturing -> ready (or aborted)
+        self._rr = 0
+        self._bindings: dict[str, _Binding] = {}
+        self._groups: list[_Group] = []
+        self._slot_map: dict[str, list[tuple]] | None = None
+        self._bound_args: list[tuple] | None = None
+        self._group_args: list[list[tuple]] | None = None
+        self._last_values: dict | None = None
+
+    # -- capture ------------------------------------------------------------
+    def __enter__(self) -> "ExecutionGraph":
+        if self._phase != "idle":
+            raise VMError(f"cannot re-enter a graph in phase {self._phase!r}")
+        if self.pool._capture is not None:
+            raise VMError("another capture is already active on this pool")
+        self.pool._capture = self
+        self._phase = "capturing"
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.pool._capture = None
+        if exc_type is None:
+            self._instantiate()
+            self._phase = "ready"
+        else:
+            self._phase = "aborted"
+
+    def _record(
+        self,
+        program: Program,
+        args: Sequence,
+        stream: Stream | None = None,
+        engine: str = "auto",
+    ) -> CapturedLaunchHandle:
+        """Record one launch: hazard analysis, scheduling and engine
+        selection run here, once, never again."""
+        if self._phase != "capturing":
+            raise VMError("graph is not capturing")
+        if len(args) != len(program.params):
+            raise VMError(
+                f"{program.name} expects {len(program.params)} args, got {len(args)}"
+            )
+        args = tuple(args)
+        ranges = launch_ranges(program, args)
+        deps = tuple(
+            node.index
+            for node in self.nodes
+            if ranges_conflict(node.ranges, ranges)
+        )
+        if stream is not None:
+            if stream.pool is not self.pool:
+                raise VMError("stream belongs to a different pool")
+            stream_index = stream.index
+        elif deps:
+            # Memory-aware placement, like the live scheduler: FIFO order
+            # on the conflicting stream replaces a cross-stream wait.
+            stream_index = self.nodes[deps[-1]].stream_index
+        else:
+            stream_index = self._rr % len(self.pool.streams)
+            self._rr += 1
+        grid = program.grid_size(args)
+        choice = engine
+        if choice == "auto":
+            choice = select_engine(program, grid)
+        node = GraphNode(
+            index=len(self.nodes),
+            program=program,
+            args=args,
+            ranges=ranges,
+            deps=deps,
+            stream_index=stream_index,
+            engine=choice,
+            grid=grid,
+            key=specialization_key(program, args),
+        )
+        self.nodes.append(node)
+        return CapturedLaunchHandle(program, args, node, self)
+
+    # -- instantiation ------------------------------------------------------
+    def _mergeable(self, group: list[GraphNode], node: GraphNode) -> bool:
+        first = group[0]
+        if node.program is not first.program or node.engine != first.engine:
+            return False
+        if first.engine != "batched":
+            return False
+        if not stackable_with_group(
+            first.program, first.grid, first.args, node.grid, node.args, len(group)
+        ):
+            return False
+        # Dependency waits hoist to the group head, which is safe (and
+        # deadlock-free) only when every dependency strictly precedes it.
+        if any(dep >= first.index for dep in node.deps):
+            return False
+        # Coalesced launches interleave: members must be pairwise disjoint.
+        return all(
+            not ranges_conflict(node.ranges, member.ranges) for member in group
+        )
+
+    def _instantiate(self) -> None:
+        """Freeze the per-stream execution groups and their cross-stream
+        dependency edges — the static image of the live runtime's
+        coalescing and ordering decisions."""
+        per_stream: dict[int, list[GraphNode]] = {}
+        for node in self.nodes:
+            per_stream.setdefault(node.stream_index, []).append(node)
+        groups: list[_Group] = []
+        node_group = [0] * len(self.nodes)
+        for stream_index, stream_nodes in per_stream.items():
+            current: list[GraphNode] = []
+            for node in stream_nodes:
+                if current and self._mergeable(current, node):
+                    current.append(node)
+                else:
+                    if current:
+                        groups.append(self._finish_group(stream_index, current))
+                    current = [node]
+            if current:
+                groups.append(self._finish_group(stream_index, current))
+        # Stable global order (by head node) so replay enqueues a group's
+        # dependencies before its dependents.
+        groups.sort(key=lambda g: g.node_indices[0])
+        for gi, group in enumerate(groups):
+            for ni in group.node_indices:
+                node_group[ni] = gi
+        for gi, group in enumerate(groups):
+            dep_groups = {
+                node_group[dep]
+                for ni in group.node_indices
+                for dep in self.nodes[ni].deps
+            }
+            dep_groups.discard(gi)
+            # Same-stream edges are implied by FIFO order; only
+            # cross-stream edges need an event wait at replay.
+            group.dep_groups = tuple(
+                sorted(
+                    d
+                    for d in dep_groups
+                    if groups[d].stream_index != group.stream_index
+                )
+            )
+        self._groups = groups
+
+    def _finish_group(self, stream_index: int, nodes: list[GraphNode]) -> _Group:
+        return _Group(
+            stream_index,
+            [n.index for n in nodes],
+            nodes[0].engine,
+            nodes[0].program,
+        )
+
+    # -- rebinding ----------------------------------------------------------
+    def bind(self, name: str, value, nbytes: int | None = None) -> None:
+        """Designate a rebindable argument slot set.
+
+        With ``nbytes``, ``value`` is a device buffer base address: every
+        *pointer* argument in ``[value, value + nbytes)`` rebinds with
+        its intra-buffer offset preserved.  Without ``nbytes``, ``value``
+        designates *scalar* slots by exact match (rebinding those is
+        validated against the specialization key — a change that would
+        alter the compiled kernel or any shape is rejected at replay).
+        """
+        if name in self._bindings:
+            raise VMError(f"binding {name!r} already registered")
+        if nbytes is not None:
+            for other in self._bindings.values():
+                if other.is_pointer and (
+                    other.base < value + nbytes and value < other.base + other.nbytes
+                ):
+                    raise VMError(
+                        f"binding {name!r} overlaps binding {other.name!r}"
+                    )
+        self._bindings[name] = _Binding(name, value, nbytes)
+        self._slot_map = None  # rebuild lazily
+
+    def _build_slot_map(self) -> None:
+        slot_map: dict[str, list[tuple]] = {name: [] for name in self._bindings}
+        for node in self.nodes:
+            for j, (param, value) in enumerate(zip(node.program.params, node.args)):
+                owner = None
+                for binding in self._bindings.values():
+                    if binding.is_pointer:
+                        if (
+                            param.dtype.is_pointer
+                            and binding.base <= value < binding.base + binding.nbytes
+                        ):
+                            matched = (node.index, j, value - binding.base)
+                        else:
+                            continue
+                    elif not param.dtype.is_pointer and value == binding.base:
+                        matched = (node.index, j, None)
+                    else:
+                        continue
+                    if owner is not None:
+                        raise VMError(
+                            f"argument {j} of node {node.index} "
+                            f"({node.program.name}) matches bindings "
+                            f"{owner!r} and {binding.name!r}"
+                        )
+                    owner = binding.name
+                    slot_map[binding.name].append(matched)
+        self._slot_map = slot_map
+
+    def _apply_bindings(self, bindings: Mapping) -> None:
+        unknown = set(bindings) - set(self._bindings)
+        if unknown:
+            raise VMError(
+                f"unknown bindings {sorted(unknown)}; registered: "
+                f"{sorted(self._bindings)}"
+            )
+        if self._slot_map is None:
+            self._build_slot_map()
+        values = {
+            name: bindings.get(name, b.base) for name, b in self._bindings.items()
+        }
+        if values == self._last_values and self._bound_args is not None:
+            return  # identity with the previous replay: nothing to rebind
+        new_args = [list(node.args) for node in self.nodes]
+        for name, entries in self._slot_map.items():
+            base = values[name]
+            for node_index, arg_index, delta in entries:
+                new_args[node_index][arg_index] = (
+                    base if delta is None else base + delta
+                )
+        bound = [tuple(a) for a in new_args]
+        for node, args in zip(self.nodes, bound):
+            if args == node.args:
+                continue
+            key = specialization_key(node.program, args)
+            if key != node.key:
+                raise VMError(
+                    f"rebinding changes the specialization key of node "
+                    f"{node.index} ({node.program.name}): replayed buffers "
+                    "must keep the capture-time shapes and scalars"
+                )
+        self._bound_args = bound
+        self._group_args = [
+            [bound[i] for i in group.node_indices] for group in self._groups
+        ]
+        self._last_values = dict(values)
+
+    # -- replay -------------------------------------------------------------
+    def replay(
+        self, bindings: Mapping | None = None, *, serial: bool = False
+    ) -> None:
+        """Execute the captured DAG once; blocks until it fully retires.
+
+        ``bindings`` rebinds designated slots (see :meth:`bind`); omitted
+        names keep their capture-time values.  ``serial=True`` runs the
+        nodes one at a time in submission order on the calling thread —
+        the bit-exactness oracle for the streamed replay.  Raises
+        :class:`VMError` if any node fails (remaining groups retire
+        without executing, like dependency poisoning in the live runtime).
+        """
+        if self._phase != "ready":
+            raise VMError(
+                f"graph is not replayable (phase {self._phase!r}); "
+                "capture must have completed without error"
+            )
+        self._apply_bindings(bindings or {})
+        if serial:
+            self._replay_serial()
+        else:
+            self._replay_streamed()
+        self.replays += 1
+
+    def _replay_streamed(self) -> None:
+        state = _ReplayState()
+        events = [threading.Event() for _ in self._groups]
+        for gi, group in enumerate(self._groups):
+            task = _GroupTask(
+                group,
+                self._group_args[gi],
+                [events[d] for d in group.dep_groups],
+                events[gi],
+                state,
+            )
+            self.pool.streams[group.stream_index].enqueue_task(task)
+        for event in events:
+            event.wait()
+        if state.error is not None:
+            raise VMError(f"graph replay failed: {state.error}") from state.error
+
+    def _replay_serial(self) -> ExecutionStats:
+        # The serial oracle runs on the calling thread: drain the pool
+        # first so it cannot race in-flight stream work, and account its
+        # execution into stream 0's stats/counters so aggregate totals
+        # stay comparable with a streamed replay's.
+        pool = self.pool
+        pool.synchronize()
+        stream0 = pool.streams[0]
+        interpreter = Interpreter(
+            pool.memory, shared_capacity=pool.shared_capacity, stdout=pool.stdout
+        )
+        interpreter.stats = stream0.stats
+        batched = BatchedExecutor(
+            pool.memory,
+            shared_capacity=pool.shared_capacity,
+            stats=stream0.stats,
+            stdout=pool.stdout,
+        )
+        for node in self.nodes:
+            engine = batched if node.engine == "batched" else interpreter
+            engine.launch(node.program, self._bound_args[node.index])
+        stream0.launches += len(self.nodes)
+        stream0.executions += len(self.nodes)
+        return stream0.stats
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def stream_indices(self) -> tuple[int, ...]:
+        """Distinct stream indices the captured DAG executes on."""
+        return tuple(sorted({node.stream_index for node in self.nodes}))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionGraph({len(self.nodes)} nodes in {len(self._groups)} "
+            f"groups over streams {list(self.stream_indices)}, "
+            f"{self.replays} replays, phase={self._phase})"
+        )

@@ -166,6 +166,20 @@ class Runtime:
         if self._pool is not None:
             self._pool.synchronize()
 
+    def capture(self, num_streams: int = 4) -> "repro.runtime.graphs.ExecutionGraph":  # noqa: F821
+        """Begin an execution-graph capture on the runtime's stream pool.
+
+        Used as a context manager: every launch inside the ``with`` block
+        — streamed or synchronous — is recorded into the returned
+        :class:`~repro.runtime.graphs.ExecutionGraph` instead of
+        executing (compilation still goes through the specialization
+        cache, so captured nodes hold compiled programs).  After the
+        block, ``graph.replay(bindings)`` re-executes the frozen launch
+        DAG without re-running scheduling, hazard analysis, or
+        coalescing decisions.  See :mod:`repro.runtime.graphs`.
+        """
+        return self.stream_pool(num_streams).capture()
+
     # -- memory -------------------------------------------------------------
     def upload(self, values: np.ndarray, dtype: DataType) -> int:
         """Copy a host array into device memory; returns its address."""
@@ -230,6 +244,10 @@ class Runtime:
         program = kernel.program
         if kernel.workspace_bytes:
             self.ensure_workspace(kernel.workspace_bytes)
+        if stream is None and self._pool is not None and self._pool.capturing:
+            # During graph capture every launch is recorded, including
+            # synchronous ones (scheduler-placed, like stream="auto").
+            stream = "auto"
         if stream is not None:
             pool = stream.pool if isinstance(stream, Stream) else self.stream_pool()
             handle = pool.submit(

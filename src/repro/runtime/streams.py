@@ -42,6 +42,12 @@ pairwise disjoint execute as one stacked grid
 per-instruction Python dispatch cost once per group instead of once per
 launch.  That is exactly the paper's launch-overhead argument transposed
 to the simulator: batching the orchestration, not the math.
+
+Workloads that re-submit an identical launch DAG every iteration can
+additionally freeze all of the above — hazard edges, stream placement,
+coalescing groups — into a replayable :class:`~repro.runtime.graphs.
+ExecutionGraph` via :meth:`StreamPool.capture` (see
+:mod:`repro.runtime.graphs`).
 """
 
 from __future__ import annotations
@@ -73,37 +79,70 @@ _ACCESS_ATTR = "_stream_access_summary"
 _WHOLE_MEMORY = (0, float("inf"), True)
 
 
+class _AccessSlice:
+    """One global-memory access through a view.
+
+    ``offset0``/``extent0`` are the leading-dimension slice the access
+    touches (expressions over launch parameters), or ``None`` when the
+    access cannot be narrowed — block-varying offsets, whole-tensor reads
+    (``Lookup``/``PrintTensor``) — in which case the whole view is
+    charged.  ``writes`` marks stores."""
+
+    __slots__ = ("offset0", "extent0", "writes")
+
+    def __init__(self, offset0, extent0, writes) -> None:
+        self.offset0 = offset0
+        self.extent0 = extent0
+        self.writes = writes
+
+
 class _ViewAccess:
     """One ``ViewGlobal`` of a program: which pointer parameter it is based
-    on, its shape expressions, and whether the view is read / written."""
+    on, its shape expressions, and the per-instruction access slices."""
 
-    __slots__ = ("param", "dtype", "shape", "reads", "writes")
+    __slots__ = ("param", "dtype", "shape", "slices")
 
     def __init__(self, param, dtype, shape) -> None:
         self.param = param
         self.dtype = dtype
         self.shape = tuple(shape)
-        self.reads = False
-        self.writes = False
+        self.slices: list[_AccessSlice] = []
 
 
-def _shape_is_param_only(shape, params: set) -> bool:
-    for extent in shape:
-        if isinstance(extent, Expr):
-            for node in extent.walk():
-                if isinstance(node, Var) and node not in params:
-                    return False
+def _is_param_only(value, params: set) -> bool:
+    """True when ``value`` is a constant or an expression over launch
+    parameters only (no block indices, no loop variables)."""
+    if isinstance(value, Expr):
+        for node in value.walk():
+            if isinstance(node, Var) and node not in params:
+                return False
     return True
 
 
+def _shape_is_param_only(shape, params: set) -> bool:
+    return all(_is_param_only(extent, params) for extent in shape)
+
+
+def _leading_extent(tensor):
+    shape = tensor.ttype.shape
+    return shape[0] if shape else None
+
+
 def analyze_access(program: Program):
-    """Map the program's global views to (param, shape, read/write) roles.
+    """Map the program's global views to per-access slice summaries.
 
     Returns ``(views, conservative)`` where ``views`` is a list of
     :class:`_ViewAccess` and ``conservative`` is True when any global view
     cannot be attributed to a pointer parameter with a parameter-only
     shape (the launch is then treated as writing all of memory).
-    Memoized on the program — the analysis is launch-invariant.
+
+    Accesses are **offset-granular** along the leading dimension: a load
+    or store whose leading offset is a parameter-only expression records
+    the exact row slice it touches, so two launches writing disjoint
+    slices through a *shared* view resolve to disjoint byte ranges and
+    may run concurrently.  Offsets involving block indices fall back to
+    charging the whole view.  Memoized on the program — the analysis is
+    launch-invariant.
     """
     cached = program.__dict__.get(_ACCESS_ATTR)
     if cached is not None:
@@ -122,27 +161,38 @@ def analyze_access(program: Program):
                 views[inst.out] = _ViewAccess(inst.ptr, inst.out.ttype.dtype, shape)
             else:
                 conservative = True
+
+    def record(var, offset0, extent0, writes):
+        access = views.get(var)
+        if access is None:
+            return
+        if (
+            offset0 is not None
+            and extent0 is not None
+            and access.shape
+            and _is_param_only(offset0, params)
+            and _is_param_only(extent0, params)
+        ):
+            access.slices.append(_AccessSlice(offset0, extent0, writes))
+        else:
+            access.slices.append(_AccessSlice(None, None, writes))
+
     for inst in program.body.instructions():
-        reads, writes = [], []
         if isinstance(inst, insts.LoadGlobal):
-            reads.append(inst.src)
+            offset0 = inst.offset[0] if inst.offset else None
+            record(inst.src, offset0, _leading_extent(inst.out), False)
         elif isinstance(inst, insts.StoreGlobal):
-            writes.append(inst.dst)
+            offset0 = inst.offset[0] if inst.offset else None
+            record(inst.dst, offset0, _leading_extent(inst.src), True)
         elif isinstance(inst, insts.CopyAsync):
-            reads.append(inst.src)
-            writes.append(inst.dst)
+            extent0 = inst.shape[0] if inst.shape else _leading_extent(inst.dst)
+            offset0 = inst.src_offset[0] if inst.src_offset else None
+            record(inst.src, offset0, extent0, False)
+            record(inst.dst, None, None, True)
         elif isinstance(inst, insts.Lookup):
-            reads.append(inst.table)
+            record(inst.table, None, None, False)
         elif isinstance(inst, insts.PrintTensor):
-            reads.append(inst.tensor)
-        for var in reads:
-            access = views.get(var)
-            if access is not None:
-                access.reads = True
-        for var in writes:
-            access = views.get(var)
-            if access is not None:
-                access.writes = True
+            record(inst.tensor, None, None, False)
     result = (list(views.values()), conservative)
     program.__dict__[_ACCESS_ATTR] = result
     return result
@@ -178,9 +228,19 @@ def shape_param_indices(program: Program) -> tuple[int, ...]:
     return result
 
 
+def _eval_extent(value, env) -> int:
+    return int(evaluate(value, env)) if isinstance(value, Expr) else int(value)
+
+
 def launch_ranges(program: Program, args: Sequence) -> list[tuple]:
     """Byte ranges ``(start, end, writes)`` this launch touches in global
     memory, resolved against its arguments.
+
+    Ranges are **offset-granular**: an access whose leading-dimension
+    offset is statically known (a parameter-only expression) contributes
+    only the row slice it touches, so slice-disjoint writers through a
+    shared view get disjoint ranges and may execute concurrently.
+    Accesses with block-varying offsets charge their whole view.
 
     Shared-memory traffic and ``AllocateGlobal`` workspace (fresh,
     private addresses) are excluded.  Falls back to one whole-memory
@@ -190,23 +250,84 @@ def launch_ranges(program: Program, args: Sequence) -> list[tuple]:
     if conservative:
         return [_WHOLE_MEMORY]
     env = {p: a for p, a in zip(program.params, args)}
-    ranges: list[tuple] = []
+    ranges: set = set()
     for access in views:
-        if not (access.reads or access.writes):
+        if not access.slices:
             continue
         base = int(env[access.param])
-        size = 1
-        for extent in access.shape:
-            size *= int(evaluate(extent, env)) if isinstance(extent, Expr) else int(extent)
-        nbytes = (size * access.dtype.nbits + 7) // 8
-        ranges.append((base, base + nbytes, access.writes))
-    return ranges
+        rows = _eval_extent(access.shape[0], env) if access.shape else 1
+        inner = 1
+        for extent in access.shape[1:]:
+            inner *= _eval_extent(extent, env)
+        row_bits = inner * access.dtype.nbits
+        total_bytes = (rows * row_bits + 7) // 8
+        for sl in access.slices:
+            if sl.offset0 is None or row_bits == 0:
+                ranges.add((base, base + total_bytes, sl.writes))
+                continue
+            r0 = _eval_extent(sl.offset0, env)
+            r1 = r0 + _eval_extent(sl.extent0, env)
+            if r1 <= r0:
+                continue  # zero-extent access: touches nothing
+            if r0 < 0:
+                # Negative leading offsets defeat the byte-range model
+                # (wrap-around indexing can reach arbitrary device
+                # bytes), so charge all of memory, not just the view.
+                ranges.add(_WHOLE_MEMORY)
+                continue
+            r1 = min(r1, rows)
+            if r1 <= r0:
+                # Starts at/past the view's end: a masked access touches
+                # nothing; an unmasked one raises before taking effect.
+                continue
+            ranges.add(
+                (base + (r0 * row_bits) // 8, base + (r1 * row_bits + 7) // 8, sl.writes)
+            )
+    return sorted(ranges)
+
+
+def stackable_with_group(
+    program: Program,
+    grid: tuple,
+    first_args: Sequence,
+    nxt_grid: tuple,
+    nxt_args: Sequence,
+    group_len: int,
+) -> bool:
+    """Static core of launch-coalescing eligibility, shared by the live
+    stream worker and execution-graph instantiation (so the two can
+    never drift): a batchable program, one grid shape within the
+    stacked-block cap, and identical shape-contributing scalars.
+    Callers remain responsible for the dynamic side — program/engine
+    identity, dependency readiness, and pairwise range disjointness.
+    """
+    if not supports_batched(program):
+        return False
+    per_launch = int(np.prod(grid)) if grid else 1
+    if per_launch * (group_len + 1) > Stream.MAX_MERGED_BLOCKS:
+        return False
+    if nxt_grid != grid:
+        return False
+    # Global view shapes must stay uniform across the stacked blocks:
+    # launches that bind shape-contributing params differently are
+    # individually valid but cannot share one batched execution.
+    shape_params = shape_param_indices(program)
+    return all(nxt_args[i] == first_args[i] for i in shape_params)
 
 
 def ranges_conflict(a: list[tuple], b: list[tuple]) -> bool:
-    """True when two launches' ranges overlap with at least one writing."""
+    """True when two launches' ranges overlap with at least one writing.
+
+    Empty ranges (``start == end``) touch no bytes and never conflict —
+    the half-open overlap test alone would wrongly flag an empty range
+    sitting strictly inside a non-empty one.
+    """
     for a_start, a_end, a_w in a:
+        if a_start >= a_end:
+            continue
         for b_start, b_end, b_w in b:
+            if b_start >= b_end:
+                continue
             if (a_w or b_w) and a_start < b_end and b_start < a_end:
                 return True
     return False
@@ -289,27 +410,55 @@ class Event:
             return self._gate.is_set()
         return self._handle is None or self._handle.done
 
-    def wait(self) -> None:
+    def wait(self, timeout: float | None = None) -> None:
+        """Block the host until the event signals; with ``timeout`` (in
+        seconds), raise :class:`VMError` instead of waiting forever on an
+        event that is never signaled."""
         if self._gate is not None:
-            self._gate.wait()
+            if not self._gate.wait(timeout):
+                raise VMError(
+                    f"timed out after {timeout}s waiting for a manual event "
+                    "that was never set"
+                )
         elif self._handle is not None:
-            self._handle.wait()
+            if not self._handle._done.wait(timeout):
+                raise VMError(
+                    f"timed out after {timeout}s waiting for {self._handle}"
+                )
+            self._handle.wait()  # re-raise any launch error
 
-    def _wait_signal(self) -> None:
-        """Worker-side wait: blocks without re-raising launch errors."""
+    def _wait_signal(self, timeout: float | None = None) -> bool:
+        """Worker-side wait: blocks without re-raising launch errors.
+        Returns False when ``timeout`` expires before the signal."""
         if self._gate is not None:
-            self._gate.wait()
-        elif self._handle is not None:
-            self._handle._done.wait()
+            return self._gate.wait(timeout)
+        if self._handle is not None:
+            return self._handle._done.wait(timeout)
+        return True
 
 
 class _EventWait:
     """Queue marker: the worker blocks on the event before continuing."""
 
-    __slots__ = ("event",)
+    __slots__ = ("event", "timeout")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, timeout: float | None = None) -> None:
         self.event = event
+        self.timeout = timeout
+
+
+class StreamTask:
+    """An opaque unit of work executed on a stream's worker thread.
+
+    Tasks participate in FIFO order and ``synchronize`` accounting like
+    launches, but are *not* hazard-tracked, scheduled, or coalesced — the
+    graph-replay subsystem (:mod:`repro.runtime.graphs`) uses them to
+    drive the per-stream engines with all of those decisions precomputed.
+    An exception escaping :meth:`run` becomes the stream's sticky error.
+    """
+
+    def run(self, stream: "Stream") -> None:
+        raise NotImplementedError
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +503,10 @@ class Stream:
         self._worker: threading.Thread | None = None
         self._tail: LaunchHandle | None = None
         self._error: BaseException | None = None  # sticky, CUDA-style
+        #: Set when an event wait times out: the ordering the wait was
+        #: enforcing is unknown, so queued launches are poisoned rather
+        #: than run as if the wait had succeeded.
+        self._timed_out = False
 
     # -- host API ----------------------------------------------------------
     def synchronize(self) -> None:
@@ -373,12 +526,29 @@ class Stream:
             tail = self._tail if self._tail is not None and not self._tail.done else None
             return Event(tail)
 
-    def wait_event(self, event: Event) -> None:
-        """Order all future work on this stream after ``event``."""
+    def wait_event(self, event: Event, timeout: float | None = None) -> None:
+        """Order all future work on this stream after ``event``.
+
+        With ``timeout`` (seconds), a wait on an event that never signals
+        becomes the stream's sticky error — surfaced by the next
+        ``synchronize`` — instead of hanging the worker forever.  A
+        timed-out wait *poisons* the stream: launches queued behind it
+        retire with an error instead of executing, because running them
+        would silently drop the ordering the wait was enforcing.
+        """
         if event.query():
             return
         with self._cond:
-            self._queue.append(_EventWait(event))
+            self._queue.append(_EventWait(event, timeout))
+            self._cond.notify()
+        self._ensure_worker()
+
+    def enqueue_task(self, task: StreamTask) -> None:
+        """Enqueue a :class:`StreamTask`, FIFO-ordered against launches
+        and counted by ``synchronize`` until it retires."""
+        with self._cond:
+            self._queue.append(task)
+            self._inflight += 1
             self._cond.notify()
         self._ensure_worker()
 
@@ -420,7 +590,34 @@ class Stream:
                     return  # closing and drained
                 item = self._queue.popleft()
             if isinstance(item, _EventWait):
-                item.event._wait_signal()
+                if not item.event._wait_signal(item.timeout):
+                    with self._cond:
+                        self._timed_out = True
+                        if self._error is None:
+                            self._error = VMError(
+                                f"timed out after {item.timeout}s waiting for "
+                                f"an event on {self} that was never signaled"
+                            )
+                continue
+            if isinstance(item, StreamTask):
+                try:
+                    item.run(self)
+                except BaseException as exc:  # noqa: BLE001 — sticky, like launches
+                    with self._cond:
+                        if self._error is None:
+                            self._error = exc
+                finally:
+                    with self._cond:
+                        self._inflight -= 1
+                        self._cond.notify_all()
+                continue
+            if self._timed_out:
+                # A timed-out event wait upstream: the ordering it was
+                # enforcing is gone, so this launch must not run.
+                item.error = VMError(
+                    f"{self} is poisoned by a timed-out event wait"
+                )
+                self._finish_group([item], executed=False)
                 continue
             for dep in item.deps:
                 dep._done.wait()
@@ -444,21 +641,18 @@ class Stream:
             return False
         if nxt.program is not first.program or nxt.engine != first.engine:
             return False
-        if first.engine == "sequential" or not supports_batched(first.program):
+        if first.engine == "sequential":
             return False
         if any(not dep.done or dep.error is not None for dep in nxt.deps):
             return False
-        grid = first.program.grid_size(first.args)
-        per_launch = int(np.prod(grid)) if grid else 1
-        if per_launch * (len(group) + 1) > self.MAX_MERGED_BLOCKS:
-            return False
-        if nxt.program.grid_size(nxt.args) != grid:
-            return False
-        # Global view shapes must stay uniform across the stacked blocks:
-        # launches that bind shape-contributing params differently are
-        # individually valid but cannot share one batched execution.
-        shape_params = shape_param_indices(first.program)
-        if any(nxt.args[i] != first.args[i] for i in shape_params):
+        if not stackable_with_group(
+            first.program,
+            first.program.grid_size(first.args),
+            first.args,
+            nxt.program.grid_size(nxt.args),
+            nxt.args,
+            len(group),
+        ):
             return False
         # Pairwise disjointness: coalesced launches interleave, so any
         # write overlap (even RAW within the group) forbids merging.
@@ -529,6 +723,25 @@ class StreamPool:
         self._outstanding: deque[LaunchHandle] = deque()
         self._rr = itertools.count()
         self._seq = itertools.count()
+        self._capture = None  # active ExecutionGraph recording, if any
+
+    # -- graph capture ------------------------------------------------------
+    @property
+    def capturing(self) -> bool:
+        """True while an execution-graph capture is recording submissions."""
+        return self._capture is not None
+
+    def capture(self) -> "repro.runtime.graphs.ExecutionGraph":  # noqa: F821
+        """Begin capturing an execution graph: used as a context manager,
+        every ``submit`` inside the block is *recorded* (scheduling,
+        hazard analysis and coalescing run once, at capture time) instead
+        of executed, and the resulting graph replays the frozen launch
+        DAG without any of that per-launch work.  See
+        :mod:`repro.runtime.graphs`.
+        """
+        from repro.runtime.graphs import ExecutionGraph
+
+        return ExecutionGraph(self)
 
     # -- submission ---------------------------------------------------------
     def submit(
@@ -544,7 +757,12 @@ class StreamPool:
         across streams, except that a launch conflicting with outstanding
         work goes to the most recent conflicting launch's stream, where
         FIFO order replaces a cross-stream wait (memory-aware placement).
+
+        During an active :meth:`capture`, the launch is recorded into the
+        graph (nothing executes) and a no-op handle is returned.
         """
+        if self._capture is not None:
+            return self._capture._record(program, args, stream=stream, engine=engine)
         if len(args) != len(program.params):
             raise VMError(
                 f"{program.name} expects {len(program.params)} args, got {len(args)}"

@@ -3,10 +3,11 @@
 :mod:`tests.harness.generator` produces randomized Tilus programs with
 mixed data types (including sub-byte), control flow, shared-memory
 staging, register reinterpretation and tensor-core ops;
-:mod:`tests.harness.differential` runs each program through both the
-sequential interpreter and the grid-vectorized batched executor and
-asserts *bit-exact* agreement of every output tensor plus execution-stat
-parity.
+:mod:`tests.harness.differential` runs each program through every
+execution mode — the sequential interpreter, the grid-vectorized
+batched executor, the multi-stream runtime, and execution-graph
+capture-and-replay — and asserts *bit-exact* agreement of every output
+tensor plus execution-stat parity.
 """
 
 from tests.harness.differential import DifferentialMismatch, run_differential

@@ -10,15 +10,20 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Three modes are locked together:
+Four modes are locked together:
 
-- ``sequential`` — the block-loop interpreter, the semantic reference;
-- ``batched``    — the grid-vectorized executor, forced for every launch;
-- ``stream``     — the multi-stream runtime: launches are issued
+- ``sequential``   — the block-loop interpreter, the semantic reference;
+- ``batched``      — the grid-vectorized executor, forced for every launch;
+- ``stream``       — the multi-stream runtime: launches are issued
   round-robin across the streams of a :class:`~repro.runtime.streams.
   StreamPool`, so multi-launch cases (split-k partial → reduce) rely on
   cross-stream hazard tracking for their ordering, and out-of-order
-  retirement must still produce serial-replay results.
+  retirement must still produce serial-replay results;
+- ``graph-replay`` — the execution-graph subsystem: the case's launch
+  plan is *captured* (scheduling, hazard edges and coalescing groups
+  frozen once, nothing executed), then replayed through the per-stream
+  engines with all per-launch analysis skipped — and must still match
+  the sequential reference bit-for-bit with stat parity.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from repro.vm.interp import ExecutionStats
 from tests.harness.generator import GeneratedCase
 
 #: Execution modes every case must agree across.
-MODES = ("sequential", "batched", "stream")
+MODES = ("sequential", "batched", "stream", "graph-replay")
 
 
 class DifferentialMismatch(AssertionError):
@@ -77,6 +82,19 @@ def _run_engine(case: GeneratedCase, mode: str):
                     _resolve_args(spec, buffers),
                     stream=pool.streams[i % len(pool.streams)],
                 )
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    elif mode == "graph-replay":
+        with StreamPool(memory, num_streams=4) as pool:
+            with pool.capture() as graph:
+                for i, (program, spec) in enumerate(plan):
+                    pool.submit(
+                        program,
+                        _resolve_args(spec, buffers),
+                        stream=pool.streams[i % len(pool.streams)],
+                    )
+            assert len(graph) == len(plan)
+            graph.replay()
             pool.synchronize()
         stats = pool.aggregate_stats()
     else:

@@ -209,6 +209,67 @@ class TestHazardTracking:
         disjoint = launch_ranges(program, [32768, 65536])
         assert not ranges_conflict(ranges, disjoint)
 
+    #: The slice-writer workload is W=4 columns wide so one 32-thread
+    #: (8, 4) tile covers full rows of its view.
+    SLICE_W = 4
+
+    @classmethod
+    def _slice_writer_program(cls):
+        """Writes one (8, 4) tile at a *parameter-selected* row offset
+        through a view covering the whole [ROWS, SLICE_W] buffer."""
+        pb = ProgramBuilder("slice_writer", grid=[1, 1])
+        src_ptr = pb.param("src", pointer(float16))
+        dst_ptr = pb.param("dst", pointer(float16))
+        row0 = pb.param("row0", "i32")
+        pb.block_indices()
+        g_src = pb.view_global(src_ptr, dtype=float16, shape=[8, cls.SLICE_W])
+        g_dst = pb.view_global(dst_ptr, dtype=float16, shape=[ROWS, cls.SLICE_W])
+        tile = pb.load_global(g_src, layout=spatial(8, cls.SLICE_W), offset=[0, 0])
+        doubled = pb.mul(tile, 2.0)
+        pb.store_global(doubled, g_dst, offset=[row0, 0])
+        return pb.finish()
+
+    def test_offset_granular_ranges_split_shared_views(self):
+        # A store at a statically-known row offset resolves to the slice
+        # it touches, not the whole view.
+        program = self._slice_writer_program()
+        row_bytes = self.SLICE_W * 2
+        top = launch_ranges(program, [1024, 8192, 0])
+        bottom = launch_ranges(program, [2048, 8192, 8])
+        assert (8192, 8192 + 8 * row_bytes, True) in top
+        assert (8192 + 8 * row_bytes, 8192 + 16 * row_bytes, True) in bottom
+        assert not ranges_conflict(top, bottom)        # disjoint slices
+        overlapping = launch_ranges(program, [2048, 8192, 4])
+        assert ranges_conflict(top, overlapping)       # rows [4, 12) overlap
+
+    def test_disjoint_slice_writers_run_concurrently(self):
+        # Regression for the coarse one-range-per-view behaviour: two
+        # writers of disjoint slices through a *shared* view must get no
+        # dependency edge and spread across streams.
+        program = self._slice_writer_program()
+        W = self.SLICE_W
+        memory = GlobalMemory(1 << 22)
+        host, _ = upload_buffers(memory, 0)
+        rng = np.random.default_rng(21)
+        top_src = float16.quantize(rng.standard_normal((8, W)))
+        bot_src = float16.quantize(rng.standard_normal((8, W)))
+        a_top = host.upload(top_src, float16)
+        a_bot = host.upload(bot_src, float16)
+        shared = host.alloc_output([ROWS, W], float16)
+        with StreamPool(memory, num_streams=2) as pool:
+            gate = Event.manual()
+            for stream in pool.streams:
+                stream.wait_event(gate)
+            top = pool.submit(program, [a_top, shared, 0])
+            bottom = pool.submit(program, [a_bot, shared, 8])
+            assert top not in bottom.deps              # disjoint: no edge
+            assert bottom.stream is not top.stream     # round-robin spread
+            gate.set()
+            pool.synchronize()
+        got = host.download(shared, [ROWS, W], float16)
+        assert np.array_equal(got[:8], float16.quantize(top_src.astype(np.float64) * 2))
+        assert np.array_equal(got[8:], float16.quantize(bot_src.astype(np.float64) * 2))
+
 
 class TestStreamSemantics:
     def test_events_order_streams(self):
@@ -223,6 +284,63 @@ class TestStreamSemantics:
             tail.wait()
             assert event.query()
             event.wait()  # already signaled: returns immediately
+
+    def test_manual_event_set_after_work_is_queued(self):
+        # The gate pattern under load: the waiting stream has already
+        # queued launches behind the event when the host finally sets it
+        # — everything queued must then run, in order, to completion.
+        program = transform_program("late_gate", 2.0, 1.0)
+        memory = GlobalMemory(1 << 22)
+        host, addrs = upload_buffers(memory, 6)
+        start = snapshot_buffers(host, addrs)
+        with StreamPool(memory, num_streams=1) as pool:
+            stream = pool.streams[0]
+            gate = Event.manual()
+            assert not gate.query()
+            stream.wait_event(gate)
+            handles = [
+                pool.submit(program, [addrs[2 * i], addrs[2 * i + 1]], stream=stream)
+                for i in range(3)
+            ]
+            assert not any(h.done for h in handles)  # genuinely gated
+            gate.set()
+            assert gate.query()
+            pool.synchronize()
+        for i in range(3):
+            want = float16.quantize(start[2 * i].astype(np.float64) * 2 + 1)
+            got = host.download(addrs[2 * i + 1], [ROWS, COLS], float16)
+            assert np.array_equal(got, want)
+
+    def test_never_set_event_times_out_instead_of_hanging(self):
+        # A worker-side wait on an event nobody ever sets must surface as
+        # a timeout error on synchronize, not hang the stream forever —
+        # and the launch queued behind the wait must be poisoned rather
+        # than run as if the ordering had been enforced.
+        program = transform_program("stuck", 2.0, 0.0)
+        memory = GlobalMemory(1 << 22)
+        host, addrs = upload_buffers(memory, 2)
+        before = host.download(addrs[1], [ROWS, COLS], float16)
+        pool = StreamPool(memory, num_streams=1)
+        try:
+            stream = pool.streams[0]
+            stream.wait_event(Event.manual(), timeout=0.05)
+            handle = pool.submit(program, [addrs[0], addrs[1]], stream=stream)
+            with pytest.raises(VMError, match="timed out"):
+                stream.synchronize()
+            with pytest.raises(VMError, match="poisoned"):
+                handle.wait()
+            assert np.array_equal(
+                host.download(addrs[1], [ROWS, COLS], float16), before
+            )
+        finally:
+            pool.shutdown()
+
+    def test_host_event_wait_timeout(self):
+        never = Event.manual()
+        with pytest.raises(VMError, match="timed out"):
+            never.wait(timeout=0.01)
+        never.set()
+        never.wait(timeout=0.01)  # signaled: returns immediately
 
     def test_stream_coalesces_independent_launches(self):
         # Gate the stream while five independent same-program launches

@@ -1,0 +1,67 @@
+"""Property tests for the stream hazard primitive ``ranges_conflict``,
+part of the differential-harness safety net: the whole multi-stream
+runtime (and the frozen dependency edges of every captured execution
+graph) leans on this one predicate, so it is pinned against a
+brute-force byte-set oracle.
+
+Two launches conflict exactly when some byte is touched by both and at
+least one side writes it.  The oracle materializes each side's read and
+written byte sets and intersects them; the production predicate must
+agree on every randomized range list, and must be commutative.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.streams import _WHOLE_MEMORY, ranges_conflict
+
+#: Small byte universe so the oracle's sets stay exact and collisions
+#: (nested, adjacent, identical ranges) are common.
+MAX_BYTE = 48
+
+range_strategy = st.tuples(
+    st.integers(min_value=0, max_value=MAX_BYTE),
+    st.integers(min_value=0, max_value=MAX_BYTE),
+    st.booleans(),
+).map(lambda t: (min(t[0], t[1]), max(t[0], t[1]), t[2]))
+
+ranges_strategy = st.lists(range_strategy, min_size=0, max_size=5)
+
+
+def oracle_conflict(a, b):
+    """Brute-force byte-set intersection: conflict iff a byte written by
+    one side is touched by the other."""
+
+    def byte_sets(ranges):
+        touched, written = set(), set()
+        for start, end, writes in ranges:
+            span = set(range(start, end))
+            touched |= span
+            if writes:
+                written |= span
+        return touched, written
+
+    a_touched, a_written = byte_sets(a)
+    b_touched, b_written = byte_sets(b)
+    return bool(a_written & b_touched) or bool(a_touched & b_written)
+
+
+@settings(max_examples=300)
+@given(a=ranges_strategy, b=ranges_strategy)
+def test_ranges_conflict_agrees_with_byte_set_oracle(a, b):
+    assert ranges_conflict(a, b) == oracle_conflict(a, b)
+
+
+@settings(max_examples=300)
+@given(a=ranges_strategy, b=ranges_strategy)
+def test_ranges_conflict_is_commutative(a, b):
+    assert ranges_conflict(a, b) == ranges_conflict(b, a)
+
+
+@given(a=ranges_strategy)
+def test_whole_memory_conflicts_with_any_touched_range(a):
+    # The conservative fallback (an unanalyzable launch "writes all of
+    # memory") must conflict with anything that touches at least a byte.
+    touches = any(end > start for start, end, _ in a)
+    assert ranges_conflict([_WHOLE_MEMORY], a) == touches
+    assert ranges_conflict(a, [_WHOLE_MEMORY]) == touches

@@ -4,10 +4,11 @@ Every case is a randomized generated program (mixed dtypes including
 sub-byte, control flow, shared-memory staging, register reinterpretation,
 tensor-core tiles) — or a full kernel-template instantiation
 (software-pipelined matmul, split-k partial/reduce pair) — executed by
-the sequential interpreter, the grid-vectorized batched executor, and
-the multi-stream runtime, and compared **bit-for-bit**, plus
-execution-stat parity.  This is the safety net behind the batched
-executor, the stream subsystem, and any future refactor of any engine.
+the sequential interpreter, the grid-vectorized batched executor, the
+multi-stream runtime, and the execution-graph capture-and-replay path,
+and compared **bit-for-bit**, plus execution-stat parity.  This is the
+safety net behind the batched executor, the stream subsystem, the graph
+subsystem, and any future refactor of any engine.
 """
 
 from collections import Counter
@@ -34,6 +35,10 @@ BASELINE_FAMILIES = {
     "splitk",
 }
 
+#: Execution modes the harness must lock together (baseline — CI fails if
+#: a mode is ever dropped, the same way the family set is guarded).
+BASELINE_MODES = {"sequential", "batched", "stream", "graph-replay"}
+
 
 @pytest.mark.parametrize("seed", range(NUM_CASES))
 def test_engines_agree_bit_exactly(seed):
@@ -46,7 +51,7 @@ def test_suite_meets_case_floor():
 
 
 def test_suite_covers_all_execution_modes():
-    assert set(MODES) == {"sequential", "batched", "stream"}
+    assert set(MODES) == BASELINE_MODES
 
 
 def test_generator_covers_all_families():
