@@ -14,10 +14,14 @@ speedup of 8 streams of independent launches over serial issue (asserting
 the >= 1.5x target *and* bit-exactness versus a serial replay), the
 execution-graph replay speedup over per-step eager stream submission on
 the kernel-in-the-loop decode workload (asserting the >= 1.3x target and
-bit-exactness), and reports the specialization cache hit rate of a
-repeated-launch scenario.  ``--section engine|streams|graphs|all``
-selects which quick checks run (the CI matrix runs them as separate
-jobs); an unknown section is rejected with the list of valid ones.
+bit-exactness), the profile-guided graph-optimization speedup on a
+skewed-cost 8-stream workload (measured-cost LPT placement + dead-node
+elimination vs the capture-time heuristic, asserting the >= 1.2x target
+and bit-exactness vs the serial oracle), and reports the specialization
+cache hit rate of a repeated-launch scenario.  ``--section
+engine|streams|graphs|pgo|all`` selects which quick checks run (the CI
+matrix runs them as separate jobs); an unknown section is rejected with
+the list of valid ones.
 """
 
 import time
@@ -34,7 +38,7 @@ from repro.compiler import compile_program
 from repro.lang import ProgramBuilder, pointer
 from repro.layout import local, mma_m16n8k16, spatial
 from repro.quant import QuantScheme, quantize_weight, transform_weight
-from repro.runtime import Runtime, StreamPool
+from repro.runtime import Profile, Runtime, StreamPool
 from repro.vm import BatchedExecutor, GlobalMemory, Interpreter
 
 
@@ -382,6 +386,135 @@ def graph_report(
 
 
 # ---------------------------------------------------------------------------
+# Profile-guided graph optimization vs heuristic placement
+# ---------------------------------------------------------------------------
+
+#: The PGO workload: a *skewed-cost* launch mix on 8 streams.  Four
+#: heavy kernels (distinct programs, so they never coalesce away) land
+#: on one stream under the capture-time round-robin heuristic — their
+#: submission positions are congruent mod the stream count — while 28
+#: cheap kernels fill the rest, and 8 more heavy launches write scratch
+#: buffers nothing ever reads.  A profiled replay records the real
+#: per-node costs; ``graph.optimize(profile)`` then spreads the heavies
+#: by longest-processing-time placement and eliminates the dead nodes.
+PGO_STREAMS = 8
+PGO_LIVE = 32
+PGO_DEAD = 8
+PGO_HEAVY_STEPS = 48
+PGO_LIGHT_STEPS = 2
+
+
+def _pgo_workload():
+    heavies = [
+        _multiblock_program(gb=4, gw=4, steps=PGO_HEAVY_STEPS, name=f"pgo_heavy{i}")[0]
+        for i in range(4)
+    ]
+    dead_prog, _ = _multiblock_program(
+        gb=4, gw=4, steps=PGO_HEAVY_STEPS, name="pgo_dead"
+    )
+    light_prog, (rows, cols) = _multiblock_program(
+        gb=4, gw=4, steps=PGO_LIGHT_STEPS, name="pgo_light"
+    )
+    memory = GlobalMemory(1 << 24)
+    host = Interpreter(memory)
+    rng = np.random.default_rng(0)
+    launches = []  # (program, a_addr, out_addr, is_heavy)
+    heavy_iter = iter(heavies)
+    for i in range(PGO_LIVE):
+        a = host.upload(float16.quantize(rng.standard_normal((rows, cols))), float16)
+        out = host.alloc_output([rows, cols], float16)
+        heavy = i % PGO_STREAMS == 0  # all heavies hit one heuristic stream
+        program = next(heavy_iter) if heavy else light_prog
+        launches.append((program, a, out, heavy))
+    dead = []  # scratch writers: outputs never read, never bound
+    for _ in range(PGO_DEAD):
+        a = host.upload(float16.quantize(rng.standard_normal((rows, cols))), float16)
+        scratch = host.alloc_output([rows, cols], float16)
+        dead.append((dead_prog, a, scratch))
+    return (rows, cols), host, launches, dead
+
+
+def pgo_report(min_speedup: float = 1.2) -> dict:
+    """Measure profile-optimized replay against heuristic-placement replay.
+
+    Captures the skewed workload with scheduler placement, binds the live
+    output buffers, collects a per-node profile from one replay, and
+    optimizes.  Asserts that the heavies spread to distinct streams, that
+    the dead nodes are eliminated, that the optimized replay is >=
+    ``min_speedup`` faster, and that its outputs match the serial oracle
+    bit-for-bit.
+    """
+    (rows, cols), host, launches, dead = _pgo_workload()
+    pool = StreamPool(host.memory, num_streams=PGO_STREAMS)
+    try:
+        with pool.capture() as graph:
+            for program, a, out, _ in launches:
+                pool.submit(program, [a, out], engine="batched")
+            for program, a, scratch in dead:
+                pool.submit(program, [a, scratch], engine="batched")
+        out_bytes = rows * cols * 2
+        for i, (_, _, out, _) in enumerate(launches):
+            graph.bind(f"out{i}", out, out_bytes)
+
+        # Serial oracle first: the bit-exactness reference (the kernels
+        # are out = f(a), so repeated replays are idempotent).
+        graph.replay(serial=True)
+        want = [host.download(out, [rows, cols], float16) for _, _, out, _ in launches]
+
+        profile = Profile()
+        pool.profiler = profile
+        graph.replay()
+        pool.synchronize()
+        pool.profiler = None
+
+        optimized = graph.optimize(profile)
+        assert optimized.num_nodes == PGO_LIVE, (
+            f"dead-node elimination kept {optimized.num_nodes} of "
+            f"{graph.num_nodes} nodes, expected {PGO_LIVE}"
+        )
+        heavy_indices = [i for i, (_, _, _, heavy) in enumerate(launches) if heavy]
+        heuristic_streams = {graph.nodes[i].stream_index for i in heavy_indices}
+        optimized_streams = {optimized.nodes[i].stream_index for i in heavy_indices}
+        assert len(heuristic_streams) == 1, "workload no longer skews the heuristic"
+        assert len(optimized_streams) == len(heavy_indices), (
+            f"LPT left heavy nodes sharing streams: {sorted(optimized_streams)}"
+        )
+
+        optimized.replay()
+        pool.synchronize()
+        t_heur = _time_best(lambda: graph.replay())
+        t_opt = _time_best(lambda: optimized.replay())
+        pool.synchronize()
+
+        got = [host.download(out, [rows, cols], float16) for _, _, out, _ in launches]
+        for w, g in zip(want, got):
+            assert np.array_equal(g, w), "optimized replay diverges from serial oracle"
+    finally:
+        pool.shutdown()
+    speedup = t_heur / t_opt
+    report = {
+        "heuristic_ms": t_heur * 1e3,
+        "optimized_ms": t_opt * 1e3,
+        "pgo_speedup": speedup,
+        "nodes_before": graph.num_nodes,
+        "nodes_after": optimized.num_nodes,
+        "heavy_streams": sorted(optimized_streams),
+    }
+    print(
+        f"skewed {PGO_STREAMS}-stream DAG ({graph.num_nodes} nodes, "
+        f"{len(heavy_indices)} heavy on 1 stream, {PGO_DEAD} dead): heuristic "
+        f"replay {report['heuristic_ms']:.2f} ms, profile-optimized "
+        f"{report['optimized_ms']:.2f} ms -> {speedup:.1f}x speedup (bit-exact); "
+        f"heavies spread over streams {report['heavy_streams']}, "
+        f"{PGO_DEAD} dead nodes eliminated"
+    )
+    assert speedup >= min_speedup, (
+        f"profile-guided speedup {speedup:.2f}x below the {min_speedup:.1f}x target"
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Quick self-checking mode (CI smoke test)
 # ---------------------------------------------------------------------------
 
@@ -438,7 +571,7 @@ def quick_report(min_speedup: float = 3.0, launches: int = 20) -> dict:
 
 
 #: Quick-mode sections, in run order.  ``--section all`` runs every one.
-SECTIONS = ("engine", "streams", "graphs")
+SECTIONS = ("engine", "streams", "graphs", "pgo")
 
 
 def main() -> None:
@@ -464,6 +597,12 @@ def main() -> None:
         help="graph replay vs per-step eager-submission speedup floor",
     )
     parser.add_argument(
+        "--min-pgo-speedup",
+        type=float,
+        default=1.2,
+        help="profile-optimized vs heuristic-placement replay speedup floor",
+    )
+    parser.add_argument(
         "--section",
         choices=(*SECTIONS, "all"),
         default="all",
@@ -478,6 +617,8 @@ def main() -> None:
             stream_report(min_speedup=args.min_stream_speedup)
         if args.section in ("graphs", "all"):
             graph_report(min_speedup=args.min_graph_speedup)
+        if args.section in ("pgo", "all"):
+            pgo_report(min_speedup=args.min_pgo_speedup)
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

@@ -9,6 +9,14 @@ for a workload, scores each with a config-aware analytical estimate
 (occupancy, wave quantization, pipelining overlap, split-k reduction
 traffic) and returns the best.  Results are memoized per workload key,
 mirroring the paper's compiled-kernel cache.
+
+Three refinement tiers: :meth:`Autotuner.tune` is purely analytical,
+:meth:`Autotuner.tune_measured` executes the analytical head of the
+ranking, and :meth:`Autotuner.tune_profiled` closes the PGO loop — a
+recorded :class:`~repro.runtime.profiling.Profile` (e.g. emitted by a
+serving run) replaces fresh measurement runs for every candidate whose
+specialization key was already seen, so re-tuning after real traffic
+executes nothing that traffic already measured.
 """
 
 from __future__ import annotations
@@ -173,6 +181,65 @@ class Autotuner:
         return len(self._cache)
 
     # -- measured tuning -----------------------------------------------------
+    def _trial_configs(self, workload: MatmulWorkload, top_k: int) -> list[MatmulConfig]:
+        """The analytical head of the ranking — the candidates worth the
+        cost of real execution (split-k needs the runtime workspace
+        reduction pass, so trials stick to single-kernel configs)."""
+        candidates = enumerate_valid_configs(workload, self.gpu, include_split_k=False)
+        scored = sorted(
+            ((config_latency_estimate(workload, cfg, self.gpu), cfg) for cfg in candidates),
+            key=lambda pair: pair[0],
+        )
+        trials = [cfg for _, cfg in scored[:top_k]]
+        if not trials:
+            raise AutotuneError(
+                f"no measurable configuration for {workload.describe()} on {self.gpu}"
+            )
+        return trials
+
+    def _trial_program(self, workload: MatmulWorkload, cfg: MatmulConfig):
+        """Instantiate the template for one trial configuration."""
+        from repro.kernels import quantized_matmul_program
+        from repro.quant import QuantScheme
+
+        scheme = QuantScheme(
+            workload.weight_dtype, group_size=min(workload.group_size, workload.k)
+        )
+        program = quantized_matmul_program(
+            workload.m, workload.n, workload.k, workload.act_dtype, scheme, cfg
+        )
+        return program, scheme
+
+    def _measure_config(
+        self, workload: MatmulWorkload, cfg: MatmulConfig, runtime, repeats: int, rng
+    ) -> float:
+        """Best-of-``repeats`` wall time of one configuration on the VM."""
+        from repro.dtypes import float16, uint8
+        from repro.kernels import matmul_layouts
+        from repro.quant import quantize_weight, transform_weight
+
+        program, scheme = self._trial_program(workload, cfg)
+        q, scales = quantize_weight(
+            rng.standard_normal((workload.k, workload.n)), scheme
+        )
+        lay = matmul_layouts(cfg, workload.weight_dtype)
+        packed = transform_weight(q, workload.weight_dtype, lay.b_warp)
+        a = workload.act_dtype.quantize(
+            rng.standard_normal((workload.m, workload.k))
+        )
+        args = [
+            runtime.upload(a, workload.act_dtype),
+            runtime.upload(packed, uint8),
+            runtime.upload(float16.quantize(scales), float16),
+            runtime.empty([workload.m, workload.n], workload.act_dtype),
+        ]
+        elapsed = math.inf
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            runtime.launch(program, args)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return elapsed
+
     def tune_measured(
         self,
         workload: MatmulWorkload,
@@ -198,55 +265,83 @@ class Autotuner:
         key = self._key(workload) + ("measured",)
         if key in self._cache:
             return self._cache[key]
-        # One analytical pass orders the search space; measurement refines
-        # the head of that ranking (split-k needs the runtime workspace
-        # reduction pass, so measured trials stick to single-kernel configs).
-        candidates = enumerate_valid_configs(workload, self.gpu, include_split_k=False)
-        scored = sorted(
-            ((config_latency_estimate(workload, cfg, self.gpu), cfg) for cfg in candidates),
-            key=lambda pair: pair[0],
-        )
-        trials = [cfg for _, cfg in scored[:top_k]]
-        if not trials:
-            raise AutotuneError(
-                f"no measurable configuration for {workload.describe()} on {self.gpu}"
-            )
+        trials = self._trial_configs(workload, top_k)
         runtime = runtime if runtime is not None else Runtime()
         rng = np.random.default_rng(0)
-
-        from repro.dtypes import float16, uint8
-        from repro.kernels import matmul_layouts, quantized_matmul_program
-        from repro.quant import QuantScheme, quantize_weight, transform_weight
-
         best_cfg, best_time = None, math.inf
         for cfg in trials:
-            scheme = QuantScheme(
-                workload.weight_dtype, group_size=min(workload.group_size, workload.k)
-            )
-            q, scales = quantize_weight(
-                rng.standard_normal((workload.k, workload.n)), scheme
-            )
-            lay = matmul_layouts(cfg, workload.weight_dtype)
-            packed = transform_weight(q, workload.weight_dtype, lay.b_warp)
-            program = quantized_matmul_program(
-                workload.m, workload.n, workload.k, workload.act_dtype, scheme, cfg
-            )
-            a = workload.act_dtype.quantize(
-                rng.standard_normal((workload.m, workload.k))
-            )
-            args = [
-                runtime.upload(a, workload.act_dtype),
-                runtime.upload(packed, uint8),
-                runtime.upload(float16.quantize(scales), float16),
-                runtime.empty([workload.m, workload.n], workload.act_dtype),
-            ]
-            elapsed = math.inf
-            for _ in range(max(1, repeats)):
-                start = time.perf_counter()
-                runtime.launch(program, args)
-                elapsed = min(elapsed, time.perf_counter() - start)
+            elapsed = self._measure_config(workload, cfg, runtime, repeats, rng)
             if elapsed < best_time:
                 best_cfg, best_time = cfg, elapsed
         result = AutotuneResult(best_cfg, best_time, len(trials))
         self._cache[key] = result
+        return result
+
+    # -- profile-guided tuning -----------------------------------------------
+    def tune_profiled(
+        self,
+        workload: MatmulWorkload,
+        profile,
+        runtime=None,
+        top_k: int = 3,
+        repeats: int = 3,
+    ) -> AutotuneResult:
+        """:meth:`tune_measured`, with recorded profiles standing in for
+        fresh measurement runs.
+
+        For each trial configuration the template is instantiated and its
+        **specialization key** computed; if ``profile`` (a
+        :class:`~repro.runtime.profiling.Profile`, e.g. recorded by a
+        profiled serving run and loaded from JSON) holds launches of that
+        key, their mean recorded wall time is used directly and *nothing
+        executes*.  Only candidates the profile has never seen fall back
+        to real measurement (on the given or a lazily created runtime).
+        This is the PGO hand-off: production traffic measures, the tuner
+        re-ranks for free.
+
+        Caveat on mixing sources: recorded times are *means* over the
+        profiled traffic (warm and cold calls alike) while fresh
+        measurement takes the best of ``repeats`` — when the head of the
+        ranking mixes both, the comparison mildly favours the
+        never-profiled candidates.  Record comparable traffic for every
+        candidate you care about, or fall back to
+        :meth:`tune_measured` for a level playing field.
+
+        Results are memoized per workload, keyed to the profile's
+        content stamp: re-tuning after the profile absorbed new traffic
+        re-ranks instead of returning the stale winner, while one
+        workload keeps at most one cached entry (the latest stamp
+        replaces the previous — no growth under live traffic).
+        """
+        import numpy as np
+
+        from repro.compiler.pipeline import specialization_key
+        from repro.runtime.profiling import spec_string
+
+        key = self._key(workload) + ("profiled",)
+        stamp = profile.stamp() if profile is not None else None
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        trials = self._trial_configs(workload, top_k)
+        rng = np.random.default_rng(0)
+        best_cfg, best_time = None, math.inf
+        for cfg in trials:
+            program, _ = self._trial_program(workload, cfg)
+            # Pointer arguments are excluded from the key, so zeros
+            # stand in for the device addresses a real launch would bind.
+            spec = spec_string(
+                specialization_key(program, [0] * len(program.params))
+            )
+            elapsed = profile.spec_seconds(spec) if profile is not None else None
+            if elapsed is None:
+                if runtime is None:
+                    from repro.runtime import Runtime
+
+                    runtime = Runtime()
+                elapsed = self._measure_config(workload, cfg, runtime, repeats, rng)
+            if elapsed < best_time:
+                best_cfg, best_time = cfg, elapsed
+        result = AutotuneResult(best_cfg, best_time, len(trials))
+        self._cache[key] = (stamp, result)
         return result

@@ -26,6 +26,13 @@ launches as an :class:`~repro.runtime.graphs.ExecutionGraph`, and every
 later step replays the frozen DAG — rebinding each slot's activation and
 output buffers when the in-flight set changes — skipping per-launch
 scheduling, hazard analysis, and coalescing decisions entirely.
+
+With ``profile=True`` the run records a reusable per-node
+:class:`~repro.runtime.profiling.Profile` of every decode kernel
+(attached to the returned :class:`TraceResult` and saveable as JSON):
+the measured costs feed ``graph.optimize`` for profile-guided stream
+re-balancing and ``Autotuner.tune_profiled`` for measurement-free
+re-tuning — serving traffic becomes the profile the optimizer consumes.
 """
 
 from __future__ import annotations
@@ -76,6 +83,10 @@ class TraceResult:
     #: vs. steps that replayed one (captures + replays = decode steps).
     graph_captures: int = 0
     graph_replays: int = 0
+    #: Per-node execution profile of the decode kernels (a
+    #: :class:`~repro.runtime.profiling.Profile`), populated when the
+    #: simulator was created with ``profile=True``; None otherwise.
+    profile: object | None = None
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -110,6 +121,8 @@ class ContinuousBatchingSimulator:
     ``use_graphs`` captures one execution graph per batch size and
     replays it every step, rebinding per-request buffers as the
     in-flight set changes; set it False to eager-submit every step.
+    ``profile=True`` records every decode kernel into a reusable
+    :class:`~repro.runtime.profiling.Profile` on ``TraceResult.profile``.
     """
 
     def __init__(
@@ -120,6 +133,7 @@ class ContinuousBatchingSimulator:
         decode_linear=None,
         num_streams: int = 4,
         use_graphs: bool = True,
+        profile: bool = False,
     ) -> None:
         self.model = model
         self.config = config
@@ -128,6 +142,9 @@ class ContinuousBatchingSimulator:
         self.decode_linear = decode_linear
         self.num_streams = min(num_streams, max_batch)
         self.use_graphs = use_graphs
+        #: Record per-node execution profiles of the decode kernels onto
+        #: the operator runtime (``TraceResult.profile`` carries them).
+        self.profile = profile
         #: One captured decode-step graph per batch size, with the
         #: binding layout it was captured against.
         self._graphs: dict = {}
@@ -137,6 +154,30 @@ class ContinuousBatchingSimulator:
         pending = sorted(requests, key=lambda r: r.arrival_s)
         inflight: list[_Inflight] = []
         outcome = TraceResult()
+        profiling = self.profile and self.decode_linear is not None
+        if profiling:
+            # Fresh profile per run so the trace's records are its own
+            # (a caller-enabled profiler must not bleed in), restored on
+            # exit so caller profiling survives the trace unchanged.
+            from repro.runtime.profiling import Profile
+
+            runtime = self.decode_linear.runtime
+            prior = runtime.disable_profiling()
+            outcome.profile = runtime.enable_profiling(Profile())
+        try:
+            return self._run_loop(pending, inflight, outcome)
+        finally:
+            if profiling:
+                runtime.disable_profiling()
+                if prior is not None:
+                    runtime.enable_profiling(prior)
+
+    def _run_loop(
+        self,
+        pending: list[Request],
+        inflight: "list[_Inflight]",
+        outcome: TraceResult,
+    ) -> TraceResult:
         now = 0.0
         queue_idx = 0
 

@@ -66,6 +66,13 @@ class QuantizedLinear:
     every later call replays it with the activation, workspace and
     output pointers rebound — per-call scheduling, hazard analysis and
     coalescing decisions are all skipped.
+
+    With the runtime's profiler enabled (``runtime.enable_profiling()``)
+    every call records per-node costs; :meth:`reoptimize` then replaces
+    each captured graph with its profile-guided
+    :meth:`~repro.runtime.graphs.ExecutionGraph.optimize` image —
+    measured-cost stream placement instead of the capture-time
+    heuristic — and later calls replay the optimized DAGs.
     """
 
     runtime: Runtime
@@ -195,6 +202,20 @@ class QuantizedLinear:
                     ],
                 )
             self.runtime.launch(reduce_prog, [p_addr, c_addr])
+
+    def reoptimize(self, profile=None) -> int:
+        """Re-instantiate every captured split-k graph with profile-guided
+        placement (:meth:`~repro.runtime.graphs.ExecutionGraph.optimize`).
+
+        ``profile`` defaults to the runtime's active profiler.  Returns
+        the number of graphs optimized; later calls at those row counts
+        replay the optimized DAGs (bindings carry over, so rebinding
+        works unchanged).  A no-op when nothing was captured yet.
+        """
+        profile = profile if profile is not None else self.runtime.profiler
+        for m, graph in list(self._graphs.items()):
+            self._graphs[m] = graph.optimize(profile)
+        return len(self._graphs)
 
 
 def _default_config(weight_dtype: DataType) -> MatmulConfig:

@@ -1,6 +1,7 @@
 """Runtime system (paper Section 8.1, step 4)."""
 
 from repro.runtime.graphs import ExecutionGraph, GraphNode
+from repro.runtime.profiling import NodeProfile, Profile
 from repro.runtime.runtime import (
     ExecutionContext,
     KernelCache,
@@ -28,5 +29,7 @@ __all__ = [
     "StreamTask",
     "Event",
     "LaunchHandle",
+    "NodeProfile",
+    "Profile",
     "launch_ranges",
 ]

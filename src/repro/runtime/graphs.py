@@ -72,12 +72,20 @@ hazard analysis is *not* re-run — that is the point.
 
 from __future__ import annotations
 
+import hashlib
 import threading
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.compiler.pipeline import specialization_key
 from repro.errors import VMError
+from repro.ir import instructions as insts
 from repro.ir.program import Program
+from repro.runtime.profiling import (
+    Profile,
+    StatsTimer,
+    spec_string,
+    split_counts,
+)
 from repro.runtime.streams import (
     Stream,
     StreamPool,
@@ -88,6 +96,26 @@ from repro.runtime.streams import (
 )
 from repro.vm.batched import BatchedExecutor, select_engine
 from repro.vm.interp import ExecutionStats, Interpreter
+
+_SIDE_EFFECT_ATTR = "_graph_has_side_effects"
+
+
+def _has_side_effects(program: Program) -> bool:
+    """True when the program observably acts beyond its memory writes
+    (``PrintTensor``), so dead-node elimination must never drop it.
+    Memoized on the program object."""
+    cached = program.__dict__.get(_SIDE_EFFECT_ATTR)
+    if cached is None:
+        cached = any(
+            isinstance(inst, insts.PrintTensor)
+            for inst in program.body.instructions()
+        )
+        program.__dict__[_SIDE_EFFECT_ATTR] = cached
+    return cached
+
+
+def _intervals_overlap(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
 
 
 class GraphNode:
@@ -190,34 +218,55 @@ class _ReplayState:
 class _GroupTask(StreamTask):
     """Replays one execution group on its stream's worker: wait the
     precomputed cross-stream dependency events, drive the engine, signal
-    completion.  No analysis of any kind happens here."""
+    completion.  No analysis of any kind happens here.  When the pool
+    has an active profiler, the engine invocation is timed (dependency
+    waits excluded) and attributed to the group's nodes."""
 
-    __slots__ = ("group", "args_list", "dep_events", "done_event", "state")
+    __slots__ = ("group", "group_index", "args_list", "dep_events",
+                 "done_event", "state", "graph")
 
-    def __init__(self, group: _Group, args_list, dep_events, done_event, state) -> None:
+    def __init__(self, group: _Group, group_index, args_list, dep_events,
+                 done_event, state, graph) -> None:
         self.group = group
+        self.group_index = group_index
         self.args_list = args_list
         self.dep_events = dep_events
         self.done_event = done_event
         self.state = state
+        self.graph = graph
+
+    def _execute(self, stream: Stream) -> None:
+        group = self.group
+        if len(self.args_list) == 1:
+            engine = (
+                stream.batched
+                if group.engine == "batched"
+                else stream.interpreter
+            )
+            engine.launch(group.program, self.args_list[0])
+        else:
+            stream.batched.launch_many(group.program, self.args_list)
+        stream.launches += len(self.args_list)
+        stream.executions += 1
 
     def run(self, stream: Stream) -> None:
         try:
             for event in self.dep_events:
                 event.wait()
             if self.state.error is None:
-                group = self.group
-                if len(self.args_list) == 1:
-                    engine = (
-                        stream.batched
-                        if group.engine == "batched"
-                        else stream.interpreter
-                    )
-                    engine.launch(group.program, self.args_list[0])
+                profiler = stream.pool.profiler
+                if profiler is None:
+                    self._execute(stream)
                 else:
-                    stream.batched.launch_many(group.program, self.args_list)
-                stream.launches += len(self.args_list)
-                stream.executions += 1
+                    with StatsTimer(stream.stats) as timer:
+                        self._execute(stream)
+                    self.graph._record_nodes(
+                        profiler,
+                        self.group.node_indices,
+                        timer.wall,
+                        timer.delta,
+                        group=self.group_index,
+                    )
         except BaseException as exc:  # noqa: BLE001 — surfaced by replay()
             self.state.fail(exc)
         finally:
@@ -247,6 +296,7 @@ class ExecutionGraph:
         self._bound_args: list[tuple] | None = None
         self._group_args: list[list[tuple]] | None = None
         self._last_values: dict | None = None
+        self._signature: str | None = None
 
     # -- capture ------------------------------------------------------------
     def __enter__(self) -> "ExecutionGraph":
@@ -510,10 +560,12 @@ class ExecutionGraph:
         for gi, group in enumerate(self._groups):
             task = _GroupTask(
                 group,
+                gi,
                 self._group_args[gi],
                 [events[d] for d in group.dep_groups],
                 events[gi],
                 state,
+                self,
             )
             self.pool.streams[group.stream_index].enqueue_task(task)
         for event in events:
@@ -539,12 +591,278 @@ class ExecutionGraph:
             stats=stream0.stats,
             stdout=pool.stdout,
         )
+        profiler = pool.profiler
         for node in self.nodes:
             engine = batched if node.engine == "batched" else interpreter
-            engine.launch(node.program, self._bound_args[node.index])
+            if profiler is None:
+                engine.launch(node.program, self._bound_args[node.index])
+            else:
+                # The serial oracle is also the cheapest profile
+                # collector: one engine invocation per node gives exact
+                # (not group-amortized) per-node costs.
+                with StatsTimer(stream0.stats) as timer:
+                    engine.launch(node.program, self._bound_args[node.index])
+                self._record_nodes(
+                    profiler, [node.index], timer.wall, timer.delta
+                )
         stream0.launches += len(self.nodes)
         stream0.executions += len(self.nodes)
         return stream0.stats
+
+    def _record_nodes(
+        self,
+        profiler: Profile,
+        node_indices: Sequence[int],
+        wall_s: float,
+        stats_delta: Mapping,
+        group: int | None = None,
+    ) -> None:
+        """Attribute one engine invocation to the given nodes under this
+        graph's signature scope (an even split across a coalesced group —
+        members run the same program on one stacked grid; integer stat
+        counters split remainder-exactly).  Graph nodes record under
+        their *frozen* stream so every node keeps a unique profile site
+        regardless of which thread executed it (the serial oracle runs
+        them all on the calling thread, for instance)."""
+        n = len(node_indices)
+        shares = split_counts(stats_delta, n)
+        for ni, share in zip(node_indices, shares):
+            node = self.nodes[ni]
+            profiler.record(
+                self.signature,
+                ni,
+                node.program.name,
+                spec_string(node.key),
+                node.engine,
+                node.stream_index,
+                wall_s / n,
+                stats_delta=share,
+                group=group,
+                group_size=n,
+            )
+
+    # -- profile-guided optimization ----------------------------------------
+    @property
+    def signature(self) -> str:
+        """Stable identity of the captured DAG: a hash over the node
+        sequence's specialization keys, engines and grids.  Pointer
+        arguments are excluded (the keys are address-agnostic), so the
+        same plan captured against fresh buffers — or in another process
+        — produces the same signature, which is how a serialized
+        :class:`~repro.runtime.profiling.Profile` finds this graph's
+        per-node records again."""
+        if self._signature is None:
+            tokens = [
+                f"{spec_string(node.key)}|{node.engine}|{node.grid}"
+                for node in self.nodes
+            ]
+            digest = hashlib.sha256("\n".join(tokens).encode()).hexdigest()
+            self._signature = f"graph:{digest[:16]}"
+        return self._signature
+
+    def _live_indices(self, outputs: Iterable[str] | None) -> list[int]:
+        """Indices of nodes that must survive dead-node elimination.
+
+        A node is **live** when any of:
+
+        - its write ranges intersect a bound output span (``outputs``
+          names a subset of the pointer bindings; ``None`` means every
+          pointer binding is an observable output);
+        - a later live node *reads* bytes it writes (RAW reachability —
+          WAW alone does not resurrect a node: an unread, un-bound write
+          is unobservable even if overwritten);
+        - its ranges are conservative (whole-memory: static analysis
+          failed, so everything it does may be observed);
+        - it has side effects beyond memory (``PrintTensor``), or it
+          writes nothing that analysis resolved (pure/opaque nodes are
+          kept rather than guessed at).
+
+        When the graph has no pointer bindings and ``outputs`` is None,
+        *all of device memory* is presumed observable (the host can
+        download any buffer), so nothing is eliminated.  Passing an
+        explicit — possibly empty — ``outputs`` asserts the bound spans
+        are the only externally read memory.
+        """
+        pointer_bindings = {
+            name: b for name, b in self._bindings.items() if b.is_pointer
+        }
+        if outputs is None:
+            if not pointer_bindings:
+                return list(range(len(self.nodes)))
+            spans = [
+                (float(b.base), float(b.base + b.nbytes))
+                for b in pointer_bindings.values()
+            ]
+        else:
+            spans = []
+            for name in outputs:
+                binding = pointer_bindings.get(name)
+                if binding is None:
+                    raise VMError(
+                        f"outputs names {name!r}, which is not a pointer "
+                        f"binding of this graph (registered: "
+                        f"{sorted(pointer_bindings)})"
+                    )
+                spans.append((float(binding.base), float(binding.base + binding.nbytes)))
+        live = [False] * len(self.nodes)
+        later_reads: list[tuple[float, float]] = []
+        later_conservative = False
+        for i in reversed(range(len(self.nodes))):
+            node = self.nodes[i]
+            conservative = any(end == float("inf") for _, end, _ in node.ranges)
+            writes = [
+                (float(s), float(e)) for s, e, w in node.ranges if w and s < e
+            ]
+            reads = [
+                (float(s), float(e)) for s, e, w in node.ranges if not w and s < e
+            ]
+            keep = (
+                conservative
+                or _has_side_effects(node.program)
+                or not writes  # pure/opaque nodes are kept, not guessed at
+                or later_conservative  # an opaque later node may read anything
+                or any(_intervals_overlap(w, span) for w in writes for span in spans)
+                or any(_intervals_overlap(w, r) for w in writes for r in later_reads)
+            )
+            if keep:
+                live[i] = True
+                later_reads.extend(reads)
+                later_conservative = later_conservative or conservative
+        return [i for i in range(len(self.nodes)) if live[i]]
+
+    def _node_costs(self, profile: Profile | None) -> dict[int, float]:
+        """Per-node cost estimates: measured mean wall seconds where the
+        profile has them, the mean of the measured costs (or 1.0) for
+        nodes never recorded — unprofiled nodes neither dominate nor
+        vanish from the balance."""
+        recorded = (
+            profile.graph_nodes(self.signature) if profile is not None else {}
+        )
+        known = [
+            rec.mean_wall_s
+            for rec in recorded.values()
+            if rec.calls and rec.mean_wall_s > 0.0
+        ]
+        default = sum(known) / len(known) if known else 1.0
+        costs: dict[int, float] = {}
+        for node in self.nodes:
+            rec = recorded.get(node.index)
+            if rec is not None and rec.calls and rec.mean_wall_s > 0.0:
+                costs[node.index] = rec.mean_wall_s
+            else:
+                costs[node.index] = default
+        return costs
+
+    def _lpt_placement(
+        self, live: list[int], costs: dict[int, float]
+    ) -> dict[int, int]:
+        """Longest-processing-time list scheduling over the hazard DAG.
+
+        Nodes are scheduled most-expensive-first among those whose
+        dependencies are already placed; each goes to the stream with the
+        earliest predicted finish (``max(stream available, deps ready) +
+        cost``).  For independent nodes this is classic LPT onto the
+        least-loaded stream; dependent nodes land where their predecessors
+        let them start soonest.  Fully deterministic: ties break on node
+        index and stream index, so equal profiles yield equal placements.
+        """
+        num_streams = len(self.pool.streams)
+        live_set = set(live)
+        remaining = set(live)
+        scheduled: dict[int, int] = {}
+        finish: dict[int, float] = {}
+        avail = [0.0] * num_streams
+        while remaining:
+            ready = [
+                i
+                for i in remaining
+                if all(d in scheduled for d in self.nodes[i].deps if d in live_set)
+            ]
+            ready.sort(key=lambda i: (-costs[i], i))
+            i = ready[0]
+            ready_time = max(
+                (finish[d] for d in self.nodes[i].deps if d in live_set),
+                default=0.0,
+            )
+            best_stream = min(
+                range(num_streams),
+                key=lambda s: (max(avail[s], ready_time) + costs[i], s),
+            )
+            start = max(avail[best_stream], ready_time)
+            finish[i] = start + costs[i]
+            avail[best_stream] = finish[i]
+            scheduled[i] = best_stream
+            remaining.discard(i)
+        return scheduled
+
+    def optimize(
+        self,
+        profile: Profile | None = None,
+        outputs: Iterable[str] | None = None,
+    ) -> "ExecutionGraph":
+        """Profile-guided re-instantiation: a new, independently
+        replayable graph over the same pool with
+
+        - **dead nodes eliminated** — nodes whose writes are never read
+          by a later live node and never alias a bound output span (see
+          :meth:`_live_indices`; with no pointer bindings and ``outputs``
+          unset, nothing is dropped — all memory is presumed observable);
+        - **stream placement re-balanced** by longest-processing-time
+          list scheduling over the hazard DAG, using measured per-node
+          costs from ``profile`` (collected under this graph's
+          :attr:`signature` by any profiled replay) instead of the
+          capture-time round-robin/memory-aware heuristic — unprofiled
+          nodes cost the profiled mean, and ``profile=None`` degrades to
+          uniform costs (pure re-balancing);
+        - **coalescing groups re-derived** for the new placement (the
+          instantiate pass runs again, so nodes that now neighbour on a
+          stream may merge into one stacked execution and vice versa).
+
+        Hazard edges are *not* recomputed — they came from capture and
+        remain valid for any placement (cross-stream edges become event
+        waits at replay).  Pointer/scalar bindings carry over; the
+        original graph stays replayable and the two share no mutable
+        state.  Replaying the optimized graph is bit-exact with the
+        original up to the eliminated (unobservable) writes.
+
+        Note on signatures: pure re-placement preserves the node
+        sequence, so the optimized graph keeps the original's
+        :attr:`signature` and existing profiles keep matching; once
+        elimination drops nodes the sequence — and therefore the
+        signature — changes, and further refinement needs a profile
+        recorded from the optimized graph itself.
+        """
+        if self._phase != "ready":
+            raise VMError(
+                f"cannot optimize a graph in phase {self._phase!r}; "
+                "capture must have completed without error"
+            )
+        live = self._live_indices(outputs)
+        costs = self._node_costs(profile)
+        placement = self._lpt_placement(live, costs)
+        remap = {old: new for new, old in enumerate(live)}
+        optimized = ExecutionGraph(self.pool)
+        for old in live:
+            node = self.nodes[old]
+            optimized.nodes.append(
+                GraphNode(
+                    index=remap[old],
+                    program=node.program,
+                    args=node.args,
+                    ranges=node.ranges,
+                    deps=tuple(remap[d] for d in node.deps if d in remap),
+                    stream_index=placement[old],
+                    engine=node.engine,
+                    grid=node.grid,
+                    key=node.key,
+                )
+            )
+        optimized._instantiate()
+        # Bindings carry over; the slot map is rebuilt lazily against the
+        # remapped node indices on the first replay.
+        optimized._bindings = dict(self._bindings)
+        optimized._phase = "ready"
+        return optimized
 
     # -- introspection ------------------------------------------------------
     @property

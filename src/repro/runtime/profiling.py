@@ -1,0 +1,451 @@
+"""Per-node execution profiling: the measurement half of the PGO loop.
+
+The execution-graph subsystem (:mod:`repro.runtime.graphs`) freezes all
+scheduling decisions at capture time — which is exactly when they are
+cheapest to get *wrong*: the round-robin + memory-aware policy places
+launches without knowing what they cost.  This module records what every
+launch actually cost — wall time, instruction count, bits moved, engine
+used, coalescing-group membership — as a :class:`NodeProfile`, keyed so
+the numbers can be found again:
+
+- a launch replayed from an execution graph records under the graph's
+  stable :attr:`~repro.runtime.graphs.ExecutionGraph.signature` and its
+  node index, which is what :meth:`~repro.runtime.graphs.ExecutionGraph.
+  optimize` consumes to re-place nodes by measured cost;
+- an eager launch (synchronous or streamed) records under its
+  **specialization-key string** and stream — one site per distinct
+  kernel specialization, the identity
+  :meth:`repro.autotune.tuner.Autotuner.tune_profiled` matches so
+  recorded serving traffic replaces fresh measurement runs (each record
+  also carries the program name, for coarser dashboard aggregation).
+
+A :class:`Profile` is a bag of those records with per-stream and
+per-graph aggregation and a versioned JSON serialization, so a profile
+gathered in one process (a serving run) can be saved, loaded elsewhere,
+and fed to ``graph.optimize``/``tune_profiled`` — the classic
+profile-guided-optimization workflow (cf. Liu et al. in PAPERS.md).
+
+Recording is thread-safe (stream workers record concurrently) and
+costs nothing when disabled: the engines' hot paths check a single
+``profiler is None`` before doing any bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Iterable, Mapping
+
+from repro.errors import VMError
+
+#: Scope tag for launches that did not come from a graph replay.
+EAGER = "eager"
+
+#: Stream index recorded for synchronous (non-stream) launches.
+HOST_STREAM = -1
+
+
+def spec_string(key: tuple) -> str:
+    """Canonical string form of a specialization key.
+
+    ``repr`` of the key tuple — deterministic across processes (the
+    fingerprint component is a sha256 hex digest, not a salted hash), so
+    a profile saved from one run matches keys computed in another.
+    """
+    return repr(key)
+
+
+class NodeProfile:
+    """Accumulated cost of one profiled launch site.
+
+    Identity is ``(scope, ident, stream)``: for graph-replayed nodes the
+    scope is the graph signature and ``ident`` the node index (stream is
+    the node's frozen placement); for eager launches the scope is
+    :data:`EAGER` and ``ident`` the specialization-key string.  All
+    counters accumulate across calls; divide by :attr:`calls` for
+    per-launch means.  ``group``/``group_size`` describe the coalescing
+    membership of the *most recent* recorded execution (grouping can
+    differ call to call on eager streams), not an accumulated property.
+    """
+
+    __slots__ = (
+        "scope",
+        "ident",
+        "program",
+        "spec",
+        "engine",
+        "stream",
+        "group",
+        "group_size",
+        "calls",
+        "wall_s",
+        "blocks",
+        "instructions",
+        "global_bits_loaded",
+        "global_bits_stored",
+    )
+
+    def __init__(
+        self,
+        scope: str,
+        ident,
+        program: str,
+        spec: str,
+        engine: str,
+        stream: int,
+        group: int | None = None,
+        group_size: int = 1,
+    ) -> None:
+        self.scope = scope
+        self.ident = ident
+        self.program = program
+        self.spec = spec
+        self.engine = engine
+        self.stream = stream
+        #: Coalescing-group membership: the group index this node
+        #: executed in (graph replays: the instantiate-time group;
+        #: eager streams: unset) and how many launches shared the
+        #: engine invocation.
+        self.group = group
+        self.group_size = group_size
+        self.calls = 0
+        self.wall_s = 0.0
+        self.blocks = 0
+        self.instructions = 0
+        self.global_bits_loaded = 0
+        self.global_bits_stored = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.scope, self.ident, self.stream)
+
+    @property
+    def mean_wall_s(self) -> float:
+        """Mean wall time of one launch at this site."""
+        return self.wall_s / self.calls if self.calls else 0.0
+
+    @property
+    def bytes_touched(self) -> int:
+        """Global-memory bytes moved across all recorded calls."""
+        return (self.global_bits_loaded + self.global_bits_stored) // 8
+
+    def to_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "NodeProfile":
+        node = cls(
+            scope=data["scope"],
+            ident=data["ident"],
+            program=data["program"],
+            spec=data["spec"],
+            engine=data["engine"],
+            stream=data["stream"],
+            group=data.get("group"),
+            group_size=data.get("group_size", 1),
+        )
+        node.calls = int(data["calls"])
+        node.wall_s = float(data["wall_s"])
+        node.blocks = int(data.get("blocks", 0))
+        node.instructions = int(data.get("instructions", 0))
+        node.global_bits_loaded = int(data.get("global_bits_loaded", 0))
+        node.global_bits_stored = int(data.get("global_bits_stored", 0))
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeProfile({self.scope}:{self.ident} {self.program!r} on "
+            f"stream {self.stream}, {self.calls} calls, "
+            f"{self.mean_wall_s * 1e6:.1f} us/call)"
+        )
+
+
+#: Stat counters copied from an ``ExecutionStats`` snapshot delta into a
+#: node record (shared across every engine invocation attribution).
+_STAT_FIELDS = (
+    ("blocks", "blocks_run"),
+    ("instructions", "instructions"),
+    ("global_bits_loaded", "global_bits_loaded"),
+    ("global_bits_stored", "global_bits_stored"),
+)
+
+_JSON_VERSION = 1
+
+
+class StatsTimer:
+    """Times one engine invocation and captures its ``ExecutionStats``
+    delta — the single implementation of the measure-around-the-engine
+    pattern every profiled execution path uses::
+
+        with StatsTimer(stream.stats) as t:
+            engine.launch(program, args)
+        profiler.record(..., t.wall, stats_delta=t.delta)
+
+    Only the engine call belongs inside the block: dependency waits and
+    recording bookkeeping must stay outside the measurement.
+    """
+
+    __slots__ = ("_stats", "_before", "_start", "wall", "delta")
+
+    def __init__(self, stats) -> None:
+        self._stats = stats
+
+    def __enter__(self) -> "StatsTimer":
+        self._before = self._stats.snapshot()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall = time.perf_counter() - self._start
+        after = self._stats.snapshot()
+        self.delta = {k: after[k] - self._before[k] for k in after}
+
+
+def split_counts(delta: Mapping, n: int) -> list[dict]:
+    """Split an integer stat delta into ``n`` member shares whose sum is
+    exactly the original (remainders go to the leading members) — naive
+    per-member ``value / n`` truncates away up to ``n - 1`` units per
+    counter per invocation."""
+    shares: list[dict] = [{} for _ in range(n)]
+    for key, value in delta.items():
+        base, rem = divmod(int(value), n)
+        for i in range(n):
+            shares[i][key] = base + (1 if i < rem else 0)
+    return shares
+
+
+class Profile:
+    """A set of :class:`NodeProfile` records with aggregation and JSON.
+
+    One ``Profile`` can absorb launches from every execution mode at
+    once — the synchronous engines, the stream workers and graph replays
+    all record into the runtime's active profiler — and is safe to share
+    across worker threads.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[tuple, NodeProfile] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------------
+    def record(
+        self,
+        scope: str,
+        ident,
+        program: str,
+        spec: str,
+        engine: str,
+        stream: int,
+        wall_s: float,
+        stats_delta: Mapping | None = None,
+        group: int | None = None,
+        group_size: int = 1,
+    ) -> NodeProfile:
+        """Accumulate one launch's measurements into its site record.
+
+        ``stats_delta`` is an ``ExecutionStats`` snapshot difference for
+        the *engine invocation*; callers attributing one coalesced
+        invocation to several launches divide it (and ``wall_s``) before
+        recording each.
+        """
+        key = (scope, ident, stream)
+        with self._lock:
+            node = self.nodes.get(key)
+            if node is None:
+                node = NodeProfile(
+                    scope, ident, program, spec, engine, stream,
+                    group=group, group_size=group_size,
+                )
+                self.nodes[key] = node
+            node.calls += 1
+            node.wall_s += wall_s
+            node.group = group if group is not None else node.group
+            node.group_size = group_size
+            if stats_delta:
+                for attr, stat in _STAT_FIELDS:
+                    setattr(node, attr, getattr(node, attr) + int(stats_delta.get(stat, 0)))
+        return node
+
+    def record_group(
+        self,
+        scope: str,
+        idents: Iterable,
+        program: str,
+        specs: Iterable[str],
+        engine: str,
+        stream: int,
+        wall_s: float,
+        stats_delta: Mapping | None = None,
+        group: int | None = None,
+    ) -> None:
+        """Attribute one coalesced engine invocation evenly across its
+        member launches (they run the same program on one stacked grid,
+        so an even split is the honest per-launch estimate).  Integer
+        counters split with the remainder spread over the first members,
+        so group totals equal the invocation's exact delta."""
+        idents = list(idents)
+        specs = list(specs)
+        n = len(idents)
+        shares = split_counts(stats_delta, n) if stats_delta else [None] * n
+        for (ident, spec), share in zip(zip(idents, specs), shares):
+            self.record(
+                scope,
+                ident,
+                program,
+                spec,
+                engine,
+                stream,
+                wall_s / n,
+                stats_delta=share,
+                group=group,
+                group_size=n,
+            )
+
+    # -- aggregation --------------------------------------------------------
+    def per_stream(self) -> dict[int, dict]:
+        """Totals per stream index: calls, wall seconds, bytes touched."""
+        out: dict[int, dict] = {}
+        with self._lock:
+            for node in self.nodes.values():
+                agg = out.setdefault(
+                    node.stream, {"calls": 0, "wall_s": 0.0, "bytes": 0}
+                )
+                agg["calls"] += node.calls
+                agg["wall_s"] += node.wall_s
+                agg["bytes"] += node.bytes_touched
+        return out
+
+    def per_graph(self) -> dict[str, dict]:
+        """Totals per graph signature (eager launches under ``"eager"``)."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            for node in self.nodes.values():
+                agg = out.setdefault(
+                    node.scope, {"nodes": 0, "calls": 0, "wall_s": 0.0}
+                )
+                agg["nodes"] += 1
+                agg["calls"] += node.calls
+                agg["wall_s"] += node.wall_s
+        return out
+
+    def graph_nodes(self, signature: str) -> dict[int, NodeProfile]:
+        """The recorded per-node profiles of one captured graph.
+
+        A node index may have been recorded under several streams — a
+        purely re-placed optimized graph (no nodes eliminated) keeps the
+        original's signature while placing nodes elsewhere — so sites
+        with the same ident are *merged* (counters summed) rather than
+        arbitrarily picking one.  (Elimination changes the node sequence
+        and therefore the signature: profile the optimized graph itself
+        to refine it further.)  Returned records are copies; mutating
+        them does not touch the profile.
+        """
+        merged: dict[int, NodeProfile] = {}
+        with self._lock:
+            for node in self.nodes.values():
+                if node.scope != signature:
+                    continue
+                agg = merged.get(node.ident)
+                if agg is None:
+                    merged[node.ident] = NodeProfile.from_dict(node.to_dict())
+                    continue
+                agg.calls += node.calls
+                agg.wall_s += node.wall_s
+                for attr, _ in _STAT_FIELDS:
+                    setattr(agg, attr, getattr(agg, attr) + getattr(node, attr))
+        return merged
+
+    def spec_seconds(self, spec: str) -> float | None:
+        """Mean wall seconds per launch across every site with this
+        specialization-key string, or ``None`` when never recorded —
+        the :meth:`~repro.autotune.tuner.Autotuner.tune_profiled`
+        lookup."""
+        wall = 0.0
+        calls = 0
+        with self._lock:
+            for node in self.nodes.values():
+                if node.spec == spec:
+                    wall += node.wall_s
+                    calls += node.calls
+        return wall / calls if calls else None
+
+    def stamp(self) -> tuple:
+        """A cheap content fingerprint — (sites, total calls, total wall
+        seconds) — used by memoizing consumers (``tune_profiled``) to
+        notice the profile absorbed new traffic.  Takes the lock:
+        profiles may be actively recording while being consumed."""
+        with self._lock:
+            return (
+                len(self.nodes),
+                sum(node.calls for node in self.nodes.values()),
+                sum(node.wall_s for node in self.nodes.values()),
+            )
+
+    def merge(self, other: "Profile") -> "Profile":
+        """Absorb ``other``'s records (summing shared sites); returns self."""
+        with other._lock:
+            records = [node.to_dict() for node in other.nodes.values()]
+        for data in records:
+            incoming = NodeProfile.from_dict(data)
+            key = incoming.key
+            with self._lock:
+                node = self.nodes.get(key)
+                if node is None:
+                    self.nodes[key] = incoming
+                    continue
+                node.calls += incoming.calls
+                node.wall_s += incoming.wall_s
+                for attr, _ in _STAT_FIELDS:
+                    setattr(node, attr, getattr(node, attr) + getattr(incoming, attr))
+        return self
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self) -> str:
+        with self._lock:
+            nodes = [node.to_dict() for node in self.nodes.values()]
+        return json.dumps({"version": _JSON_VERSION, "nodes": nodes}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Profile":
+        data = json.loads(text)
+        version = data.get("version")
+        if version != _JSON_VERSION:
+            raise VMError(
+                f"unsupported profile version {version!r} "
+                f"(this build reads version {_JSON_VERSION})"
+            )
+        profile = cls()
+        for record in data["nodes"]:
+            node = NodeProfile.from_dict(record)
+            # JSON turns tuple idents into lists; node indices are ints
+            # and program names strings, both of which survive unchanged.
+            profile.nodes[node.key] = node
+        return profile
+
+    def save(self, fp: IO[str] | str) -> None:
+        """Write the profile as JSON to a path or open text file."""
+        if isinstance(fp, str):
+            with open(fp, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+        else:
+            fp.write(self.to_json())
+
+    @classmethod
+    def load(cls, fp: IO[str] | str) -> "Profile":
+        """Read a profile previously written by :meth:`save`."""
+        if isinstance(fp, str):
+            with open(fp, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        return cls.from_json(fp.read())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        streams = self.per_stream()
+        total = sum(agg["wall_s"] for agg in streams.values())
+        return (
+            f"Profile({len(self.nodes)} sites over {len(streams)} streams, "
+            f"{total * 1e3:.2f} ms recorded)"
+        )

@@ -38,6 +38,13 @@ from repro.compiler.pipeline import (
 from repro.dtypes import DataType
 from repro.errors import VMError
 from repro.ir.program import Program
+from repro.runtime.profiling import (
+    EAGER,
+    HOST_STREAM,
+    Profile,
+    StatsTimer,
+    spec_string,
+)
 from repro.runtime.streams import LaunchHandle, Stream, StreamPool
 from repro.vm.batched import BatchedExecutor, select_engine
 from repro.vm.interp import ExecutionStats, Interpreter
@@ -76,9 +83,14 @@ class SpecializationCache:
         self.misses = 0
         self.evictions = 0
 
-    def get(self, program: Program, args: Sequence = ()) -> CompiledKernel:
-        """Return the compiled kernel for ``program``, compiling on miss."""
-        key = specialization_key(program, args)
+    def get(
+        self, program: Program, args: Sequence = (), key: tuple | None = None
+    ) -> CompiledKernel:
+        """Return the compiled kernel for ``program``, compiling on miss.
+        ``key`` accepts a precomputed specialization key so callers that
+        also need it (the profiled launch path) compute it once."""
+        if key is None:
+            key = specialization_key(program, args)
         kernel = self._kernels.get(key)
         if kernel is not None:
             self.hits += 1
@@ -144,6 +156,38 @@ class Runtime:
         self._workspace_addr: int | None = None
         self._workspace_size = 0
         self._pool: StreamPool | None = None
+        #: Active profiler (see :meth:`enable_profiling`), or None.
+        self.profiler: Profile | None = None
+
+    # -- profiling -----------------------------------------------------------
+    def enable_profiling(self, profile: Profile | None = None) -> Profile:
+        """Start recording per-launch execution profiles.
+
+        Returns the active :class:`~repro.runtime.profiling.Profile`:
+        the given ``profile`` (installed, replacing any active one), the
+        already-active one, or a fresh one.  Every later launch —
+        synchronous, streamed, or graph-replayed through this runtime's
+        pool — records a per-node cost into it.  The profile feeds
+        :meth:`~repro.runtime.graphs.ExecutionGraph.optimize` and
+        :meth:`~repro.autotune.tuner.Autotuner.tune_profiled`, and
+        serializes to JSON (``profile.save(path)``) for reuse across
+        processes.
+        """
+        if profile is not None:
+            self.profiler = profile
+        elif self.profiler is None:
+            self.profiler = Profile()
+        if self._pool is not None:
+            self._pool.profiler = self.profiler
+        return self.profiler
+
+    def disable_profiling(self) -> Profile | None:
+        """Stop recording; returns the profile collected so far."""
+        profile = self.profiler
+        self.profiler = None
+        if self._pool is not None:
+            self._pool.profiler = None
+        return profile
 
     # -- streams ------------------------------------------------------------
     def stream_pool(self, num_streams: int = 4) -> StreamPool:
@@ -159,6 +203,7 @@ class Runtime:
                 num_streams=num_streams,
                 shared_capacity=self.interpreter.shared_capacity,
             )
+            self._pool.profiler = self.profiler
         return self._pool
 
     def synchronize(self) -> None:
@@ -240,7 +285,8 @@ class Runtime:
             raise VMError(
                 f"{program.name} expects {len(program.params)} args, got {len(args)}"
             )
-        kernel = self.cache.get(program, args)
+        key = specialization_key(program, args)
+        kernel = self.cache.get(program, args, key=key)
         program = kernel.program
         if kernel.workspace_bytes:
             self.ensure_workspace(kernel.workspace_bytes)
@@ -263,7 +309,22 @@ class Runtime:
             choice = select_engine(program, program.grid_size(args))
         executor = self.batched if choice == "batched" else self.interpreter
         try:
-            executor.launch(program, args)
+            if self.profiler is None:
+                executor.launch(program, args)
+            else:
+                with StatsTimer(self.interpreter.stats) as timer:
+                    executor.launch(program, args)
+                spec = spec_string(key)
+                self.profiler.record(
+                    EAGER,
+                    spec,
+                    program.name,
+                    spec,
+                    choice,
+                    HOST_STREAM,
+                    timer.wall,
+                    stats_delta=timer.delta,
+                )
         except VMError as exc:
             raise VMError(f"kernel {program.name!r} failed: {exc}") from exc
         self.context.launches += 1

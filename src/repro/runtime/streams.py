@@ -22,14 +22,18 @@ Correctness model
 Every submitted launch gets a **global-memory access summary**: byte
 ranges derived from the program's ``ViewGlobal`` instructions (reads from
 ``LoadGlobal``/``CopyAsync``/``Lookup``/``PrintTensor``, writes from
-``StoreGlobal``/``CopyAsync``).  Writes serialize, reads share: a launch
-depends on every earlier outstanding launch whose ranges overlap with at
-least one side writing.  A program whose views cannot be resolved at
-submit time (pointer arithmetic, block-varying shapes) is treated as
-writing all of memory — always correct, never concurrent.  Because
-dependencies only ever point at earlier submissions, execution is
-deadlock-free and results are bit-exact with serial replay in submission
-order.
+``StoreGlobal``/``CopyAsync``).  The ranges are **offset-granular**
+along the leading dimension: an access whose leading offset is a
+parameter-only expression charges just the row slice it touches, so
+slice-disjoint writers through one shared view stay concurrent; only
+block-varying offsets (and whole-tensor reads) fall back to charging
+the whole view.  Writes serialize, reads share: a launch depends on
+every earlier outstanding launch whose ranges overlap with at least one
+side writing.  A program whose views cannot be resolved at submit time
+(pointer arithmetic, block-varying shapes) is treated as writing all of
+memory — always correct, never concurrent.  Because dependencies only
+ever point at earlier submissions, execution is deadlock-free and
+results are bit-exact with serial replay in submission order.
 
 Throughput model
 ----------------
@@ -659,6 +663,7 @@ class Stream:
         return all(not ranges_conflict(nxt.ranges, member.ranges) for member in group)
 
     def _execute_group(self, group: list[LaunchHandle]) -> None:
+        profiler = self.pool.profiler
         try:
             first = group[0]
             if len(group) == 1:
@@ -667,16 +672,56 @@ class Stream:
                     choice = select_engine(
                         first.program, first.program.grid_size(first.args)
                     )
-                engine = self.batched if choice == "batched" else self.interpreter
-                engine.launch(first.program, first.args)
             else:
-                self.batched.launch_many(first.program, [h.args for h in group])
+                choice = "batched"
+
+            def execute() -> None:
+                if len(group) == 1:
+                    engine = self.batched if choice == "batched" else self.interpreter
+                    engine.launch(first.program, first.args)
+                else:
+                    self.batched.launch_many(first.program, [h.args for h in group])
+
+            if profiler is None:
+                execute()
+            else:
+                from repro.runtime.profiling import StatsTimer
+
+                with StatsTimer(self.stats) as timer:
+                    execute()
+                self._record_group(profiler, group, choice, timer)
             self.executions += 1
         except BaseException as exc:  # noqa: BLE001 — propagated to waiters
             for handle in group:
                 handle.error = exc
         finally:
             self._finish_group(group, executed=True)
+
+    def _record_group(self, profiler, group, engine_choice, timer) -> None:
+        """Attribute one engine invocation to its member launches under
+        the eager scope (imports deferred: profiling is off the default
+        hot path)."""
+        from repro.compiler.pipeline import specialization_key
+        from repro.runtime.profiling import EAGER, spec_string
+
+        program = group[0].program
+        # Eager sites are keyed by specialization-key string, so launches
+        # that coalesced with different scalar bindings still record
+        # under their own tunable identity.
+        specs = [
+            spec_string(specialization_key(program, handle.args))
+            for handle in group
+        ]
+        profiler.record_group(
+            EAGER,
+            specs,
+            program.name,
+            specs,
+            engine_choice,
+            self.index,
+            timer.wall,
+            stats_delta=timer.delta,
+        )
 
     def _finish_group(self, group: list[LaunchHandle], executed: bool) -> None:
         if executed:
@@ -724,6 +769,10 @@ class StreamPool:
         self._rr = itertools.count()
         self._seq = itertools.count()
         self._capture = None  # active ExecutionGraph recording, if any
+        #: Active :class:`~repro.runtime.profiling.Profile`, or None.
+        #: When set, every engine invocation — eager group or graph
+        #: replay — records a per-node cost into it.
+        self.profiler = None
 
     # -- graph capture ------------------------------------------------------
     @property

@@ -10,7 +10,7 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Four modes are locked together:
+Five modes are locked together:
 
 - ``sequential``   — the block-loop interpreter, the semantic reference;
 - ``batched``      — the grid-vectorized executor, forced for every launch;
@@ -23,13 +23,21 @@ Four modes are locked together:
   plan is *captured* (scheduling, hazard edges and coalescing groups
   frozen once, nothing executed), then replayed through the per-stream
   engines with all per-launch analysis skipped — and must still match
-  the sequential reference bit-for-bit with stat parity.
+  the sequential reference bit-for-bit with stat parity;
+- ``graph-optimized`` — the profile-guided pass: the plan is captured
+  and replayed once on a *throwaway* device image with profiling on
+  (collecting real per-node costs under the graph's signature), then a
+  fresh image's capture is rebuilt by ``graph.optimize(profile)`` —
+  measured-cost LPT stream placement, re-derived coalescing groups —
+  and replayed; moving every node to a profile-chosen stream must
+  change nothing observable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.profiling import Profile
 from repro.runtime.streams import StreamPool
 from repro.vm import BatchedExecutor, GlobalMemory, Interpreter, TensorView
 from repro.vm.dispatch import decompose_linear
@@ -38,7 +46,7 @@ from repro.vm.interp import ExecutionStats
 from tests.harness.generator import GeneratedCase
 
 #: Execution modes every case must agree across.
-MODES = ("sequential", "batched", "stream", "graph-replay")
+MODES = ("sequential", "batched", "stream", "graph-replay", "graph-optimized")
 
 
 class DifferentialMismatch(AssertionError):
@@ -56,6 +64,42 @@ def _resolve_args(spec, buffers):
         else:
             args.append(buffers[entry])
     return args
+
+
+def _capture_plan(pool: StreamPool, plan, buffers):
+    """Capture the case's launch plan round-robin across the pool's
+    streams.  The one shared entry point for every graph-based mode (and
+    the profile-collection pass): plan order and stream assignment must
+    stay byte-identical between them, because the profile lookup keys on
+    the resulting graph signature."""
+    with pool.capture() as graph:
+        for i, (program, spec) in enumerate(plan):
+            pool.submit(
+                program,
+                _resolve_args(spec, buffers),
+                stream=pool.streams[i % len(pool.streams)],
+            )
+    return graph
+
+
+def _collect_profile(case: GeneratedCase) -> Profile:
+    """Execute the case's captured graph once on a *throwaway* device
+    image with profiling enabled: the recorded per-node costs carry the
+    graph's signature, so the real image's capture (identical plan,
+    identical upload order ⇒ identical specialization keys) can be
+    optimized against them."""
+    memory = GlobalMemory(1 << 24)
+    host = Interpreter(memory)
+    buffers = [host.upload(data, dtype) for data, dtype in case.inputs]
+    buffers.extend(
+        host.alloc_output(shape, dtype) for shape, dtype in case.outputs
+    )
+    with StreamPool(memory, num_streams=4) as pool:
+        graph = _capture_plan(pool, case.launch_plan(), buffers)
+        pool.profiler = Profile()
+        graph.replay()
+        pool.synchronize()
+        return pool.profiler
 
 
 def _run_engine(case: GeneratedCase, mode: str):
@@ -86,15 +130,20 @@ def _run_engine(case: GeneratedCase, mode: str):
         stats = pool.aggregate_stats()
     elif mode == "graph-replay":
         with StreamPool(memory, num_streams=4) as pool:
-            with pool.capture() as graph:
-                for i, (program, spec) in enumerate(plan):
-                    pool.submit(
-                        program,
-                        _resolve_args(spec, buffers),
-                        stream=pool.streams[i % len(pool.streams)],
-                    )
+            graph = _capture_plan(pool, plan, buffers)
             assert len(graph) == len(plan)
             graph.replay()
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    elif mode == "graph-optimized":
+        profile = _collect_profile(case)
+        with StreamPool(memory, num_streams=4) as pool:
+            graph = _capture_plan(pool, plan, buffers)
+            optimized = graph.optimize(profile)
+            # No pointer bindings are registered, so all memory is
+            # presumed observable: elimination must drop nothing.
+            assert optimized.num_nodes == len(plan)
+            optimized.replay()
             pool.synchronize()
         stats = pool.aggregate_stats()
     else:

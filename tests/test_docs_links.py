@@ -1,0 +1,45 @@
+"""Docs stay navigable: every relative link in README.md and docs/*.md
+must resolve (the same check CI runs via ``tools/check_doc_links.py``),
+and the README's docs index must cover every file in docs/."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_doc_links", REPO / "tools" / "check_doc_links.py"
+)
+check_doc_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_doc_links)
+
+
+def test_docs_exist():
+    assert (REPO / "README.md").exists()
+    for name in ("architecture.md", "streams.md", "graphs.md", "profiling.md"):
+        assert (REPO / "docs" / name).exists(), name
+
+
+def test_no_dangling_relative_links():
+    problems = []
+    for path in check_doc_links.doc_files(REPO):
+        for lineno, target in check_doc_links.dangling_links(path, REPO):
+            problems.append(f"{path.relative_to(REPO)}:{lineno} -> {target}")
+    assert not problems, "dangling doc links:\n" + "\n".join(problems)
+
+
+def test_checker_flags_a_dangling_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/real.md) and [broken](docs/missing.md)\n"
+    )
+    (tmp_path / "docs" / "real.md").write_text("see [up](../README.md)\n")
+    bad = check_doc_links.dangling_links(tmp_path / "README.md", tmp_path)
+    assert [target for _, target in bad] == ["docs/missing.md"]
+    assert check_doc_links.dangling_links(tmp_path / "docs" / "real.md", tmp_path) == []
+
+
+def test_readme_indexes_every_doc():
+    readme = (REPO / "README.md").read_text()
+    for path in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{path.name}" in readme, f"README docs index misses {path.name}"

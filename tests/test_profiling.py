@@ -1,0 +1,652 @@
+"""The profiling subsystem and the profile-guided graph optimization
+loop: per-node recording across every execution mode, JSON round-trips
+that reproduce placements exactly, dead-node elimination that never
+drops observable work, LPT re-balancing, and the tuner/ops/serving
+integrations."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.dtypes import float16
+from repro.errors import VMError
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import spatial
+from repro.runtime import Profile, Runtime, StreamPool
+from repro.runtime.profiling import EAGER, HOST_STREAM, NodeProfile
+from repro.vm import GlobalMemory, Interpreter
+
+ROWS, COLS = 16, 8
+OUT_BYTES = ROWS * COLS * 2
+
+
+def work_program(name: str, steps: int = 2, printing: bool = False):
+    """``out = f(a)`` over a 2x2 grid; ``steps`` scales its cost."""
+    pb = ProgramBuilder(name, grid=[2, 2])
+    a_ptr = pb.param("a", pointer(float16))
+    out_ptr = pb.param("out", pointer(float16))
+    bi, bj = pb.block_indices()
+    g_a = pb.view_global(a_ptr, dtype=float16, shape=[ROWS, COLS])
+    g_out = pb.view_global(out_ptr, dtype=float16, shape=[ROWS, COLS])
+    tile = pb.load_global(g_a, layout=spatial(8, 4), offset=[bi * 8, bj * 4])
+    acc = pb.allocate_register("f32", layout=spatial(8, 4), init=0.0)
+    contrib = pb.cast(pb.add(pb.mul(tile, 2.0), 1.0), "f32")
+    with pb.for_range(steps):
+        pb.add(acc, contrib, out=acc)
+    result = pb.cast(acc, "f16")
+    if printing:
+        pb.print_tensor(result, "profiled")
+    pb.store_global(result, g_out, offset=[bi * 8, bj * 4])
+    return pb.finish()
+
+
+def device(num_buffers: int, seed: int = 0):
+    memory = GlobalMemory(1 << 22)
+    host = Interpreter(memory)
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (
+            host.upload(float16.quantize(rng.standard_normal((ROWS, COLS))), float16),
+            host.alloc_output([ROWS, COLS], float16),
+        )
+        for _ in range(num_buffers)
+    ]
+    return memory, host, pairs
+
+
+# ---------------------------------------------------------------------------
+# Recording across execution modes
+# ---------------------------------------------------------------------------
+
+
+class TestRecording:
+    def test_synchronous_launch_records(self):
+        rt = Runtime()
+        profile = rt.enable_profiling()
+        prog = work_program("sync")
+        a = rt.upload(np.zeros((ROWS, COLS), dtype=np.float16), float16)
+        out = rt.empty([ROWS, COLS], float16)
+        rt.launch(prog, [a, out])
+        rt.launch(prog, [a, out])
+        assert len(profile) == 1
+        (node,) = profile.nodes.values()
+        assert node.scope == EAGER
+        assert node.stream == HOST_STREAM
+        assert node.program == "sync"
+        assert node.calls == 2
+        assert node.wall_s > 0.0
+        assert node.instructions > 0
+        assert node.blocks == 8  # 2 launches x 4 blocks
+        assert node.bytes_touched > 0
+
+    def test_disable_profiling_stops_recording(self):
+        rt = Runtime()
+        profile = rt.enable_profiling()
+        prog = work_program("toggle")
+        a = rt.upload(np.zeros((ROWS, COLS), dtype=np.float16), float16)
+        out = rt.empty([ROWS, COLS], float16)
+        rt.launch(prog, [a, out])
+        assert rt.disable_profiling() is profile
+        rt.launch(prog, [a, out])
+        (node,) = profile.nodes.values()
+        assert node.calls == 1
+
+    def test_streamed_launches_record_per_stream(self):
+        memory, _, pairs = device(4)
+        prog = work_program("streamed")
+        with StreamPool(memory, num_streams=2) as pool:
+            pool.profiler = Profile()
+            for i, (a, out) in enumerate(pairs):
+                pool.submit(prog, [a, out], stream=pool.streams[i % 2])
+            pool.synchronize()
+            profile = pool.profiler
+        assert {node.stream for node in profile.nodes.values()} == {0, 1}
+        assert sum(node.calls for node in profile.nodes.values()) == 4
+        per_stream = profile.per_stream()
+        assert per_stream[0]["calls"] == 2 and per_stream[1]["calls"] == 2
+
+    def test_graph_replay_records_one_site_per_node(self):
+        memory, _, pairs = device(3)
+        prog = work_program("graphed")
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                for a, out in pairs:
+                    pool.submit(prog, [a, out])
+            pool.profiler = Profile()
+            graph.replay()
+            graph.replay()
+            pool.synchronize()
+            profile = pool.profiler
+        recorded = profile.graph_nodes(graph.signature)
+        assert sorted(recorded) == [0, 1, 2]
+        for node in recorded.values():
+            assert node.calls == 2
+            assert node.wall_s > 0.0
+        # Graph sites are keyed by the node's frozen stream.
+        assert all(
+            recorded[i].stream == graph.nodes[i].stream_index for i in recorded
+        )
+
+    def test_serial_replay_records_exact_per_node_costs(self):
+        memory, _, pairs = device(2)
+        prog = work_program("serial")
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                for a, out in pairs:
+                    pool.submit(prog, [a, out])
+            pool.profiler = Profile()
+            graph.replay(serial=True)
+            profile = pool.profiler
+        recorded = profile.graph_nodes(graph.signature)
+        assert sorted(recorded) == [0, 1]
+        assert all(rec.group_size == 1 for rec in recorded.values())
+
+    def test_group_attribution_preserves_exact_totals(self):
+        # Splitting a coalesced invocation across 3 members must not
+        # truncate counters: 100 instructions stay 100 in aggregate.
+        from repro.runtime.profiling import split_counts
+
+        shares = split_counts({"instructions": 100, "blocks_run": 7}, 3)
+        assert sum(s["instructions"] for s in shares) == 100
+        assert sum(s["blocks_run"] for s in shares) == 7
+        profile = Profile()
+        profile.record_group(
+            EAGER, ["a", "b", "c"], "p", ["s1", "s2", "s3"], "batched", 0,
+            0.3, stats_delta={"instructions": 100},
+        )
+        assert sum(n.instructions for n in profile.nodes.values()) == 100
+
+    def test_coalesced_group_records_exact_stat_totals(self):
+        # End to end: 4 identical launches coalesce into one stacked
+        # execution; the profile's aggregate must equal the engine's own
+        # ExecutionStats for the pass, not an int-truncated approximation.
+        memory, _, pairs = device(4)
+        prog = work_program("exact")
+        with StreamPool(memory, num_streams=1) as pool:
+            pool.profiler = Profile()
+            for a, out in pairs:
+                pool.submit(prog, [a, out], stream=pool.streams[0])
+            pool.synchronize()
+            stats = pool.aggregate_stats()
+            recorded = sum(
+                n.instructions for n in pool.profiler.nodes.values()
+            )
+            assert recorded == stats.instructions
+
+    def test_signature_is_address_agnostic(self):
+        prog = work_program("sig")
+        signatures = []
+        for seed in (0, 1):
+            memory, _, pairs = device(2, seed=seed)
+            with StreamPool(memory, num_streams=2) as pool:
+                with pool.capture() as graph:
+                    for a, out in pairs:
+                        pool.submit(prog, [a, out])
+                signatures.append(graph.signature)
+        assert signatures[0] == signatures[1]
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization
+# ---------------------------------------------------------------------------
+
+
+class TestJsonRoundTrip:
+    def _collect(self):
+        memory, _, pairs = device(6)
+        heavy = work_program("rt_heavy", steps=64)
+        light = work_program("rt_light", steps=2)
+        with StreamPool(memory, num_streams=4) as pool:
+            with pool.capture() as graph:
+                for i, (a, out) in enumerate(pairs):
+                    pool.submit(heavy if i % 3 == 0 else light, [a, out])
+            pool.profiler = Profile()
+            graph.replay()
+            pool.synchronize()
+            return graph, pool.profiler
+
+    def test_round_trip_preserves_records(self):
+        graph, profile = self._collect()
+        loaded = Profile.from_json(profile.to_json())
+        assert len(loaded) == len(profile)
+        for key, node in profile.nodes.items():
+            other = loaded.nodes[key]
+            assert other.to_dict() == node.to_dict()
+
+    def test_round_trip_yields_identical_placement(self):
+        # The acceptance property: serialize -> load -> optimize equals
+        # optimizing against the in-memory profile, slot for slot.
+        graph, profile = self._collect()
+        loaded = Profile.from_json(profile.to_json())
+        direct = graph.optimize(profile)
+        reloaded = graph.optimize(loaded)
+        assert [n.stream_index for n in direct.nodes] == [
+            n.stream_index for n in reloaded.nodes
+        ]
+        assert direct.num_groups == reloaded.num_groups
+
+    def test_save_and_load_stream(self):
+        _, profile = self._collect()
+        buf = io.StringIO()
+        profile.save(buf)
+        buf.seek(0)
+        loaded = Profile.load(buf)
+        assert len(loaded) == len(profile)
+
+    def test_version_guard(self):
+        bad = json.dumps({"version": 99, "nodes": []})
+        with pytest.raises(VMError, match="version"):
+            Profile.from_json(bad)
+
+    def test_graph_nodes_merges_multi_stream_sites(self):
+        # An optimized re-instantiation shares the original signature but
+        # records nodes under new streams: lookups must merge the sites,
+        # not arbitrarily keep one.
+        profile = Profile()
+        profile.record("graph:abc", 0, "p", "spec", "batched", 0, 2.0)
+        profile.record("graph:abc", 0, "p", "spec", "batched", 3, 4.0)
+        merged = profile.graph_nodes("graph:abc")
+        assert merged[0].calls == 2
+        assert merged[0].wall_s == pytest.approx(6.0)
+        # Returned records are copies: mutating them leaves the profile
+        # untouched.
+        merged[0].calls = 99
+        assert profile.graph_nodes("graph:abc")[0].calls == 2
+
+    def test_merge_sums_shared_sites(self):
+        _, first = self._collect()
+        clone = Profile.from_json(first.to_json())
+        merged = Profile().merge(first).merge(clone)
+        assert len(merged) == len(first)
+        total = sum(node.calls for node in merged.nodes.values())
+        assert total == 2 * sum(node.calls for node in first.nodes.values())
+
+
+# ---------------------------------------------------------------------------
+# Dead-node elimination
+# ---------------------------------------------------------------------------
+
+
+class TestDeadNodeElimination:
+    def _graph(self, num_streams=2):
+        memory, host, pairs = device(3)
+        prog = work_program("life")
+        scratch = host.alloc_output([ROWS, COLS], float16)
+        pool = StreamPool(memory, num_streams=num_streams)
+        with pool.capture() as graph:
+            pool.submit(prog, [pairs[0][0], pairs[0][1]])   # writes out0
+            pool.submit(prog, [pairs[1][0], scratch])       # writes scratch
+            pool.submit(prog, [pairs[2][0], pairs[2][1]])   # writes out2
+        return pool, host, pairs, scratch, graph
+
+    def test_unbound_unread_writer_is_eliminated(self):
+        pool, host, pairs, scratch, graph = self._graph()
+        with pool:
+            graph.bind("out0", pairs[0][1], OUT_BYTES)
+            graph.bind("out2", pairs[2][1], OUT_BYTES)
+            optimized = graph.optimize()
+            assert optimized.num_nodes == 2
+            assert [n.args[1] for n in optimized.nodes] == [
+                pairs[0][1],
+                pairs[2][1],
+            ]
+            before = host.download(scratch, [ROWS, COLS], float16).copy()
+            optimized.replay()
+            pool.synchronize()
+            # The eliminated node really did not run.
+            assert np.array_equal(
+                host.download(scratch, [ROWS, COLS], float16), before
+            )
+
+    def test_refuses_to_drop_span_aliasing_a_bound_output(self):
+        # The scratch writer's span overlaps a bound output by one byte:
+        # elimination must keep it (satellite acceptance case).
+        pool, host, pairs, scratch, graph = self._graph()
+        with pool:
+            graph.bind("out0", pairs[0][1], OUT_BYTES)
+            # A span that ends one byte inside the scratch buffer.
+            graph.bind("tail", scratch - 16, 17)
+            optimized = graph.optimize()
+            assert optimized.num_nodes == 3
+
+    def test_reader_keeps_its_producer_alive(self):
+        # producer writes mid, consumer reads mid into a bound output:
+        # the producer's output is unbound but RAW-reachable, so it stays.
+        memory, host, pairs = device(2)
+        prog = work_program("chain")
+        mid = host.alloc_output([ROWS, COLS], float16)
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                pool.submit(prog, [pairs[0][0], mid])
+                pool.submit(prog, [mid, pairs[1][1]])
+            graph.bind("out", pairs[1][1], OUT_BYTES)
+            assert graph.optimize().num_nodes == 2
+
+    def test_no_bindings_means_everything_is_observable(self):
+        pool, _, pairs, scratch, graph = self._graph()
+        with pool:
+            assert graph.optimize().num_nodes == 3
+
+    def test_explicit_empty_outputs_drops_unread_writers(self):
+        pool, _, pairs, scratch, graph = self._graph()
+        with pool:
+            graph.bind("out0", pairs[0][1], OUT_BYTES)
+            optimized = graph.optimize(outputs=())
+            assert optimized.num_nodes == 0
+
+    def test_unknown_output_name_raises(self):
+        pool, _, pairs, scratch, graph = self._graph()
+        with pool:
+            graph.bind("out0", pairs[0][1], OUT_BYTES)
+            with pytest.raises(VMError, match="nope"):
+                graph.optimize(outputs=("nope",))
+
+    def test_side_effecting_node_survives(self):
+        # A printing kernel writes only unobserved scratch, but printing
+        # is observable: it must never be eliminated.
+        memory, host, pairs = device(1)
+        printer = work_program("printer", printing=True)
+        scratch = host.alloc_output([ROWS, COLS], float16)
+        out = io.StringIO()
+        pool = StreamPool(memory, num_streams=2, stdout=out)
+        with pool:
+            with pool.capture() as graph:
+                pool.submit(printer, [pairs[0][0], scratch], engine="sequential")
+            graph.bind("anchor", pairs[0][1], OUT_BYTES)
+            optimized = graph.optimize(outputs=())
+            assert optimized.num_nodes == 1
+
+
+# ---------------------------------------------------------------------------
+# Profile-guided placement
+# ---------------------------------------------------------------------------
+
+
+def handmade_profile(graph, costs: dict[int, float]) -> Profile:
+    """A deterministic profile assigning each node an exact cost."""
+    profile = Profile()
+    for node in graph.nodes:
+        profile.record(
+            graph.signature,
+            node.index,
+            node.program.name,
+            "spec",
+            node.engine,
+            node.stream_index,
+            costs[node.index],
+        )
+    return profile
+
+
+class TestLptPlacement:
+    def test_skewed_costs_spread_over_streams(self):
+        memory, _, pairs = device(8)
+        prog = work_program("lpt")
+        with StreamPool(memory, num_streams=4) as pool:
+            with pool.capture() as graph:
+                for a, out in pairs:
+                    pool.submit(prog, [a, out])
+            # Heuristic round-robin puts nodes 0 and 4 on stream 0; make
+            # exactly those two expensive.
+            costs = {i: (100.0 if i in (0, 4) else 1.0) for i in range(8)}
+            assert graph.nodes[0].stream_index == graph.nodes[4].stream_index
+            optimized = graph.optimize(handmade_profile(graph, costs))
+            s0, s4 = (
+                optimized.nodes[0].stream_index,
+                optimized.nodes[4].stream_index,
+            )
+            assert s0 != s4
+            optimized.replay()
+            pool.synchronize()
+
+    def test_dependent_chain_keeps_valid_order(self):
+        # producer -> consumer RAW chain: any placement must replay
+        # correctly (cross-stream edges become event waits).
+        memory, host, pairs = device(2)
+        prog = work_program("chain_lpt")
+        mid = host.alloc_output([ROWS, COLS], float16)
+        with StreamPool(memory, num_streams=4) as pool:
+            with pool.capture() as graph:
+                pool.submit(prog, [pairs[0][0], mid])
+                pool.submit(prog, [mid, pairs[1][1]])
+            graph.replay(serial=True)
+            want = host.download(pairs[1][1], [ROWS, COLS], float16).copy()
+            optimized = graph.optimize(
+                handmade_profile(graph, {0: 5.0, 1: 1.0})
+            )
+            optimized.replay()
+            pool.synchronize()
+            assert np.array_equal(
+                host.download(pairs[1][1], [ROWS, COLS], float16), want
+            )
+
+    def test_unprofiled_nodes_use_mean_cost(self):
+        memory, _, pairs = device(4)
+        prog = work_program("partial")
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                for a, out in pairs:
+                    pool.submit(prog, [a, out])
+            profile = Profile()
+            profile.record(
+                graph.signature, 0, "partial", "spec", "batched", 0, 3.0
+            )
+            # Nodes 1..3 were never recorded: optimization still succeeds
+            # and replays correctly with mean-cost estimates.
+            optimized = graph.optimize(profile)
+            assert optimized.num_nodes == 4
+            optimized.replay()
+            pool.synchronize()
+
+    def test_optimized_graph_rebinds_like_the_original(self):
+        memory, host, pairs = device(2)
+        prog = work_program("rebind")
+        fresh_out = host.alloc_output([ROWS, COLS], float16)
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                pool.submit(prog, [pairs[0][0], pairs[0][1]])
+            graph.bind("out", pairs[0][1], OUT_BYTES)
+            graph.replay(serial=True)
+            want = host.download(pairs[0][1], [ROWS, COLS], float16).copy()
+            optimized = graph.optimize()
+            optimized.replay({"out": fresh_out})
+            pool.synchronize()
+            assert np.array_equal(
+                host.download(fresh_out, [ROWS, COLS], float16), want
+            )
+
+    def test_optimize_requires_ready_phase(self):
+        memory, _, _ = device(1)
+        with StreamPool(memory, num_streams=2) as pool:
+            graph = pool.capture()
+            with pytest.raises(VMError, match="phase"):
+                graph.optimize()
+
+
+# ---------------------------------------------------------------------------
+# Integrations: tuner, operator, serving
+# ---------------------------------------------------------------------------
+
+
+class TestTuneProfiled:
+    def _workload(self):
+        from repro.perf.workload import MatmulWorkload
+
+        return MatmulWorkload.of(16, 16, 64, "i6")
+
+    def test_recorded_specs_replace_measurement(self):
+        from repro.autotune.tuner import Autotuner
+        from repro.compiler.pipeline import specialization_key
+        from repro.runtime.profiling import spec_string
+
+        workload = self._workload()
+        tuner = Autotuner()
+        trials = tuner._trial_configs(workload, top_k=2)
+        profile = Profile()
+        for rank, cfg in enumerate(trials):
+            program, _ = tuner._trial_program(workload, cfg)
+            spec = spec_string(
+                specialization_key(program, [0] * len(program.params))
+            )
+            profile.record(
+                EAGER, spec, program.name, spec, "batched", HOST_STREAM,
+                0.001 * (rank + 1),
+            )
+        poisoned = object()  # measurement would crash on this "runtime"
+        result = tuner.tune_profiled(workload, profile, runtime=poisoned, top_k=2)
+        # The recorded times decided the winner — the cheapest spec wins
+        # without a single launch executing.
+        assert result.config == trials[0]
+        assert result.estimated_latency == pytest.approx(0.001)
+        assert result.num_candidates == 2
+
+    def test_unseen_specs_fall_back_to_measurement(self):
+        from repro.autotune.tuner import Autotuner
+
+        workload = self._workload()
+        rt = Runtime()
+        result = Autotuner().tune_profiled(
+            workload, Profile(), runtime=rt, top_k=1, repeats=1
+        )
+        assert result.config is not None
+        assert rt.context.launches >= 1
+
+    def test_new_traffic_invalidates_the_memo(self):
+        from repro.autotune.tuner import Autotuner
+        from repro.compiler.pipeline import specialization_key
+        from repro.runtime.profiling import spec_string
+
+        workload = self._workload()
+        tuner = Autotuner()
+        profile = Profile()
+        rt = Runtime()
+        first = tuner.tune_profiled(workload, profile, runtime=rt, top_k=1, repeats=1)
+        # The profile absorbs traffic for the trial config; re-tuning
+        # must spend it instead of returning the memoized result.
+        (cfg,) = tuner._trial_configs(workload, top_k=1)
+        program, _ = tuner._trial_program(workload, cfg)
+        spec = spec_string(specialization_key(program, [0] * len(program.params)))
+        profile.record(EAGER, spec, program.name, spec, "batched", HOST_STREAM, 0.5)
+        second = tuner.tune_profiled(workload, profile, runtime=object(), top_k=1)
+        assert second.estimated_latency == pytest.approx(0.5)
+        assert second.estimated_latency != first.estimated_latency
+
+    def test_stamp_distinguishes_equal_counts_with_new_timings(self):
+        # Two profiles with identical structure but different recorded
+        # wall times must not collide in the tuner's memo key.
+        slow, fast = Profile(), Profile()
+        slow.record(EAGER, "s", "p", "s", "batched", HOST_STREAM, 0.9)
+        fast.record(EAGER, "s", "p", "s", "batched", HOST_STREAM, 0.1)
+        assert slow.stamp() != fast.stamp()
+        assert slow.stamp()[:2] == fast.stamp()[:2]
+
+    def test_serving_profile_feeds_the_tuner(self):
+        # The full PGO hand-off: a profiled run through the real operator
+        # records the decode kernel's spec; tune_profiled then ranks that
+        # configuration without re-executing it.
+        from repro import ops
+        from repro.autotune.tuner import Autotuner
+        from repro.dtypes import int6
+        from repro.perf.workload import MatmulWorkload
+
+        rng = np.random.default_rng(0)
+        # group_size 64 == min(workload default, k), so the operator's
+        # program is spec-identical to the tuner's trial instantiation.
+        linear = ops.prepare_linear(
+            rng.standard_normal((64, 16)), int6, group_size=64,
+            config=Autotuner()._trial_configs(
+                MatmulWorkload.of(1, 16, 64, "i6"), top_k=1
+            )[0],
+        )
+        linear.runtime.enable_profiling()
+        linear(rng.standard_normal((1, 64)))
+        profile = linear.runtime.profiler
+        workload = MatmulWorkload.of(1, 16, 64, "i6")
+        result = Autotuner().tune_profiled(
+            workload, profile, runtime=object(), top_k=1
+        )
+        assert result.config is not None
+
+
+class TestOperatorReoptimize:
+    def test_splitk_graphs_reoptimize_and_stay_correct(self):
+        from repro import ops
+        from repro.dtypes import int6
+        from repro.kernels import MatmulConfig
+
+        rng = np.random.default_rng(3)
+        weight = rng.standard_normal((64, 16))
+        config = MatmulConfig(16, 8, 16, split_k=2)
+        linear = ops.prepare_linear(
+            weight, int6, group_size=32, config=config, streams=2
+        )
+        try:
+            a = rng.standard_normal((8, 64))
+            want = linear(a)  # captures the per-m graph
+            linear.runtime.enable_profiling()
+            linear(a)  # profiled replay records per-node costs
+            assert linear.reoptimize() == 1
+            got = linear(a)  # replays the optimized graph, rebound
+            assert np.array_equal(got, want)
+        finally:
+            linear.runtime.stream_pool().shutdown()
+
+    def test_reoptimize_without_graphs_is_a_noop(self):
+        from repro import ops
+        from repro.dtypes import int6
+
+        linear = ops.prepare_linear(
+            np.random.default_rng(0).standard_normal((64, 16)), int6, group_size=32
+        )
+        assert linear.reoptimize() == 0
+
+
+class TestServingProfile:
+    def test_trace_result_carries_reusable_profile(self):
+        from repro import ops
+        from repro.dtypes import int6, uint4
+        from repro.llm import (
+            GEMMA2_9B,
+            ContinuousBatchingSimulator,
+            Request,
+            ServingConfig,
+        )
+        from repro.perf import L40S
+
+        rng = np.random.default_rng(2)
+        linear = ops.prepare_linear(
+            rng.standard_normal((64, 16)), int6, group_size=32
+        )
+        sim = ContinuousBatchingSimulator(
+            GEMMA2_9B,
+            ServingConfig("tilus", uint4, L40S),
+            max_batch=4,
+            decode_linear=linear,
+            num_streams=2,
+            profile=True,
+        )
+        try:
+            result = sim.run([Request(0.0, 32, 4) for _ in range(2)])
+            assert result.profile is not None
+            assert len(result.profile) > 0
+            # The profile is reusable after the run: it serializes and
+            # still resolves the decode graphs' nodes.
+            loaded = Profile.from_json(result.profile.to_json())
+            assert len(loaded) == len(result.profile)
+            # Recording does not outlive the trace: the shared runtime's
+            # profiler is detached, and each run gets its own profile.
+            assert linear.runtime.profiler is None
+            sites = len(result.profile)
+            again = sim.run([Request(0.0, 32, 4)])
+            assert len(result.profile) == sites
+            assert again.profile is not result.profile
+            # A caller-enabled profiler is neither contaminated by the
+            # trace's records nor left detached afterwards.
+            mine = linear.runtime.enable_profiling()
+            third = sim.run([Request(0.0, 32, 4)])
+            assert third.profile is not mine and len(mine) == 0
+            assert linear.runtime.profiler is mine
+        finally:
+            linear.runtime.stream_pool().shutdown()

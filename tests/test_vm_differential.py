@@ -5,10 +5,11 @@ sub-byte, control flow, shared-memory staging, register reinterpretation,
 tensor-core tiles) — or a full kernel-template instantiation
 (software-pipelined matmul, split-k partial/reduce pair) — executed by
 the sequential interpreter, the grid-vectorized batched executor, the
-multi-stream runtime, and the execution-graph capture-and-replay path,
+multi-stream runtime, the execution-graph capture-and-replay path, and
+the profile-guided optimized-graph path (measured-cost LPT placement),
 and compared **bit-for-bit**, plus execution-stat parity.  This is the
 safety net behind the batched executor, the stream subsystem, the graph
-subsystem, and any future refactor of any engine.
+subsystem, the PGO pass, and any future refactor of any engine.
 """
 
 from collections import Counter
@@ -37,7 +38,13 @@ BASELINE_FAMILIES = {
 
 #: Execution modes the harness must lock together (baseline — CI fails if
 #: a mode is ever dropped, the same way the family set is guarded).
-BASELINE_MODES = {"sequential", "batched", "stream", "graph-replay"}
+BASELINE_MODES = {
+    "sequential",
+    "batched",
+    "stream",
+    "graph-replay",
+    "graph-optimized",
+}
 
 
 @pytest.mark.parametrize("seed", range(NUM_CASES))

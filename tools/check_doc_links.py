@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on dangling relative links in README.md and docs/*.md.
+
+Checks every markdown inline link and bare relative reference of the
+form ``[text](target)``: http(s)/mailto links are skipped, anchors are
+stripped, and the remaining path is resolved relative to the file that
+contains it.  Exit status 1 (with a per-link report) when any target
+does not exist — the CI docs gate.
+
+Usage::
+
+    python tools/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target), tolerating titles after a space.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def dangling_links(path: Path, root: Path) -> list[tuple[int, str]]:
+    """(line number, target) pairs whose targets do not resolve."""
+    bad = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                bad.append((lineno, f"{target} (escapes the repository)"))
+                continue
+            if not resolved.exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for lineno, target in dangling_links(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: dangling link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} dangling link(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} file(s) checked, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
