@@ -33,6 +33,15 @@ With ``profile=True`` the run records a reusable per-node
 the measured costs feed ``graph.optimize`` for profile-guided stream
 re-balancing and ``Autotuner.tune_profiled`` for measurement-free
 re-tuning — serving traffic becomes the profile the optimizer consumes.
+
+``adaptive=True`` closes that loop **online**: decode graphs come under
+:class:`~repro.runtime.adaptive.AdaptivePolicy` management — after the
+policy's warmup window of profiled steps each live graph is atomically
+swapped for its profile-optimized image, with no explicit
+``reoptimize()`` call anywhere — and *new* batch sizes capture
+profile-guided (``capture(profile=...)``): the costs earlier graphs
+measured pick stream placement, stream count and engine choice at
+capture time.  ``TraceResult.auto_reoptimizations`` counts the swaps.
 """
 
 from __future__ import annotations
@@ -87,6 +96,9 @@ class TraceResult:
     #: :class:`~repro.runtime.profiling.Profile`), populated when the
     #: simulator was created with ``profile=True``; None otherwise.
     profile: object | None = None
+    #: Automatic live-graph swaps the adaptive policy performed during
+    #: this trace (``adaptive=True``); zero otherwise.
+    auto_reoptimizations: int = 0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -123,6 +135,11 @@ class ContinuousBatchingSimulator:
     in-flight set changes; set it False to eager-submit every step.
     ``profile=True`` records every decode kernel into a reusable
     :class:`~repro.runtime.profiling.Profile` on ``TraceResult.profile``.
+    ``adaptive`` (True, or an
+    :class:`~repro.runtime.adaptive.AdaptivePolicy` for knob control)
+    puts the decode graphs under online auto-reoptimization and makes
+    new batch sizes capture profile-guided; swaps are counted on
+    ``TraceResult.auto_reoptimizations``.
     """
 
     def __init__(
@@ -134,6 +151,7 @@ class ContinuousBatchingSimulator:
         num_streams: int = 4,
         use_graphs: bool = True,
         profile: bool = False,
+        adaptive=False,
     ) -> None:
         self.model = model
         self.config = config
@@ -145,6 +163,25 @@ class ContinuousBatchingSimulator:
         #: Record per-node execution profiles of the decode kernels onto
         #: the operator runtime (``TraceResult.profile`` carries them).
         self.profile = profile
+        #: The adaptive policy managing the decode graphs, or None.  One
+        #: policy per simulator: graphs are cached across runs, so their
+        #: management must be too.
+        if adaptive:
+            if not use_graphs:
+                raise ValueError(
+                    "adaptive=True requires use_graphs=True: the policy "
+                    "manages captured decode graphs, and eager per-step "
+                    "submission has nothing to swap"
+                )
+            from repro.runtime.adaptive import AdaptivePolicy
+
+            self._policy = (
+                adaptive
+                if isinstance(adaptive, AdaptivePolicy)
+                else AdaptivePolicy(warmup_replays=4, min_gain=0.05)
+            )
+        else:
+            self._policy = None
         #: One captured decode-step graph per batch size, with the
         #: binding layout it was captured against.
         self._graphs: dict = {}
@@ -154,7 +191,12 @@ class ContinuousBatchingSimulator:
         pending = sorted(requests, key=lambda r: r.arrival_s)
         inflight: list[_Inflight] = []
         outcome = TraceResult()
-        profiling = self.profile and self.decode_linear is not None
+        # The adaptive policy is fed by profiled replays, so adaptive
+        # runs profile even when the caller did not ask to keep the
+        # profile (outcome.profile stays None unless profile=True).
+        profiling = (
+            self.profile or self._policy is not None
+        ) and self.decode_linear is not None
         if profiling:
             # Fresh profile per run so the trace's records are its own
             # (a caller-enabled profiler must not bleed in), restored on
@@ -163,10 +205,15 @@ class ContinuousBatchingSimulator:
 
             runtime = self.decode_linear.runtime
             prior = runtime.disable_profiling()
-            outcome.profile = runtime.enable_profiling(Profile())
+            fresh = runtime.enable_profiling(Profile())
+            if self.profile:
+                outcome.profile = fresh
+        swaps_before = self._policy.swaps if self._policy is not None else 0
         try:
             return self._run_loop(pending, inflight, outcome)
         finally:
+            if self._policy is not None:
+                outcome.auto_reoptimizations = self._policy.swaps - swaps_before
             if profiling:
                 runtime.disable_profiling()
                 if prior is not None:
@@ -277,11 +324,34 @@ class ContinuousBatchingSimulator:
             outcome.max_concurrent_streams, len(streams_used)
         )
 
+    def _capture_hint(self, program, args):
+        """The prior profile to hand a fresh batch size's capture, or
+        None.  Only meaningful under the adaptive policy, and only when
+        the active profiler has already measured this decode kernel's
+        specialization key (earlier batch sizes' graphs record the same
+        ``program_for(1)`` spec) — an unrelated profile must not be
+        offered, since profile-guided capture rejects a profile that
+        matches nothing."""
+        if self._policy is None:
+            return None
+        profiler = self.decode_linear.runtime.profiler
+        if profiler is None:
+            return None
+        from repro.compiler.pipeline import specialization_key
+        from repro.runtime.profiling import spec_string
+
+        spec = spec_string(specialization_key(program, args))
+        return profiler if profiler.spec_seconds(spec) is not None else None
+
     def _decode_step_graphed(self, pool, inflight, outcome: TraceResult) -> None:
         """One decode step through the graph subsystem: capture the
         launch DAG on the first step at this batch size, replay it on
         every later one (rebinding each request slot's activation and
-        output buffers to the current in-flight set)."""
+        output buffers to the current in-flight set).  Under the
+        adaptive policy the capture is profile-guided once earlier
+        graphs have measured the decode kernel, and the graph comes
+        under management — the policy swaps it for its optimized image
+        after the warmup window, automatically."""
         linear = self.decode_linear
         runtime = linear.runtime
         program = linear.program_for(1)
@@ -290,7 +360,12 @@ class ContinuousBatchingSimulator:
         out_bytes = (linear.n * linear.act_dtype.nbits + 7) // 8
         graph = self._graphs.get(batch)
         if graph is None:
-            with runtime.capture(self.num_streams) as graph:
+            first = inflight[0]
+            hint = self._capture_hint(
+                program,
+                [first.act_addr, linear.b_addr, linear.s_addr, first.out_addr],
+            )
+            with runtime.capture(self.num_streams, profile=hint) as graph:
                 for idx, flight in enumerate(inflight):
                     runtime.launch(
                         program,
@@ -300,6 +375,8 @@ class ContinuousBatchingSimulator:
             for idx, flight in enumerate(inflight):
                 graph.bind(f"act{idx}", flight.act_addr, act_bytes)
                 graph.bind(f"out{idx}", flight.out_addr, out_bytes)
+            if self._policy is not None:
+                graph = self._policy.manage(graph)
             self._graphs[batch] = graph
             outcome.graph_captures += 1
             graph.replay()  # identity bindings: captured from this step

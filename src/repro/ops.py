@@ -73,6 +73,13 @@ class QuantizedLinear:
     :meth:`~repro.runtime.graphs.ExecutionGraph.optimize` image —
     measured-cost stream placement instead of the capture-time
     heuristic — and later calls replay the optimized DAGs.
+
+    With ``runtime.enable_adaptive()`` that loop closes by itself:
+    freshly captured graphs come under
+    :class:`~repro.runtime.adaptive.AdaptivePolicy` management, and
+    after the policy's warmup window of profiled calls each live graph
+    is atomically swapped for its optimized image — no explicit
+    :meth:`reoptimize` call anywhere.
     """
 
     runtime: Runtime
@@ -185,6 +192,11 @@ class QuantizedLinear:
                 g.bind("a", a_addr, a_bytes)
                 g.bind("p", p_addr, sk * slice_bytes)
                 g.bind("c", c_addr, c_bytes)
+                # Under runtime.enable_adaptive() the pool's capture()
+                # already returned the graph under policy management:
+                # after the warmup window of profiled replays it is
+                # atomically swapped for its profile-optimized image —
+                # no explicit reoptimize() call.
                 self._graphs[m] = g
                 while len(self._graphs) > self.MAX_PROGRAMS:
                     self._graphs.pop(next(iter(self._graphs)))
@@ -211,10 +223,22 @@ class QuantizedLinear:
         the number of graphs optimized; later calls at those row counts
         replay the optimized DAGs (bindings carry over, so rebinding
         works unchanged).  A no-op when nothing was captured yet.
+
+        With ``runtime.enable_adaptive()`` this call is unnecessary —
+        the attached policy swaps the graphs automatically after its
+        warmup window — but remains valid: managed graphs swap their
+        live image in place and stay under management.
+
+        Graphs the profile has never described (e.g. row counts whose
+        traffic predates profiling) re-balance with uniform costs
+        instead of aborting the loop — ``optimize``'s loud
+        wrong-profile contract is for direct calls, not for batch
+        re-optimization over mixed-age graphs.
         """
         profile = profile if profile is not None else self.runtime.profiler
         for m, graph in list(self._graphs.items()):
-            self._graphs[m] = graph.optimize(profile)
+            matched = profile if graph.profile_matches(profile) else None
+            self._graphs[m] = graph.optimize(matched)
         return len(self._graphs)
 
 

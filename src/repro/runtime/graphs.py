@@ -80,6 +80,12 @@ from repro.compiler.pipeline import specialization_key
 from repro.errors import VMError
 from repro.ir import instructions as insts
 from repro.ir.program import Program
+from repro.runtime.adaptive import (
+    STREAM_CAP_SLACK,
+    estimated_makespan,
+    guided_placement,
+    lpt_placement,
+)
 from repro.runtime.profiling import (
     Profile,
     StatsTimer,
@@ -284,8 +290,11 @@ class ExecutionGraph:
     docstring for semantics.
     """
 
-    def __init__(self, pool: StreamPool) -> None:
+    def __init__(self, pool: StreamPool, profile: Profile | None = None) -> None:
         self.pool = pool
+        #: Prior profile consulted at capture/instantiate time
+        #: (profile-guided capture; see :mod:`repro.runtime.adaptive`).
+        self._capture_profile = profile
         self.nodes: list[GraphNode] = []
         self.replays = 0
         self._phase = "idle"  # idle -> capturing -> ready (or aborted)
@@ -311,7 +320,14 @@ class ExecutionGraph:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.pool._capture = None
         if exc_type is None:
-            self._instantiate()
+            try:
+                self._instantiate()
+            except BaseException:
+                # A failed instantiation (e.g. a capture profile that
+                # matches nothing) must not leave the graph looking like
+                # an active capture: later use should say "aborted".
+                self._phase = "aborted"
+                raise
             self._phase = "ready"
         else:
             self._phase = "aborted"
@@ -350,9 +366,10 @@ class ExecutionGraph:
             stream_index = self._rr % len(self.pool.streams)
             self._rr += 1
         grid = program.grid_size(args)
+        key = specialization_key(program, args)
         choice = engine
         if choice == "auto":
-            choice = select_engine(program, grid)
+            choice = self._guided_engine(program, grid, key)
         node = GraphNode(
             index=len(self.nodes),
             program=program,
@@ -362,10 +379,26 @@ class ExecutionGraph:
             stream_index=stream_index,
             engine=choice,
             grid=grid,
-            key=specialization_key(program, args),
+            key=key,
         )
         self.nodes.append(node)
         return CapturedLaunchHandle(program, args, node, self)
+
+    def _guided_engine(self, program: Program, grid, key: tuple) -> str:
+        """Resolve ``engine="auto"`` for one recorded launch.
+
+        With a capture profile, the launch's specialization key is looked
+        up per engine: when *both* engines have measured costs, the
+        cheaper one wins — measured cost, not grid size, decides.  A key
+        the profile has seen under at most one engine has nothing to
+        compare, so it falls back to the live heuristic
+        (:func:`~repro.vm.batched.select_engine`) unchanged.
+        """
+        if self._capture_profile is not None:
+            measured = self._capture_profile.spec_engine_seconds(spec_string(key))
+            if len(measured) >= 2:
+                return min(measured.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        return select_engine(program, grid)
 
     # -- instantiation ------------------------------------------------------
     def _mergeable(self, group: list[GraphNode], node: GraphNode) -> bool:
@@ -390,7 +423,11 @@ class ExecutionGraph:
     def _instantiate(self) -> None:
         """Freeze the per-stream execution groups and their cross-stream
         dependency edges — the static image of the live runtime's
-        coalescing and ordering decisions."""
+        coalescing and ordering decisions.  With a capture profile, node
+        placement (and the stream count) is first recomputed from
+        measured costs (:meth:`_apply_capture_profile`)."""
+        if self._capture_profile is not None and self.nodes:
+            self._apply_capture_profile(self._capture_profile)
         per_stream: dict[int, list[GraphNode]] = {}
         for node in self.nodes:
             per_stream.setdefault(node.stream_index, []).append(node)
@@ -430,6 +467,52 @@ class ExecutionGraph:
                 )
             )
         self._groups = groups
+
+    def _apply_capture_profile(self, profile: Profile) -> None:
+        """Profile-guided placement at capture time.
+
+        Measured per-node costs (this graph's signature, falling back to
+        specialization-key means for nodes the signature scope missed)
+        drive a guided LPT placement over the hazard DAG, and the
+        **stream count is capped to the measured parallelism**: the
+        smallest count whose estimated makespan is within
+        :data:`~repro.runtime.adaptive.STREAM_CAP_SLACK` of the best
+        over all counts wins.  The re-placement is applied only when its
+        estimated makespan stays within that same slack of the heuristic
+        placement's — profile-guided capture never regresses the
+        estimate beyond the slack it deliberately trades for fewer
+        streams (the estimate ignores per-stream replay overhead, which
+        is exactly what fewer streams save).  An empty profile changes
+        nothing (cold start); a
+        non-empty profile matching *no* node is rejected with
+        :class:`VMError` — a wrong profile file must not silently
+        misoptimize.
+        """
+        if len(profile) == 0:
+            return  # cold start: nothing measured yet, keep the heuristics
+        costs, matched = self._profiled_costs(profile)
+        if matched == 0:
+            raise VMError(
+                f"capture profile ({len(profile)} sites) matches no node of "
+                f"this graph (signature {self.signature}): neither the "
+                "signature nor any node's specialization key was ever "
+                "recorded — wrong profile?  Capture without profile= to "
+                "use the heuristic placement."
+            )
+        deps = {node.index: node.deps for node in self.nodes}
+        heuristic = {node.index: node.stream_index for node in self.nodes}
+        heuristic_span = estimated_makespan(heuristic, costs, deps)
+        candidates = []
+        for k in range(1, len(self.pool.streams) + 1):
+            placement = guided_placement(k, costs, deps)
+            candidates.append((k, placement, estimated_makespan(placement, costs, deps)))
+        best_span = min(span for _, _, span in candidates)
+        for _, placement, span in candidates:  # ascending stream count
+            if span <= best_span * (1.0 + STREAM_CAP_SLACK):
+                break
+        if span <= heuristic_span * (1.0 + STREAM_CAP_SLACK):
+            for node in self.nodes:
+                node.stream_index = placement[node.index]
 
     def _finish_group(self, stream_index: int, nodes: list[GraphNode]) -> _Group:
         return _Group(
@@ -730,70 +813,65 @@ class ExecutionGraph:
                 later_conservative = later_conservative or conservative
         return [i for i in range(len(self.nodes)) if live[i]]
 
-    def _node_costs(self, profile: Profile | None) -> dict[int, float]:
-        """Per-node cost estimates: measured mean wall seconds where the
-        profile has them, the mean of the measured costs (or 1.0) for
-        nodes never recorded — unprofiled nodes neither dominate nor
-        vanish from the balance."""
-        recorded = (
-            profile.graph_nodes(self.signature) if profile is not None else {}
-        )
-        known = [
-            rec.mean_wall_s
-            for rec in recorded.values()
-            if rec.calls and rec.mean_wall_s > 0.0
-        ]
-        default = sum(known) / len(known) if known else 1.0
-        costs: dict[int, float] = {}
+    def _profiled_costs(self, profile: Profile) -> tuple[dict[int, float], int]:
+        """Per-node cost estimates from a profile, with the match count.
+
+        Each node takes its measured mean wall seconds under this graph's
+        signature; nodes the signature scope never recorded fall back to
+        the profile-wide mean of their **specialization key** (so a
+        profile gathered from a *different* capture of the same kernels —
+        another batch size, eager traffic — still informs placement).
+        Nodes matched by neither cost the mean of the matched ones (or
+        1.0 when nothing matched), so unprofiled nodes neither dominate
+        nor vanish from the balance.  ``matched`` is how many nodes got a
+        real measurement — zero means the profile knows nothing about
+        this graph.
+        """
+        recorded = profile.graph_nodes(self.signature)
+        costs: dict[int, float | None] = {}
+        known: list[float] = []
+        matched = 0
         for node in self.nodes:
             rec = recorded.get(node.index)
+            mean: float | None = None
             if rec is not None and rec.calls and rec.mean_wall_s > 0.0:
-                costs[node.index] = rec.mean_wall_s
+                mean = rec.mean_wall_s
             else:
-                costs[node.index] = default
-        return costs
+                spec_mean = profile.spec_seconds(spec_string(node.key))
+                if spec_mean is not None and spec_mean > 0.0:
+                    mean = spec_mean
+            if mean is not None:
+                matched += 1
+                known.append(mean)
+            costs[node.index] = mean
+        default = sum(known) / len(known) if known else 1.0
+        return (
+            {i: (default if mean is None else mean) for i, mean in costs.items()},
+            matched,
+        )
 
     def _lpt_placement(
         self, live: list[int], costs: dict[int, float]
     ) -> dict[int, int]:
-        """Longest-processing-time list scheduling over the hazard DAG.
+        """Measured-cost LPT over the hazard DAG, restricted to the live
+        nodes (see :func:`repro.runtime.adaptive.lpt_placement` for the
+        scheduling semantics — the same deterministic core drives
+        profile-guided capture and the adaptive policy)."""
+        deps = {i: self.nodes[i].deps for i in live}
+        return lpt_placement(
+            len(self.pool.streams), {i: costs[i] for i in live}, deps
+        )
 
-        Nodes are scheduled most-expensive-first among those whose
-        dependencies are already placed; each goes to the stream with the
-        earliest predicted finish (``max(stream available, deps ready) +
-        cost``).  For independent nodes this is classic LPT onto the
-        least-loaded stream; dependent nodes land where their predecessors
-        let them start soonest.  Fully deterministic: ties break on node
-        index and stream index, so equal profiles yield equal placements.
-        """
-        num_streams = len(self.pool.streams)
-        live_set = set(live)
-        remaining = set(live)
-        scheduled: dict[int, int] = {}
-        finish: dict[int, float] = {}
-        avail = [0.0] * num_streams
-        while remaining:
-            ready = [
-                i
-                for i in remaining
-                if all(d in scheduled for d in self.nodes[i].deps if d in live_set)
-            ]
-            ready.sort(key=lambda i: (-costs[i], i))
-            i = ready[0]
-            ready_time = max(
-                (finish[d] for d in self.nodes[i].deps if d in live_set),
-                default=0.0,
-            )
-            best_stream = min(
-                range(num_streams),
-                key=lambda s: (max(avail[s], ready_time) + costs[i], s),
-            )
-            start = max(avail[best_stream], ready_time)
-            finish[i] = start + costs[i]
-            avail[best_stream] = finish[i]
-            scheduled[i] = best_stream
-            remaining.discard(i)
-        return scheduled
+    def profile_matches(self, profile: Profile | None) -> bool:
+        """True when ``profile`` holds at least one record describing
+        this graph — a signature or specialization-key match — i.e. the
+        condition under which :meth:`optimize` will consume it rather
+        than raise.  Batch re-optimizers (``QuantizedLinear.reoptimize``)
+        use this to degrade unmatched graphs to uniform-cost
+        re-balancing instead of aborting mid-loop."""
+        if profile is None or not len(profile):
+            return False
+        return self._profiled_costs(profile)[1] > 0
 
     def optimize(
         self,
@@ -810,10 +888,13 @@ class ExecutionGraph:
         - **stream placement re-balanced** by longest-processing-time
           list scheduling over the hazard DAG, using measured per-node
           costs from ``profile`` (collected under this graph's
-          :attr:`signature` by any profiled replay) instead of the
-          capture-time round-robin/memory-aware heuristic — unprofiled
-          nodes cost the profiled mean, and ``profile=None`` degrades to
-          uniform costs (pure re-balancing);
+          :attr:`signature` by any profiled replay, falling back to
+          specialization-key means for nodes the signature scope missed)
+          instead of the capture-time round-robin/memory-aware heuristic
+          — unprofiled nodes cost the profiled mean, ``profile=None``
+          degrades to uniform costs (pure re-balancing), and a non-empty
+          profile that matches *nothing* in this graph raises
+          :class:`VMError` instead of silently misoptimizing;
         - **coalescing groups re-derived** for the new placement (the
           instantiate pass runs again, so nodes that now neighbour on a
           stream may merge into one stacked execution and vice versa).
@@ -838,7 +919,18 @@ class ExecutionGraph:
                 "capture must have completed without error"
             )
         live = self._live_indices(outputs)
-        costs = self._node_costs(profile)
+        if profile is not None and len(profile):
+            costs, matched = self._profiled_costs(profile)
+            if matched == 0:
+                raise VMError(
+                    f"profile ({len(profile)} sites) contains no record "
+                    f"matching this graph (signature {self.signature}): "
+                    "neither the signature nor any node's specialization "
+                    "key was ever recorded — wrong profile?  Pass "
+                    "profile=None for uniform-cost re-balancing."
+                )
+        else:
+            costs = {node.index: 1.0 for node in self.nodes}
         placement = self._lpt_placement(live, costs)
         remap = {old: new for new, old in enumerate(live)}
         optimized = ExecutionGraph(self.pool)

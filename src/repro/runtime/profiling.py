@@ -356,6 +356,21 @@ class Profile:
                     setattr(agg, attr, getattr(agg, attr) + getattr(node, attr))
         return merged
 
+    def spec_engine_seconds(self, spec: str) -> dict[str, float]:
+        """Mean wall seconds per launch of this specialization-key
+        string, broken out **per engine** — the profile-guided capture
+        lookup: when both engines have been measured for a kernel, the
+        capture picks the cheaper one instead of deciding by grid size.
+        Engines never recorded are absent from the result."""
+        totals: dict[str, tuple[float, int]] = {}
+        with self._lock:
+            for node in self.nodes.values():
+                if node.spec != spec or not node.calls:
+                    continue
+                wall, calls = totals.get(node.engine, (0.0, 0))
+                totals[node.engine] = (wall + node.wall_s, calls + node.calls)
+        return {engine: wall / calls for engine, (wall, calls) in totals.items()}
+
     def spec_seconds(self, spec: str) -> float | None:
         """Mean wall seconds per launch across every site with this
         specialization-key string, or ``None`` when never recorded —
@@ -408,16 +423,37 @@ class Profile:
 
     @classmethod
     def from_json(cls, text: str) -> "Profile":
-        data = json.loads(text)
+        """Parse a profile written by :meth:`to_json`.
+
+        Every malformed input — truncated payload, non-object JSON, a
+        missing or mangled ``nodes`` list, unknown version — raises a
+        :class:`VMError` naming the problem, never a bare decode error
+        and never a silently empty profile: a consumer about to optimize
+        against this data must not mistake garbage for measurements.
+        """
+        try:
+            data = json.loads(text)
+        except ValueError as exc:  # json.JSONDecodeError is a ValueError
+            raise VMError(f"profile JSON is truncated or malformed: {exc}") from exc
+        if not isinstance(data, dict):
+            raise VMError(
+                f"profile JSON must be an object, got {type(data).__name__}"
+            )
         version = data.get("version")
         if version != _JSON_VERSION:
             raise VMError(
                 f"unsupported profile version {version!r} "
                 f"(this build reads version {_JSON_VERSION})"
             )
+        nodes = data.get("nodes")
+        if not isinstance(nodes, list):
+            raise VMError("profile JSON is missing its 'nodes' list")
         profile = cls()
-        for record in data["nodes"]:
-            node = NodeProfile.from_dict(record)
+        for record in nodes:
+            try:
+                node = NodeProfile.from_dict(record)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise VMError(f"malformed profile node record: {exc}") from exc
             # JSON turns tuple idents into lists; node indices are ints
             # and program names strings, both of which survive unchanged.
             profile.nodes[node.key] = node

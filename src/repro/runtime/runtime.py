@@ -158,6 +158,8 @@ class Runtime:
         self._pool: StreamPool | None = None
         #: Active profiler (see :meth:`enable_profiling`), or None.
         self.profiler: Profile | None = None
+        #: Attached adaptive policy (see :meth:`enable_adaptive`), or None.
+        self.adaptive = None
 
     # -- profiling -----------------------------------------------------------
     def enable_profiling(self, profile: Profile | None = None) -> Profile:
@@ -189,6 +191,41 @@ class Runtime:
             self._pool.profiler = None
         return profile
 
+    # -- adaptive reoptimization ---------------------------------------------
+    def enable_adaptive(self, policy=None):
+        """Attach an :class:`~repro.runtime.adaptive.AdaptivePolicy` and
+        turn on profiling (the policy is driven by profiled replays).
+
+        Returns the active policy: the given one, the already-attached
+        one, or a fresh default.  From here on, graphs captured by the
+        serving layers (``ops.QuantizedLinear``'s split-k fan-out, the
+        ``llm.batching`` decode loop) come under management: after the
+        policy's warmup window of profiled replays each live graph is
+        atomically swapped for its profile-optimized image — no explicit
+        :meth:`~repro.ops.QuantizedLinear.reoptimize` call needed.
+        Graphs captured *before* this call stay unmanaged.
+        """
+        from repro.runtime.adaptive import AdaptivePolicy
+
+        if policy is None:
+            policy = self.adaptive if self.adaptive is not None else AdaptivePolicy()
+        self.adaptive = policy
+        self.enable_profiling()
+        if self._pool is not None:
+            self._pool.adaptive = policy
+        return policy
+
+    def disable_adaptive(self):
+        """Detach the adaptive policy; returns it.  No *new* captures
+        come under management afterwards; graphs already managed keep
+        their facade and continue evaluating while profiling stays on —
+        call :meth:`disable_profiling` too for a full stop."""
+        policy = self.adaptive
+        self.adaptive = None
+        if self._pool is not None:
+            self._pool.adaptive = None
+        return policy
+
     # -- streams ------------------------------------------------------------
     def stream_pool(self, num_streams: int = 4) -> StreamPool:
         """The runtime's stream pool, created on first use.
@@ -204,6 +241,7 @@ class Runtime:
                 shared_capacity=self.interpreter.shared_capacity,
             )
             self._pool.profiler = self.profiler
+            self._pool.adaptive = self.adaptive
         return self._pool
 
     def synchronize(self) -> None:
@@ -211,7 +249,9 @@ class Runtime:
         if self._pool is not None:
             self._pool.synchronize()
 
-    def capture(self, num_streams: int = 4) -> "repro.runtime.graphs.ExecutionGraph":  # noqa: F821
+    def capture(
+        self, num_streams: int = 4, profile: Profile | None = None
+    ) -> "repro.runtime.graphs.ExecutionGraph":  # noqa: F821
         """Begin an execution-graph capture on the runtime's stream pool.
 
         Used as a context manager: every launch inside the ``with`` block
@@ -222,8 +262,13 @@ class Runtime:
         block, ``graph.replay(bindings)`` re-executes the frozen launch
         DAG without re-running scheduling, hazard analysis, or
         coalescing decisions.  See :mod:`repro.runtime.graphs`.
+
+        ``profile`` turns on profile-guided capture: measured costs pick
+        the engine choice, the per-launch stream placement, and the
+        stream count, with heuristic fallback for anything unseen (see
+        :mod:`repro.runtime.adaptive`).
         """
-        return self.stream_pool(num_streams).capture()
+        return self.stream_pool(num_streams).capture(profile=profile)
 
     # -- memory -------------------------------------------------------------
     def upload(self, values: np.ndarray, dtype: DataType) -> int:

@@ -10,7 +10,7 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Five modes are locked together:
+Six modes are locked together:
 
 - ``sequential``   — the block-loop interpreter, the semantic reference;
 - ``batched``      — the grid-vectorized executor, forced for every launch;
@@ -31,12 +31,26 @@ Five modes are locked together:
   measured-cost LPT stream placement, re-derived coalescing groups —
   and replayed; moving every node to a profile-chosen stream must
   change nothing observable.
+- ``adaptive``     — the adaptive runtime: the same throwaway-image
+  profile drives **profile-guided capture** (``capture(profile=...)``:
+  measured-cost placement and stream-count capping decided at
+  instantiate time, overriding the plan's explicit stream hints), and
+  the resulting graph is replayed through an
+  :class:`~repro.runtime.adaptive.AdaptivePolicy`-managed facade with
+  the pool's profiler recording — letting the capture pick everything
+  from measured costs must change nothing observable either.
+
+The adaptive mode's swap dynamics (warmup windows, hysteresis,
+atomicity) are exercised separately by ``tests/test_adaptive.py`` —
+one differential execution replays each plan exactly once, so swaps
+cannot fire here by construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.adaptive import AdaptivePolicy
 from repro.runtime.profiling import Profile
 from repro.runtime.streams import StreamPool
 from repro.vm import BatchedExecutor, GlobalMemory, Interpreter, TensorView
@@ -46,7 +60,14 @@ from repro.vm.interp import ExecutionStats
 from tests.harness.generator import GeneratedCase
 
 #: Execution modes every case must agree across.
-MODES = ("sequential", "batched", "stream", "graph-replay", "graph-optimized")
+MODES = (
+    "sequential",
+    "batched",
+    "stream",
+    "graph-replay",
+    "graph-optimized",
+    "adaptive",
+)
 
 
 class DifferentialMismatch(AssertionError):
@@ -66,13 +87,14 @@ def _resolve_args(spec, buffers):
     return args
 
 
-def _capture_plan(pool: StreamPool, plan, buffers):
+def _capture_plan(pool: StreamPool, plan, buffers, profile=None):
     """Capture the case's launch plan round-robin across the pool's
     streams.  The one shared entry point for every graph-based mode (and
     the profile-collection pass): plan order and stream assignment must
     stay byte-identical between them, because the profile lookup keys on
-    the resulting graph signature."""
-    with pool.capture() as graph:
+    the resulting graph signature.  ``profile`` switches the capture to
+    profile-guided mode (the adaptive path)."""
+    with pool.capture(profile=profile) as graph:
         for i, (program, spec) in enumerate(plan):
             pool.submit(
                 program,
@@ -144,6 +166,19 @@ def _run_engine(case: GeneratedCase, mode: str):
             # presumed observable: elimination must drop nothing.
             assert optimized.num_nodes == len(plan)
             optimized.replay()
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    elif mode == "adaptive":
+        profile = _collect_profile(case)
+        with StreamPool(memory, num_streams=4) as pool:
+            graph = _capture_plan(pool, plan, buffers, profile=profile)
+            assert len(graph) == len(plan)
+            # Warmup larger than the single replay below: the policy
+            # observes but never swaps mid-case (replaying the plan
+            # twice would double-execute it and break stat parity).
+            managed = AdaptivePolicy(warmup_replays=8, min_gain=0.5).manage(graph)
+            pool.profiler = Profile()
+            managed.replay()
             pool.synchronize()
         stats = pool.aggregate_stats()
     else:

@@ -5,11 +5,13 @@ sub-byte, control flow, shared-memory staging, register reinterpretation,
 tensor-core tiles) — or a full kernel-template instantiation
 (software-pipelined matmul, split-k partial/reduce pair) — executed by
 the sequential interpreter, the grid-vectorized batched executor, the
-multi-stream runtime, the execution-graph capture-and-replay path, and
-the profile-guided optimized-graph path (measured-cost LPT placement),
+multi-stream runtime, the execution-graph capture-and-replay path, the
+profile-guided optimized-graph path (measured-cost LPT placement), and
+the adaptive runtime's profile-guided capture under policy management,
 and compared **bit-for-bit**, plus execution-stat parity.  This is the
 safety net behind the batched executor, the stream subsystem, the graph
-subsystem, the PGO pass, and any future refactor of any engine.
+subsystem, the PGO pass, the adaptive runtime, and any future refactor
+of any engine.
 """
 
 from collections import Counter
@@ -44,6 +46,7 @@ BASELINE_MODES = {
     "stream",
     "graph-replay",
     "graph-optimized",
+    "adaptive",
 }
 
 
