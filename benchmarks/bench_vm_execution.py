@@ -21,11 +21,16 @@ and bit-exactness vs the serial oracle), the adaptive runtime's
 cold -> warmup -> converged serving loop (the policy swaps the live
 graph automatically after its warmup window — no explicit reoptimize
 call — asserting the >= 1.15x converged-over-cold target and
-bit-exactness vs the serial oracle), and reports the specialization
-cache hit rate of a repeated-launch scenario.  ``--section
-engine|streams|graphs|pgo|adaptive|all`` selects which quick checks run
-(the CI matrix runs them as separate jobs); an unknown section is
-rejected with the list of valid ones.
+bit-exactness vs the serial oracle), the multi-process sharded-serving
+stack (4 spawned worker processes behind the router's admission + SLO
+scheduling serving an open-loop Poisson burst — asserting the >= 2.5x
+simulated-throughput target over the single-process simulator,
+bit-exact output digests vs the serial oracle, and the p50/p99 latency
+gates), and reports the specialization cache hit rate of a
+repeated-launch scenario.  ``--section
+engine|streams|graphs|pgo|adaptive|serving|all`` selects which quick
+checks run (the CI matrix runs them as separate jobs); an unknown
+section is rejected with the list of valid ones.
 """
 
 import time
@@ -629,6 +634,125 @@ def adaptive_report(min_speedup: float = 1.15) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Multi-process sharded serving vs the single-process simulator
+# ---------------------------------------------------------------------------
+
+#: The sharded-serving workload: an overloaded open-loop Poisson burst
+#: (arrivals span milliseconds, service spans much longer — the regime
+#: where sharding is the only way out) routed over a real worker pool.
+SERVING_WORKERS = 4
+SERVING_REQUESTS = 48
+SERVING_CHUNK = 6
+SERVING_OUTPUT_TOKENS = 16
+
+
+def serving_report(
+    min_speedup: float = 2.5,
+    max_p99_s: float = 60.0,
+    num_workers: int = SERVING_WORKERS,
+    num_requests: int = SERVING_REQUESTS,
+) -> dict:
+    """Measure sharded serving against the single-process simulator.
+
+    ``num_workers`` spawned worker processes (one kernel-in-the-loop
+    :class:`~repro.llm.batching.ContinuousBatchingSimulator` each,
+    rebuilt deterministically from the
+    :class:`~repro.serving.WorkerSpec` recipe, JSON pipes only) serve an
+    open-loop Poisson trace behind the router's admission + SLO
+    scheduling; the oracle is one in-process simulator serving the
+    identical trace.  The speedup gate compares **simulated** serving
+    makespans (the repo's latency accounting is analytic throughout;
+    wall-clock depends on host core count and is reported, not gated).
+    Asserts the >= ``min_speedup`` throughput target, that every
+    completed request's output digest matches the serial oracle
+    bit-for-bit, that nothing was rejected or lost, and that the
+    simulated p99 end-to-end latency stays under ``max_p99_s``.
+    """
+    from repro.serving import Router, WorkerPool, WorkerSpec, poisson_trace
+
+    spec = WorkerSpec(
+        linear_k=64, linear_n=16, linear_dtype="i6", linear_group=32,
+        max_batch=8, num_streams=4,
+    )
+    # Overloaded open-loop arrivals: the whole trace lands in ~5 ms of
+    # virtual time, far faster than any single simulator can drain it.
+    trace = poisson_trace(
+        num_requests,
+        rate_rps=10_000.0,
+        prompt_tokens=128,
+        output_tokens=SERVING_OUTPUT_TOKENS,
+        seed=7,
+        slo_s=60.0,
+    )
+
+    # Serial oracle: one in-process simulator, warmed so its one-time
+    # template compile stays out of the comparison (the workers warm
+    # equivalently below).
+    sim = spec.build_simulator()
+    sim.run(poisson_trace(1, rate_rps=1.0, output_tokens=2, rid_base=1_000_000))
+    wall_start = time.perf_counter()
+    oracle = sim.run(trace)
+    single_wall = time.perf_counter() - wall_start
+
+    with WorkerPool(spec, num_workers) as pool:
+        # Warm every worker with a one-request chunk each (compiles the
+        # decode kernel in each process before anything is timed).
+        warmup = poisson_trace(
+            num_workers, rate_rps=1.0, output_tokens=2, rid_base=2_000_000
+        )
+        Router(pool, chunk_size=1).serve(warmup, timeout_s=120.0)
+        router = Router(pool, chunk_size=SERVING_CHUNK)
+        result = router.serve(trace, timeout_s=300.0)
+
+    assert not result.rejected, f"{len(result.rejected)} requests rejected"
+    assert result.num_completed == num_requests, (
+        f"completed {result.num_completed} of {num_requests} requests"
+    )
+    oracle_digests = {r.request.rid: r.output_digest for r in oracle.results}
+    for served in result.completed:
+        rid = served.request.rid
+        assert served.digest == oracle_digests[rid], (
+            f"request {rid}: worker {served.worker} digest {served.digest} "
+            f"!= oracle {oracle_digests[rid]} — sharded decode is not bit-exact"
+        )
+
+    speedup = oracle.total_time_s / result.simulated_makespan_s
+    p50 = result.latency_percentile(50)
+    p99 = result.latency_percentile(99)
+    report = {
+        "workers": num_workers,
+        "single_sim_s": oracle.total_time_s,
+        "pool_sim_s": result.simulated_makespan_s,
+        "serving_speedup": speedup,
+        "p50_s": p50,
+        "p99_s": p99,
+        "slo_attainment": result.slo_attainment,
+        "single_wall_s": single_wall,
+        "pool_wall_s": result.wall_s,
+        "respawns": result.respawns,
+    }
+    print(
+        f"sharded serving ({num_requests}-request Poisson burst, "
+        f"{num_workers} workers x batch {spec.max_batch}): single-process "
+        f"{oracle.total_time_s * 1e3:.1f} ms simulated, pool "
+        f"{result.simulated_makespan_s * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"throughput (bit-exact vs oracle, 0 lost); latency p50 "
+        f"{p50 * 1e3:.1f} ms p99 {p99 * 1e3:.1f} ms, SLO attainment "
+        f"{result.slo_attainment:.0%}; wall {single_wall:.1f}s vs "
+        f"{result.wall_s:.1f}s on {num_workers} processes"
+    )
+    assert speedup >= min_speedup, (
+        f"sharded-serving speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x target"
+    )
+    assert p99 <= max_p99_s, (
+        f"simulated p99 latency {p99:.2f}s above the {max_p99_s:.1f}s gate"
+    )
+    assert p50 <= p99
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Quick self-checking mode (CI smoke test)
 # ---------------------------------------------------------------------------
 
@@ -685,7 +809,7 @@ def quick_report(min_speedup: float = 3.0, launches: int = 20) -> dict:
 
 
 #: Quick-mode sections, in run order.  ``--section all`` runs every one.
-SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive")
+SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive", "serving")
 
 
 def main() -> None:
@@ -723,6 +847,20 @@ def main() -> None:
         help="adaptive serving loop converged-over-cold throughput floor",
     )
     parser.add_argument(
+        "--min-serving-speedup",
+        type=float,
+        default=2.5,
+        help="sharded-serving (4 workers) vs single-process simulated "
+        "throughput floor",
+    )
+    parser.add_argument(
+        "--max-serving-p99",
+        type=float,
+        default=60.0,
+        help="simulated p99 end-to-end latency ceiling (seconds) for the "
+        "sharded-serving trace",
+    )
+    parser.add_argument(
         "--section",
         choices=(*SECTIONS, "all"),
         default="all",
@@ -741,6 +879,11 @@ def main() -> None:
             pgo_report(min_speedup=args.min_pgo_speedup)
         if args.section in ("adaptive", "all"):
             adaptive_report(min_speedup=args.min_adaptive_speedup)
+        if args.section in ("serving", "all"):
+            serving_report(
+                min_speedup=args.min_serving_speedup,
+                max_p99_s=args.max_serving_p99,
+            )
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

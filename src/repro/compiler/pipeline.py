@@ -18,6 +18,7 @@ entirely instead of matching only on object identity.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -83,18 +84,38 @@ _FINGERPRINT_ATTR = "_specialization_fingerprint"
 _LAYOUT_FP_ATTR = "_layout_fingerprint"
 
 
+#: Fallback layout-token cache for layouts that reject attribute
+#: memoization (slotted or frozen classes).  Keyed by ``id(layout)``
+#: with the layout itself stored alongside as a **liveness guard**: the
+#: strong reference keeps the object alive while its entry exists, so a
+#: recycled id can never alias a dead layout's token — and an identity
+#: check (`is`) on lookup makes the guarantee explicit.  LRU-bounded so
+#: unbounded distinct layouts cannot leak.
+_LAYOUT_TOKEN_FALLBACK: "OrderedDict[int, tuple[object, str]]" = OrderedDict()
+_LAYOUT_TOKEN_FALLBACK_MAX = 1024
+
+
 def _layout_token(layout) -> str:
     """Canonical token for a layout: a hash of its dense mapping table.
 
     ``short_repr`` is not injective (different thread mappings can share
     shapes and counts), so the token hashes the full (thread, local) →
     index table instead.
+
+    The token is memoized on the layout object; layouts that refuse
+    ``setattr`` (slotted/frozen classes) fall back to an id-keyed
+    module-level LRU instead of silently re-hashing the full table on
+    every specialization lookup.
     """
     if layout is None:
         return "linear"
     cached = getattr(layout, _LAYOUT_FP_ATTR, None)
     if cached is not None:
         return cached
+    entry = _LAYOUT_TOKEN_FALLBACK.get(id(layout))
+    if entry is not None and entry[0] is layout:
+        _LAYOUT_TOKEN_FALLBACK.move_to_end(id(layout))
+        return entry[1]
     table = layout.table()
     token = hashlib.sha256(
         repr(table.shape).encode() + table.astype("int64").tobytes()
@@ -102,7 +123,10 @@ def _layout_token(layout) -> str:
     try:
         setattr(layout, _LAYOUT_FP_ATTR, token)
     except AttributeError:
-        pass
+        _LAYOUT_TOKEN_FALLBACK[id(layout)] = (layout, token)
+        _LAYOUT_TOKEN_FALLBACK.move_to_end(id(layout))
+        while len(_LAYOUT_TOKEN_FALLBACK) > _LAYOUT_TOKEN_FALLBACK_MAX:
+            _LAYOUT_TOKEN_FALLBACK.popitem(last=False)
     return token
 
 

@@ -46,19 +46,52 @@ capture time.  ``TraceResult.auto_reoptimizations`` counts the swaps.
 
 from __future__ import annotations
 
+import hashlib
+import math
+
 from dataclasses import dataclass, field
 
 from repro.llm.engine import ServingConfig, ServingSimulator
 from repro.llm.models import ModelConfig
 
 
+def _percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
 @dataclass(frozen=True)
 class Request:
-    """One serving request."""
+    """One serving request.
+
+    ``rid`` identifies the request across process boundaries (the
+    sharded-serving router matches worker results and oracle outputs by
+    it); a non-negative ``rid`` also seeds the request's decode
+    activations deterministically, so kernel-in-the-loop outputs are
+    reproducible — and comparable bit-for-bit — wherever the request
+    executes.  ``priority`` (higher serves first) and ``slo_s`` (the
+    end-to-end latency target; ``inf`` = best-effort) feed the router's
+    SLO-aware scheduling; both are ignored by the single-process
+    simulator, which serves strictly by arrival.
+    """
 
     arrival_s: float
     prompt_tokens: int
     output_tokens: int
+    rid: int = -1
+    priority: int = 0
+    slo_s: float = math.inf
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute completion deadline (``inf`` for best-effort)."""
+        return self.arrival_s + self.slo_s
 
 
 @dataclass
@@ -68,6 +101,16 @@ class RequestResult:
     request: Request
     first_token_s: float = 0.0   # time-to-first-token (absolute)
     finished_s: float = 0.0
+    #: Hex digest of the request's final decode output buffer, recorded
+    #: when kernel-in-the-loop decode ran for it; None otherwise.  The
+    #: digest is a pure function of ``rid`` and the decode weights, so a
+    #: router can check a worker's outputs bit-for-bit against a serial
+    #: oracle without shipping the tensors.
+    output_digest: str | None = None
+
+    @property
+    def slo_met(self) -> bool:
+        return self.latency_s <= self.request.slo_s
 
     @property
     def ttft_s(self) -> float:
@@ -105,10 +148,28 @@ class TraceResult:
         return self.total_tokens / self.total_time_s if self.total_time_s else 0.0
 
     def mean_ttft_s(self) -> float:
+        """Mean time-to-first-token; 0.0 on an empty trace (a router's
+        per-worker sub-trace can legitimately serve no requests, same as
+        :attr:`throughput_tokens_per_s`)."""
+        if not self.results:
+            return 0.0
         return sum(r.ttft_s for r in self.results) / len(self.results)
 
     def mean_latency_s(self) -> float:
+        """Mean end-to-end latency; 0.0 on an empty trace."""
+        if not self.results:
+            return 0.0
         return sum(r.latency_s for r in self.results) / len(self.results)
+
+    def ttft_percentile(self, p: float) -> float:
+        """Nearest-rank ``p``-th percentile TTFT (0 <= p <= 100);
+        0.0 on an empty trace."""
+        return _percentile([r.ttft_s for r in self.results], p)
+
+    def latency_percentile(self, p: float) -> float:
+        """Nearest-rank ``p``-th percentile end-to-end latency;
+        0.0 on an empty trace."""
+        return _percentile([r.latency_s for r in self.results], p)
 
 
 @dataclass
@@ -265,6 +326,7 @@ class ContinuousBatchingSimulator:
                     flight.result.finished_s = now
                     finished.append(flight)
             for flight in finished:
+                self._finalize(flight)
                 inflight.remove(flight)
         outcome.total_time_s = now
         return outcome
@@ -279,11 +341,28 @@ class ContinuousBatchingSimulator:
 
         linear = self.decode_linear
         runtime = linear.runtime
-        activation = np.zeros((1, linear.k))
+        if flight.request.rid >= 0:
+            # Deterministic per-request activations: the same rid decodes
+            # the same bits in any process, which is what lets the
+            # sharded-serving router compare worker outputs against a
+            # serial oracle digest-for-digest.
+            rng = np.random.default_rng(flight.request.rid)
+            activation = rng.standard_normal((1, linear.k))
+        else:
+            activation = np.zeros((1, linear.k))
         flight.act_addr = runtime.upload(
             linear.act_dtype.quantize(activation), linear.act_dtype
         )
         flight.out_addr = runtime.empty([1, linear.n], linear.act_dtype)
+
+    def _finalize(self, flight: _Inflight) -> None:
+        """Digest a finished request's decode output (see
+        :attr:`RequestResult.output_digest`)."""
+        if self.decode_linear is None or flight.out_addr is None:
+            return
+        linear = self.decode_linear
+        out = linear.runtime.download(flight.out_addr, [1, linear.n], linear.act_dtype)
+        flight.result.output_digest = hashlib.sha256(out.tobytes()).hexdigest()[:16]
 
     def _run_decode_kernels(self, inflight: list[_Inflight], outcome: TraceResult) -> None:
         """Issue one decode linear per in-flight request, each on its own
@@ -405,6 +484,7 @@ def uniform_trace(
             arrival_s=i * interarrival_s,
             prompt_tokens=prompt_tokens,
             output_tokens=output_tokens,
+            rid=i,
         )
         for i in range(num_requests)
     ]

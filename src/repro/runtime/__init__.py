@@ -1,7 +1,8 @@
 """Runtime system (paper Section 8.1, step 4)."""
 
 from repro.runtime.adaptive import AdaptiveGraph, AdaptivePolicy
-from repro.runtime.graphs import ExecutionGraph, GraphNode
+from repro.runtime.engine import LocalEngine
+from repro.runtime.graphs import ExecutionGraph, GraphNode, GraphPlan
 from repro.runtime.profiling import NodeProfile, Profile
 from repro.runtime.runtime import (
     ExecutionContext,
@@ -27,6 +28,8 @@ __all__ = [
     "ExecutionContext",
     "ExecutionGraph",
     "GraphNode",
+    "GraphPlan",
+    "LocalEngine",
     "Stream",
     "StreamPool",
     "StreamTask",

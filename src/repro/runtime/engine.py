@@ -1,0 +1,146 @@
+"""The **local engine** interface: the engine half of the
+engine/transport split.
+
+The runtime package grew four tightly-coupled subsystems — the
+:class:`~repro.runtime.runtime.Runtime` (memory + specialization cache +
+launch API), the stream pool, execution graphs and the adaptive policy.
+Multi-process sharded serving (:mod:`repro.serving`) needs a *seam*
+between all of that and the placement/transport layer: a worker process
+owns exactly one local engine; the router owns none — it only moves
+JSON-serialized state (:class:`~repro.runtime.profiling.Profile`,
+:class:`~repro.runtime.graphs.GraphPlan`) and requests between engines.
+
+:class:`LocalEngine` is that seam.  It bundles a Runtime, its spec
+cache, optional profiling and an optional adaptive policy behind the
+narrow surface the serving layer is allowed to touch, plus the
+JSON-state import/export the transport layer ships across process
+boundaries.  Semantics are unchanged from driving the Runtime directly
+— the engine owns and delegates; it never reimplements.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.runtime.graphs import ExecutionGraph, GraphPlan
+from repro.runtime.profiling import Profile
+from repro.runtime.runtime import Runtime
+
+
+class LocalEngine:
+    """One process's execution engine: Runtime + spec cache + policy.
+
+    Everything the placement/transport layer may ask of a shard happens
+    through this interface:
+
+    - **execution**: :meth:`upload` / :meth:`empty` / :meth:`download` /
+      :meth:`launch` / :meth:`capture` / :meth:`synchronize`, delegating
+      to the owned :class:`~repro.runtime.runtime.Runtime` unchanged;
+    - **observability**: :meth:`profile_json` exports the engine's
+      recorded :class:`~repro.runtime.profiling.Profile` as versioned
+      JSON, :meth:`absorb_profile_json` merges a profile recorded by
+      *another* process into this engine's active profiler (warm-start:
+      profiles recorded in one context are spent in another);
+    - **placement transfer**: :meth:`plan_json` exports a captured
+      graph's :class:`~repro.runtime.graphs.GraphPlan`,
+      :meth:`apply_plan_json` re-places a local graph under a plan
+      decided elsewhere.
+
+    ``adaptive=True`` (or a concrete policy) attaches the online
+    auto-reoptimization loop exactly as ``runtime.enable_adaptive()``
+    would; ``profile=True`` starts recording immediately.
+    """
+
+    def __init__(
+        self,
+        dram_bytes: int = 1 << 30,
+        engine: str = "auto",
+        cache_entries: int = 128,
+        profile: bool = False,
+        adaptive=False,
+    ) -> None:
+        self.runtime = Runtime(
+            dram_bytes=dram_bytes, engine=engine, cache_entries=cache_entries
+        )
+        if adaptive:
+            policy = adaptive if not isinstance(adaptive, bool) else None
+            self.runtime.enable_adaptive(policy)
+        if profile:
+            self.runtime.enable_profiling()
+
+    # -- execution (pure delegation) ----------------------------------------
+    def upload(self, values, dtype) -> int:
+        return self.runtime.upload(values, dtype)
+
+    def empty(self, shape: Sequence[int], dtype) -> int:
+        return self.runtime.empty(shape, dtype)
+
+    def download(self, addr: int, shape: Sequence[int], dtype):
+        return self.runtime.download(addr, shape, dtype)
+
+    def launch(self, program, args, **kwargs):
+        return self.runtime.launch(program, args, **kwargs)
+
+    def capture(self, num_streams: int = 4, profile: Profile | None = None):
+        return self.runtime.capture(num_streams, profile=profile)
+
+    def synchronize(self) -> None:
+        self.runtime.synchronize()
+
+    # -- cache / policy introspection ---------------------------------------
+    @property
+    def cache(self):
+        """The runtime's kernel specialization cache."""
+        return self.runtime.cache
+
+    @property
+    def policy(self):
+        """The attached adaptive policy, or None."""
+        return self.runtime.adaptive
+
+    @property
+    def profiler(self) -> Profile | None:
+        return self.runtime.profiler
+
+    # -- JSON state transport ------------------------------------------------
+    def profile_json(self) -> str:
+        """The engine's recorded profile as versioned JSON (an empty
+        profile when profiling was never enabled): what a worker ships
+        back to the router after serving a trace."""
+        profiler = self.runtime.profiler
+        return (profiler if profiler is not None else Profile()).to_json()
+
+    def absorb_profile_json(self, text: str) -> Profile:
+        """Merge a profile recorded by another process into this
+        engine's active profiler (enabling profiling if it was off).
+        Returns the active profiler.  Specialization-key strings are
+        deterministic across processes, so the absorbed records are
+        immediately consultable by profile-guided capture and
+        ``tune_profiled`` — the fleet-warm-start path."""
+        incoming = Profile.from_json(text)
+        active = self.runtime.enable_profiling()
+        active.merge(incoming)
+        return active
+
+    @staticmethod
+    def plan_json(graph) -> str:
+        """A captured graph's transportable schedule as versioned JSON.
+        Accepts a raw :class:`~repro.runtime.graphs.ExecutionGraph` or an
+        adaptive facade (the live image's plan is exported)."""
+        live = getattr(graph, "live", graph)
+        return live.plan().to_json()
+
+    @staticmethod
+    def apply_plan_json(graph, text: str) -> ExecutionGraph:
+        """Re-place a local graph under a JSON plan recorded elsewhere
+        (see :meth:`~repro.runtime.graphs.ExecutionGraph.apply_plan` for
+        the validation contract)."""
+        live = getattr(graph, "live", graph)
+        return live.apply_plan(GraphPlan.from_json(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalEngine({self.runtime.cache!r}, "
+            f"profiling={'on' if self.runtime.profiler is not None else 'off'}, "
+            f"adaptive={'on' if self.runtime.adaptive is not None else 'off'})"
+        )

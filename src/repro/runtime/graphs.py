@@ -73,6 +73,7 @@ hazard analysis is *not* re-run — that is the point.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from typing import Iterable, Mapping, Sequence
 
@@ -190,6 +191,110 @@ class _Binding:
     @property
     def is_pointer(self) -> bool:
         return self.nbytes is not None
+
+
+#: Wire-format version of the serialized graph plan (bump on any change
+#: to the schema below; readers reject unknown versions loudly).
+PLAN_JSON_VERSION = 1
+
+
+class GraphPlan:
+    """The transportable half of an :class:`ExecutionGraph`: every
+    *decision* the capture froze — per-node stream placement, engine
+    choice, specialization identity, grid shape and hazard edges — with
+    none of the process-local state (programs, device addresses).
+
+    This is what ships across a process boundary in the sharded-serving
+    stack: a worker (or the router) serializes a captured graph's plan as
+    versioned JSON, and the receiving process — which holds an
+    *isomorphic* capture of the same launch DAG, because specialization
+    keys and graph signatures are deterministic across processes — applies
+    it with :meth:`ExecutionGraph.apply_plan`.  Live objects never cross
+    the wire: no pickle, no addresses, no compiled kernels.
+
+    Per-node ``spec`` strings are the cross-process identity check: a plan
+    only applies to a graph whose node sequence carries the same
+    specialization keys and grids in the same order.
+    """
+
+    __slots__ = ("signature", "num_streams", "nodes")
+
+    def __init__(self, signature: str, num_streams: int, nodes: list[dict]) -> None:
+        self.signature = signature
+        self.num_streams = num_streams
+        #: One dict per node: ``index``, ``program`` (name), ``spec``
+        #: (specialization-key string), ``engine``, ``stream``, ``grid``,
+        #: ``deps`` — all JSON-native types.
+        self.nodes = nodes
+
+    @classmethod
+    def from_graph(cls, graph: "ExecutionGraph") -> "GraphPlan":
+        nodes = [
+            {
+                "index": node.index,
+                "program": node.program.name,
+                "spec": spec_string(node.key),
+                "engine": node.engine,
+                "stream": node.stream_index,
+                "grid": list(node.grid),
+                "deps": list(node.deps),
+            }
+            for node in graph.nodes
+        ]
+        return cls(graph.signature, len(graph.pool.streams), nodes)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": PLAN_JSON_VERSION,
+                "kind": "execution-graph-plan",
+                "signature": self.signature,
+                "num_streams": self.num_streams,
+                "nodes": self.nodes,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphPlan":
+        """Parse a plan written by :meth:`to_json`.  Malformed input —
+        truncated JSON, wrong kind, unknown version, mangled node list —
+        raises :class:`VMError` naming the problem, never a silently
+        unusable plan: a worker about to re-place its graph from this
+        data must not mistake garbage for a schedule."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise VMError(f"graph plan JSON is truncated or malformed: {exc}") from exc
+        if not isinstance(data, dict) or data.get("kind") != "execution-graph-plan":
+            raise VMError("graph plan JSON is not an execution-graph-plan object")
+        version = data.get("version")
+        if version != PLAN_JSON_VERSION:
+            raise VMError(
+                f"unsupported graph-plan version {version!r} "
+                f"(this build reads version {PLAN_JSON_VERSION})"
+            )
+        nodes = data.get("nodes")
+        if not isinstance(nodes, list):
+            raise VMError("graph plan JSON is missing its 'nodes' list")
+        required = {"index", "program", "spec", "engine", "stream", "grid", "deps"}
+        for record in nodes:
+            if not isinstance(record, dict) or not required.issubset(record):
+                raise VMError(
+                    f"malformed graph-plan node record: {record!r} "
+                    f"(need keys {sorted(required)})"
+                )
+        return cls(data["signature"], int(data["num_streams"]), nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        streams = sorted({n["stream"] for n in self.nodes})
+        return (
+            f"GraphPlan({self.signature}, {len(self.nodes)} nodes over "
+            f"streams {streams})"
+        )
 
 
 class _Group:
@@ -955,6 +1060,91 @@ class ExecutionGraph:
         optimized._bindings = dict(self._bindings)
         optimized._phase = "ready"
         return optimized
+
+    # -- plan transport -----------------------------------------------------
+    def plan(self) -> GraphPlan:
+        """This graph's transportable schedule: placement, engines,
+        specialization identities and hazard edges as a
+        :class:`GraphPlan` (versioned JSON via ``plan().to_json()``).
+        Programs and device addresses stay behind — the receiving
+        process applies the plan to its own isomorphic capture with
+        :meth:`apply_plan`."""
+        if self._phase != "ready":
+            raise VMError(
+                f"cannot export the plan of a graph in phase {self._phase!r}; "
+                "capture must have completed without error"
+            )
+        return GraphPlan.from_graph(self)
+
+    def apply_plan(self, plan: GraphPlan) -> "ExecutionGraph":
+        """Re-instantiate this graph under a :class:`GraphPlan` recorded
+        elsewhere — the receiving half of cross-process placement
+        transfer.
+
+        The plan must describe *this* DAG: node counts, per-node
+        specialization-key strings, grids and hazard edges are all
+        validated (they are deterministic across processes, so a capture
+        of the same launch sequence in another process matches exactly);
+        any mismatch raises :class:`VMError` — a plan for a different
+        graph must not silently misplace this one.  Stream placement
+        *and* engine choices come from the plan (a profile-guided
+        placement decided in one process lands unchanged in another);
+        the resulting graph is new and independently replayable, with
+        pointer/scalar bindings carried over, exactly like
+        :meth:`optimize`.
+        """
+        if self._phase != "ready":
+            raise VMError(
+                f"cannot apply a plan to a graph in phase {self._phase!r}; "
+                "capture must have completed without error"
+            )
+        if len(plan.nodes) != len(self.nodes):
+            raise VMError(
+                f"plan describes {len(plan.nodes)} nodes but this graph has "
+                f"{len(self.nodes)} — not the same DAG"
+            )
+        num_streams = len(self.pool.streams)
+        applied = ExecutionGraph(self.pool)
+        for node, record in zip(self.nodes, plan.nodes):
+            spec = spec_string(node.key)
+            if record["spec"] != spec or tuple(record["grid"]) != tuple(node.grid):
+                raise VMError(
+                    f"plan node {node.index} does not describe this graph's "
+                    f"node {node.index} ({node.program.name}): specialization "
+                    "key or grid differs — wrong plan?"
+                )
+            if tuple(record["deps"]) != tuple(node.deps):
+                raise VMError(
+                    f"plan node {node.index} carries different hazard edges "
+                    f"({record['deps']} vs {list(node.deps)}): the captures "
+                    "are not isomorphic"
+                )
+            if record["engine"] not in ("sequential", "batched"):
+                raise VMError(f"plan node {node.index}: unknown engine "
+                              f"{record['engine']!r}")
+            stream = int(record["stream"])
+            if not 0 <= stream < num_streams:
+                raise VMError(
+                    f"plan places node {node.index} on stream {stream}, but "
+                    f"this pool has {num_streams} streams"
+                )
+            applied.nodes.append(
+                GraphNode(
+                    index=node.index,
+                    program=node.program,
+                    args=node.args,
+                    ranges=node.ranges,
+                    deps=node.deps,
+                    stream_index=stream,
+                    engine=record["engine"],
+                    grid=node.grid,
+                    key=node.key,
+                )
+            )
+        applied._instantiate()
+        applied._bindings = dict(self._bindings)
+        applied._phase = "ready"
+        return applied
 
     # -- introspection ------------------------------------------------------
     @property

@@ -1,0 +1,104 @@
+"""Open-loop arrival generators for serving benchmarks.
+
+Closed-loop load (issue, wait, issue) hides queueing: the generator
+slows down whenever the system does, so tail latency looks flat no
+matter how overloaded the server is.  The serving bench therefore
+drives the router **open-loop**: arrival times are drawn up front from
+a stochastic process and requests land on the router at those times
+regardless of how far behind it is — the regime where p99 latency
+actually measures scheduling quality.
+
+Two generators, both seeded and fully deterministic:
+
+- :func:`poisson_trace` — exponential inter-arrivals at a target rate,
+  the standard memoryless open-loop model;
+- :func:`bursty_trace` — synchronized bursts separated by idle gaps,
+  the adversarial arrival pattern for admission control and SLO
+  scheduling (every burst momentarily exceeds capacity).
+
+Each request gets a sequential ``rid`` (which also seeds its decode
+activations — see :class:`~repro.llm.batching.Request`), a priority
+drawn round-robin from ``priorities``, and the trace-wide ``slo_s``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.llm.batching import Request
+
+
+def _build(
+    arrivals,
+    prompt_tokens: int,
+    output_tokens: int,
+    priorities: Sequence[int],
+    slo_s: float,
+    rid_base: int,
+) -> list[Request]:
+    levels = tuple(priorities) or (0,)
+    return [
+        Request(
+            arrival_s=float(t),
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            rid=rid_base + i,
+            priority=levels[i % len(levels)],
+            slo_s=slo_s,
+        )
+        for i, t in enumerate(arrivals)
+    ]
+
+
+def poisson_trace(
+    num_requests: int,
+    rate_rps: float,
+    prompt_tokens: int = 512,
+    output_tokens: int = 64,
+    seed: int = 0,
+    priorities: Sequence[int] = (0,),
+    slo_s: float = math.inf,
+    rid_base: int = 0,
+) -> list[Request]:
+    """Open-loop Poisson arrivals at ``rate_rps`` requests/second."""
+    if num_requests <= 0:
+        return []
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=num_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]  # first request lands at t=0
+    return _build(arrivals, prompt_tokens, output_tokens, priorities, slo_s, rid_base)
+
+
+def bursty_trace(
+    num_bursts: int,
+    burst_size: int,
+    burst_gap_s: float,
+    prompt_tokens: int = 512,
+    output_tokens: int = 64,
+    jitter_s: float = 0.0,
+    seed: int = 0,
+    priorities: Sequence[int] = (0,),
+    slo_s: float = math.inf,
+    rid_base: int = 0,
+) -> list[Request]:
+    """Synchronized bursts: ``burst_size`` simultaneous arrivals every
+    ``burst_gap_s`` seconds, each request jittered by up to
+    ``jitter_s`` (uniform, seeded)."""
+    if num_bursts <= 0 or burst_size <= 0:
+        return []
+    if burst_gap_s < 0:
+        raise ValueError(f"burst_gap_s must be non-negative, got {burst_gap_s}")
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    for burst in range(num_bursts):
+        base = burst * burst_gap_s
+        for _ in range(burst_size):
+            offset = rng.uniform(0.0, jitter_s) if jitter_s > 0 else 0.0
+            arrivals.append(base + offset)
+    arrivals.sort()
+    return _build(arrivals, prompt_tokens, output_tokens, priorities, slo_s, rid_base)

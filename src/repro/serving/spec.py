@@ -1,0 +1,137 @@
+"""The worker specification: how to rebuild an identical engine anywhere.
+
+Sharded serving never ships weights, programs or buffers between
+processes — it ships a small versioned-JSON *recipe* and every worker
+rebuilds the same state from it deterministically:
+
+- the decode weight matrix is drawn from ``default_rng(weight_seed)``,
+  so every process quantizes and device-transforms bit-identical
+  weights;
+- model / GPU / dtype references are **names** resolved against the
+  in-process registries (:data:`~repro.llm.models.MODELS`,
+  :data:`~repro.perf.gpus.GPUS`,
+  :func:`~repro.dtypes.registry.dtype_from_name`);
+- specialization keys and graph signatures are structural sha256
+  hashes, so graphs captured from a spec-built simulator in one process
+  validate against plans captured in another (see
+  :meth:`~repro.runtime.graphs.ExecutionGraph.apply_plan`).
+
+This is what makes the JSON-only wire protocol sufficient: identity
+lives in the recipe, not in any live object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.errors import VMError
+
+SPEC_JSON_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything needed to build one worker's simulator, by value."""
+
+    #: Model name in :data:`repro.llm.models.MODELS` (analytic timings).
+    model: str = "Gemma-2-9B"
+    #: Serving system ("tilus" | "ladder" | "vllm") and its weight dtype.
+    system: str = "tilus"
+    weight_dtype: str = "u4"
+    #: GPU name in :data:`repro.perf.gpus.GPUS`.
+    gpu: str = "L40S"
+    group_size: int = 128
+    #: Kernel-in-the-loop decode linear: shape, dtype, quant group and
+    #: the RNG seed its weights are drawn from.
+    linear_k: int = 64
+    linear_n: int = 16
+    linear_dtype: str = "i6"
+    linear_group: int = 32
+    weight_seed: int = 0
+    #: Engine knobs, mirrored onto the simulator.
+    max_batch: int = 8
+    num_streams: int = 4
+    use_graphs: bool = True
+    adaptive: bool = False
+    profile: bool = False
+
+    # -- JSON round-trip -----------------------------------------------------
+    def to_json(self) -> str:
+        body = {"version": SPEC_JSON_VERSION, "kind": "worker-spec"}
+        body.update(asdict(self))
+        return json.dumps(body)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkerSpec":
+        try:
+            body = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise VMError(f"malformed worker spec JSON: {exc}") from exc
+        if not isinstance(body, dict) or body.get("kind") != "worker-spec":
+            raise VMError("not a worker-spec JSON document")
+        if body.get("version") != SPEC_JSON_VERSION:
+            raise VMError(
+                f"worker-spec version mismatch: got {body.get('version')!r}, "
+                f"expected {SPEC_JSON_VERSION}"
+            )
+        fields = {k: v for k, v in body.items() if k not in ("version", "kind")}
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise VMError(f"malformed worker spec: {exc}") from exc
+
+    # -- deterministic rebuild -----------------------------------------------
+    def serving_config(self):
+        """The analytic :class:`~repro.llm.engine.ServingConfig` this
+        spec names (also what the router's admission estimator uses)."""
+        from repro.dtypes.registry import dtype_from_name
+        from repro.llm.engine import ServingConfig
+        from repro.perf.gpus import gpu_by_name
+
+        return ServingConfig(
+            self.system,
+            dtype_from_name(self.weight_dtype),
+            gpu_by_name(self.gpu),
+            group_size=self.group_size,
+        )
+
+    def model_config(self):
+        from repro.llm.models import MODELS
+
+        try:
+            return MODELS[self.model]
+        except KeyError as exc:
+            raise VMError(f"unknown model in worker spec: {self.model!r}") from exc
+
+    def build_simulator(self):
+        """Build this spec's kernel-in-the-loop
+        :class:`~repro.llm.batching.ContinuousBatchingSimulator`.
+
+        Bit-determinism contract: two processes building from equal
+        specs produce simulators whose per-request decode outputs (and
+        therefore :attr:`~repro.llm.batching.RequestResult.output_digest`
+        values) agree bit-for-bit for equal ``rid`` s.
+        """
+        import numpy as np
+
+        from repro import ops
+        from repro.dtypes.registry import dtype_from_name
+        from repro.llm.batching import ContinuousBatchingSimulator
+
+        weight = np.random.default_rng(self.weight_seed).standard_normal(
+            (self.linear_k, self.linear_n)
+        )
+        linear = ops.prepare_linear(
+            weight, dtype_from_name(self.linear_dtype), group_size=self.linear_group
+        )
+        return ContinuousBatchingSimulator(
+            self.model_config(),
+            self.serving_config(),
+            max_batch=self.max_batch,
+            decode_linear=linear,
+            num_streams=self.num_streams,
+            use_graphs=self.use_graphs,
+            profile=self.profile,
+            adaptive=self.adaptive,
+        )

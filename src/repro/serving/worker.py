@@ -1,0 +1,104 @@
+"""The worker process: one local engine behind a JSON pipe.
+
+``worker_main`` is the ``multiprocessing`` entry point for one shard.
+It rebuilds its simulator deterministically from a
+:class:`~repro.serving.spec.WorkerSpec` (never from shipped objects),
+announces ``ready``, then serves ``run`` chunks until told to shut
+down.  All replies are JSON (:mod:`repro.serving.messages`); on any
+exception while serving a chunk the worker answers ``error`` with the
+message text instead of dying silently, so the router can surface it.
+
+State export (``pull_state``) returns the worker's cumulative decode
+:class:`~repro.runtime.profiling.Profile` and one
+:class:`~repro.runtime.graphs.GraphPlan` per captured batch size —
+the JSON the router uses for cross-shard warm-starts and for checking
+a shard's placement decisions against its own.
+
+The ``crash`` message is the fault-injection hook: the worker replies
+nothing and hard-exits (``os._exit``), indistinguishable from a kill —
+the router's crash-recovery path is exercised by a *real* dead process,
+not a simulated flag.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+
+from repro.serving.messages import (
+    recv_msg,
+    request_from_wire,
+    result_to_wire,
+    send_msg,
+)
+from repro.serving.spec import WorkerSpec
+
+#: Exit status of a fault-injected crash (visible in ``Process.exitcode``).
+CRASH_EXIT_CODE = 17
+
+
+def _state_payload(sim, cumulative_profile) -> dict:
+    """Graph plans + cumulative profile as JSON strings."""
+    from repro.runtime.engine import LocalEngine
+    from repro.runtime.profiling import Profile
+
+    plans = {}
+    for batch, graph in sorted(sim._graphs.items()):
+        plans[str(batch)] = LocalEngine.plan_json(graph)
+    profile = cumulative_profile if cumulative_profile is not None else Profile()
+    cache = sim.decode_linear.runtime.cache
+    return {
+        "plans": plans,
+        "profile": profile.to_json(),
+        "cache": {"hits": cache.hits, "misses": cache.misses},
+    }
+
+
+def worker_main(conn, spec_json: str) -> None:
+    """Serve one shard over ``conn`` until ``shutdown`` (or ``crash``)."""
+    from repro.runtime.profiling import Profile
+
+    spec = WorkerSpec.from_json(spec_json)
+    sim = spec.build_simulator()
+    cumulative = Profile() if spec.profile else None
+    send_msg(conn, "ready", pid=os.getpid())
+    while True:
+        msg = recv_msg(conn)
+        kind = msg["type"]
+        if kind == "shutdown":
+            break
+        if kind == "crash":
+            # Fault injection: die exactly as a killed process would —
+            # no reply, no cleanup, no Python-level unwind.
+            os._exit(CRASH_EXIT_CODE)
+        if kind == "run":
+            try:
+                requests = [request_from_wire(r) for r in msg["requests"]]
+                outcome = sim.run(requests)
+                if cumulative is not None and outcome.profile is not None:
+                    cumulative.merge(outcome.profile)
+                send_msg(
+                    conn,
+                    "done",
+                    results=[result_to_wire(r) for r in outcome.results],
+                    counters={
+                        "total_time_s": outcome.total_time_s,
+                        "total_tokens": outcome.total_tokens,
+                        "kernel_launches": outcome.kernel_launches,
+                        "graph_captures": outcome.graph_captures,
+                        "graph_replays": outcome.graph_replays,
+                        "auto_reoptimizations": outcome.auto_reoptimizations,
+                    },
+                )
+            except Exception as exc:  # noqa: BLE001 — forwarded to router
+                send_msg(
+                    conn,
+                    "error",
+                    message=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                )
+        elif kind == "pull_state":
+            send_msg(conn, "state", **_state_payload(sim, cumulative))
+        else:
+            send_msg(conn, "error", message=f"unexpected message: {kind!r}")
+    conn.close()

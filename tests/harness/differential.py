@@ -10,7 +10,7 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Six modes are locked together:
+Seven modes are locked together:
 
 - ``sequential``   — the block-loop interpreter, the semantic reference;
 - ``batched``      — the grid-vectorized executor, forced for every launch;
@@ -39,6 +39,13 @@ Six modes are locked together:
   :class:`~repro.runtime.adaptive.AdaptivePolicy`-managed facade with
   the pool's profiler recording — letting the capture pick everything
   from measured costs must change nothing observable either.
+- ``plan-roundtrip`` — the cross-process placement-transfer path used
+  by sharded serving: the captured graph's :class:`~repro.runtime.
+  graphs.GraphPlan` is serialized to versioned JSON, parsed back, and
+  re-applied (``apply_plan``) — validated node-by-node against the
+  capture's specialization keys, grids and hazard edges — and the
+  re-instantiated graph is replayed; a schedule surviving the wire
+  must change nothing observable.
 
 The adaptive mode's swap dynamics (warmup windows, hysteresis,
 atomicity) are exercised separately by ``tests/test_adaptive.py`` —
@@ -67,6 +74,7 @@ MODES = (
     "graph-replay",
     "graph-optimized",
     "adaptive",
+    "plan-roundtrip",
 )
 
 
@@ -179,6 +187,18 @@ def _run_engine(case: GeneratedCase, mode: str):
             managed = AdaptivePolicy(warmup_replays=8, min_gain=0.5).manage(graph)
             pool.profiler = Profile()
             managed.replay()
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    elif mode == "plan-roundtrip":
+        from repro.runtime.graphs import GraphPlan
+
+        with StreamPool(memory, num_streams=4) as pool:
+            graph = _capture_plan(pool, plan, buffers)
+            wire = graph.plan().to_json()
+            applied = graph.apply_plan(GraphPlan.from_json(wire))
+            assert applied.signature == graph.signature
+            assert len(applied) == len(plan)
+            applied.replay()
             pool.synchronize()
         stats = pool.aggregate_stats()
     else:

@@ -81,3 +81,31 @@ class TestTuning:
         result = Autotuner(L40S).tune(MatmulWorkload.of(16, 8192, 8192, "u4"))
         text = result.describe()
         assert "BM" in text and "us" in text
+
+
+class TestMeasuredWarmup:
+    """Regression: ``tune_measured`` timed the first launch of every
+    trial configuration *including* its one-time lowering/compile — a
+    specialization-cache miss — inflating the first sample and, with
+    min-of-repeats, biasing single-repeat measurements entirely."""
+
+    def test_warmup_launch_compiles_timed_launches_hit_cache(self):
+        """With repeats=1 the single timed launch must be a cache hit:
+        the untimed warmup launch is the only miss per trial."""
+        from repro.runtime import Runtime
+
+        rt = Runtime()
+        result = Autotuner().tune_measured(
+            MatmulWorkload.of(16, 16, 64, "i6"), runtime=rt, top_k=2, repeats=1
+        )
+        assert result.config is not None
+        assert rt.cache.misses == 2, "each trial compiles exactly once (warmup)"
+        assert rt.cache.hits == 2, "every timed launch must hit the spec cache"
+
+    def test_measured_result_reports_positive_latency(self):
+        from repro.runtime import Runtime
+
+        result = Autotuner().tune_measured(
+            MatmulWorkload.of(16, 16, 64, "i6"), runtime=Runtime(), top_k=1, repeats=2
+        )
+        assert result.estimated_latency > 0

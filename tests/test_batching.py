@@ -80,3 +80,78 @@ class TestSystemComparison:
         result = make_sim().run(trace)
         assert result.mean_latency_s() >= result.mean_ttft_s()
         assert result.throughput_tokens_per_s > 0
+
+
+class TestEmptyTraceStats:
+    """Regression: mean_ttft_s/mean_latency_s raised ZeroDivisionError on
+    an empty trace — which a router's per-worker sub-trace legitimately
+    produces."""
+
+    def test_empty_trace_result_means_are_zero(self):
+        from repro.llm.batching import TraceResult
+
+        empty = TraceResult()
+        assert empty.mean_ttft_s() == 0.0
+        assert empty.mean_latency_s() == 0.0
+        assert empty.throughput_tokens_per_s == 0.0
+
+    def test_run_with_no_requests(self):
+        result = make_sim().run([])
+        assert result.results == []
+        assert result.mean_ttft_s() == 0.0
+        assert result.mean_latency_s() == 0.0
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        from repro.llm.batching import _percentile
+
+        values = [0.4, 0.1, 0.3, 0.2]
+        assert _percentile(values, 50) == 0.2
+        assert _percentile(values, 99) == 0.4
+        assert _percentile(values, 0) == 0.1
+        assert _percentile(values, 100) == 0.4
+
+    def test_empty_and_out_of_range(self):
+        from repro.llm.batching import _percentile
+
+        assert _percentile([], 99) == 0.0
+        with pytest.raises(ValueError):
+            _percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            _percentile([1.0], -1)
+
+    def test_trace_result_percentiles(self):
+        trace = uniform_trace(5, interarrival_s=0.05, output_tokens=4)
+        result = make_sim().run(trace)
+        assert result.latency_percentile(50) <= result.latency_percentile(99)
+        assert result.ttft_percentile(99) <= result.latency_percentile(99)
+        assert TraceResultEmpty().latency_percentile(50) == 0.0
+
+
+def TraceResultEmpty():
+    from repro.llm.batching import TraceResult
+
+    return TraceResult()
+
+
+class TestRequestIdentity:
+    def test_uniform_trace_assigns_sequential_rids(self):
+        trace = uniform_trace(4, interarrival_s=0.1)
+        assert [r.rid for r in trace] == [0, 1, 2, 3]
+
+    def test_priority_and_slo_defaults(self):
+        import math
+
+        r = Request(0.0, 8, 2)
+        assert r.priority == 0
+        assert r.slo_s == math.inf
+        assert r.deadline_s == math.inf
+
+    def test_slo_met_reflects_latency(self):
+        trace = [Request(0.0, 64, 4, rid=0, slo_s=1e9),
+                 Request(0.0, 64, 4, rid=1, slo_s=1e-12)]
+        result = make_sim().run(trace)
+        by_rid = {r.request.rid: r for r in result.results}
+        assert by_rid[0].slo_met
+        assert not by_rid[1].slo_met

@@ -168,9 +168,10 @@ class TestRuntimeWiring:
             MatmulWorkload.of(16, 16, 64, "i6"), runtime=rt, top_k=2, repeats=3
         )
         assert result.config is not None
-        # Each trial compiles once and then hits on every repeat.
+        # Each trial compiles once on the untimed warmup launch; every
+        # timed repeat then hits the specialization cache.
         assert rt.cache.misses == 2
-        assert rt.cache.hits == 4
+        assert rt.cache.hits == 6
 
     def test_engine_override_per_launch(self):
         rt = Runtime(engine="sequential")
@@ -214,3 +215,87 @@ class TestRuntimeWiring:
         a = rt.upload(data, float16)
         rt.launch(prog, [a])  # must not raise under the default policy
         assert np.array_equal(rt.download(a, [8, 4], float16), data)
+
+
+class TestLayoutTokenFallback:
+    """Regression: layouts that reject ``setattr`` (slotted/frozen
+    classes) silently skipped token memoization and re-hashed their full
+    mapping table on every specialization lookup.  They now land in an
+    id-keyed module-level LRU whose stored strong reference doubles as
+    the liveness guard."""
+
+    @staticmethod
+    def _slotted_layout():
+        import numpy as np
+
+        class SlottedLayout:
+            __slots__ = ("calls",)
+
+            def __init__(self):
+                self.calls = 0
+
+            def table(self):
+                self.calls += 1
+                return np.arange(32).reshape(8, 4)
+
+        return SlottedLayout()
+
+    def test_slotted_layout_hashes_once(self):
+        from repro.compiler import pipeline
+
+        layout = self._slotted_layout()
+        first = pipeline._layout_token(layout)
+        second = pipeline._layout_token(layout)
+        assert first == second
+        assert layout.calls == 1, "fallback cache missed: table re-hashed"
+
+    def test_plain_layout_never_touches_fallback(self):
+        import numpy as np
+
+        from repro.compiler import pipeline
+
+        class PlainLayout:
+            def table(self):
+                return np.arange(32).reshape(8, 4)
+
+        layout = PlainLayout()
+        before = len(pipeline._LAYOUT_TOKEN_FALLBACK)
+        token = pipeline._layout_token(layout)
+        assert getattr(layout, pipeline._LAYOUT_FP_ATTR) == token
+        assert len(pipeline._LAYOUT_TOKEN_FALLBACK) == before
+
+    def test_stale_id_entry_is_not_trusted(self):
+        """The identity check on lookup: an entry whose guard object is
+        not *this* layout (a hypothetically recycled id) is recomputed,
+        never served stale."""
+        from repro.compiler import pipeline
+
+        layout = self._slotted_layout()
+        pipeline._LAYOUT_TOKEN_FALLBACK[id(layout)] = (object(), "stale-token")
+        token = pipeline._layout_token(layout)
+        assert token != "stale-token"
+        assert layout.calls == 1
+        # And the poisoned entry was replaced by a live one.
+        entry = pipeline._LAYOUT_TOKEN_FALLBACK[id(layout)]
+        assert entry[0] is layout and entry[1] == token
+
+    def test_fallback_is_lru_bounded(self):
+        from repro.compiler import pipeline
+
+        keep = [self._slotted_layout() for _ in range(40)]
+        limit, saved = pipeline._LAYOUT_TOKEN_FALLBACK_MAX, None
+        try:
+            saved = dict(pipeline._LAYOUT_TOKEN_FALLBACK)
+            pipeline._LAYOUT_TOKEN_FALLBACK.clear()
+            pipeline._LAYOUT_TOKEN_FALLBACK_MAX = 16
+            for layout in keep:
+                pipeline._layout_token(layout)
+            assert len(pipeline._LAYOUT_TOKEN_FALLBACK) == 16
+            # The most recently used entries survive.
+            survivors = {entry[0] for entry in
+                         pipeline._LAYOUT_TOKEN_FALLBACK.values()}
+            assert survivors == set(keep[-16:])
+        finally:
+            pipeline._LAYOUT_TOKEN_FALLBACK_MAX = limit
+            pipeline._LAYOUT_TOKEN_FALLBACK.clear()
+            pipeline._LAYOUT_TOKEN_FALLBACK.update(saved)

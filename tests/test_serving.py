@@ -1,0 +1,405 @@
+"""Multi-process sharded serving: wire protocol, spec recipes, router
+policy (admission / SLO scheduling), worker-pool end-to-end bit-exactness,
+crash recovery, and cross-process graph-plan / profile round-trips.
+
+The process-spawning tests use real ``spawn``-context workers (fresh
+interpreters, JSON pipes only) — they are the acceptance tests for the
+"no pickle of live objects" transport contract.
+"""
+
+import json
+import math
+import multiprocessing as mp
+
+import pytest
+
+from repro.errors import VMError
+from repro.llm.batching import Request
+from repro.serving import (
+    CRASH_EXIT_CODE,
+    Router,
+    WorkerPool,
+    WorkerSpec,
+    bursty_trace,
+    poisson_trace,
+    recv_msg,
+    request_from_wire,
+    request_to_wire,
+    send_msg,
+)
+
+#: A deliberately tiny engine so every spawned worker compiles in a
+#: fraction of a second.
+TINY = WorkerSpec(
+    linear_k=64, linear_n=16, linear_dtype="i6", linear_group=32,
+    max_batch=4, num_streams=2,
+)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop arrival generators
+# ---------------------------------------------------------------------------
+
+
+class TestArrivals:
+    def test_poisson_is_deterministic_and_sorted(self):
+        a = poisson_trace(32, rate_rps=10.0, seed=3)
+        b = poisson_trace(32, rate_rps=10.0, seed=3)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+
+    def test_poisson_seed_changes_trace(self):
+        a = poisson_trace(32, rate_rps=10.0, seed=3)
+        b = poisson_trace(32, rate_rps=10.0, seed=4)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_poisson_rate_sets_mean_gap(self):
+        trace = poisson_trace(2000, rate_rps=50.0, seed=0)
+        span = trace[-1].arrival_s - trace[0].arrival_s
+        mean_gap = span / (len(trace) - 1)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.15)
+
+    def test_rids_priorities_and_slo_assigned(self):
+        trace = poisson_trace(
+            6, rate_rps=10.0, priorities=(0, 2), slo_s=1.5, rid_base=100
+        )
+        assert [r.rid for r in trace] == list(range(100, 106))
+        assert [r.priority for r in trace] == [0, 2, 0, 2, 0, 2]
+        assert all(r.slo_s == 1.5 for r in trace)
+        assert all(r.deadline_s == r.arrival_s + 1.5 for r in trace)
+
+    def test_bursty_structure(self):
+        trace = bursty_trace(3, 4, burst_gap_s=2.0)
+        assert len(trace) == 12
+        for burst in range(3):
+            group = trace[burst * 4 : (burst + 1) * 4]
+            assert all(r.arrival_s == burst * 2.0 for r in group)
+
+    def test_bursty_jitter_stays_in_window(self):
+        trace = bursty_trace(2, 8, burst_gap_s=5.0, jitter_s=0.5, seed=1)
+        for r in trace[:8]:
+            assert 0.0 <= r.arrival_s <= 0.5
+        for r in trace[8:]:
+            assert 5.0 <= r.arrival_s <= 5.5
+
+    def test_empty_and_invalid(self):
+        assert poisson_trace(0, rate_rps=1.0) == []
+        assert bursty_trace(0, 4, 1.0) == []
+        with pytest.raises(ValueError):
+            poisson_trace(4, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            bursty_trace(2, 2, burst_gap_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestWireProtocol:
+    def test_message_round_trip_over_pipe(self):
+        a, b = mp.Pipe()
+        send_msg(a, "run", requests=[{"rid": 1}], note="x")
+        msg = recv_msg(b)
+        assert msg["type"] == "run"
+        assert msg["requests"] == [{"rid": 1}]
+        assert msg["note"] == "x"
+
+    def test_unknown_type_rejected_on_send(self):
+        a, _ = mp.Pipe()
+        with pytest.raises(VMError, match="unknown serving message type"):
+            send_msg(a, "teleport")
+
+    def test_version_mismatch_rejected_on_receive(self):
+        a, b = mp.Pipe()
+        a.send_bytes(json.dumps({"v": 99, "type": "ready"}).encode())
+        with pytest.raises(VMError, match="version mismatch"):
+            recv_msg(b)
+
+    def test_garbage_bytes_rejected(self):
+        a, b = mp.Pipe()
+        a.send_bytes(b"\xff\xfenot json")
+        with pytest.raises(VMError, match="malformed"):
+            recv_msg(b)
+
+    def test_request_round_trip(self):
+        request = Request(
+            arrival_s=1.25, prompt_tokens=64, output_tokens=8,
+            rid=7, priority=3, slo_s=2.5,
+        )
+        assert request_from_wire(request_to_wire(request)) == request
+
+    def test_best_effort_slo_survives_json(self):
+        """``inf`` has no strict-JSON encoding: it travels as null."""
+        request = Request(0.0, 16, 4, rid=1)
+        wire = request_to_wire(request)
+        assert wire["slo_s"] is None
+        json.dumps(wire)  # strictly serializable
+        back = request_from_wire(json.loads(json.dumps(wire)))
+        assert back.slo_s == math.inf
+        assert back == request
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(VMError, match="malformed wire request"):
+            request_from_wire({"rid": 1})
+
+
+# ---------------------------------------------------------------------------
+# Worker spec: the deterministic rebuild recipe
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerSpec:
+    def test_json_round_trip(self):
+        spec = WorkerSpec(
+            model="Gemma-2-9B", system="ladder", weight_dtype="u4",
+            linear_k=128, linear_n=32, weight_seed=9, max_batch=6,
+            adaptive=True, profile=True,
+        )
+        assert WorkerSpec.from_json(spec.to_json()) == spec
+
+    def test_wrong_kind_and_version_rejected(self):
+        with pytest.raises(VMError, match="not a worker-spec"):
+            WorkerSpec.from_json(json.dumps({"kind": "other", "version": 1}))
+        body = json.loads(WorkerSpec().to_json())
+        body["version"] = 99
+        with pytest.raises(VMError, match="version mismatch"):
+            WorkerSpec.from_json(json.dumps(body))
+        with pytest.raises(VMError, match="malformed worker spec"):
+            WorkerSpec.from_json(json.dumps({"kind": "worker-spec", "version": 1,
+                                             "no_such_field": 1}))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(VMError, match="unknown model"):
+            WorkerSpec(model="GPT-17").model_config()
+
+    def test_rebuild_is_bit_deterministic(self):
+        """Two independent builds from one recipe decode identical bits —
+        the property the whole JSON-only transport rests on."""
+        trace = poisson_trace(2, rate_rps=100.0, prompt_tokens=32, output_tokens=2)
+        digests = []
+        for _ in range(2):
+            outcome = TINY.build_simulator().run(trace)
+            digests.append({r.request.rid: r.output_digest for r in outcome.results})
+        assert digests[0] == digests[1]
+        assert all(d is not None for d in digests[0].values())
+
+
+# ---------------------------------------------------------------------------
+# Router policy (no processes: admission + scheduling are pure)
+# ---------------------------------------------------------------------------
+
+
+def _policy_router(num_workers=2, **kwargs) -> Router:
+    """A router over an *unstarted* pool: admission and scheduling never
+    touch worker processes."""
+    return Router(WorkerPool(TINY, num_workers), **kwargs)
+
+
+class TestRouterPolicy:
+    def test_schedule_priority_then_deadline_then_arrival(self):
+        low_late = Request(0.0, 8, 1, rid=0, priority=0, slo_s=9.0)
+        low_soon = Request(0.2, 8, 1, rid=1, priority=0, slo_s=1.0)
+        high = Request(0.5, 8, 1, rid=2, priority=5, slo_s=8.0)
+        best_effort = Request(0.0, 8, 1, rid=3, priority=0)
+        order = Router.schedule([low_late, low_soon, high, best_effort])
+        assert [r.rid for r in order] == [2, 1, 0, 3]
+
+    def test_schedule_is_total_and_deterministic(self):
+        twins = [Request(0.0, 8, 1, rid=i) for i in (5, 3, 4)]
+        assert [r.rid for r in Router.schedule(twins)] == [3, 4, 5]
+
+    def test_estimate_grows_with_output_tokens(self):
+        router = _policy_router()
+        short = Request(0.0, 64, 4, rid=0)
+        long = Request(0.0, 64, 64, rid=1)
+        assert router.estimate_service_s(long) > router.estimate_service_s(short)
+
+    def test_admission_open_by_default(self):
+        router = _policy_router()
+        trace = poisson_trace(20, rate_rps=1000.0)
+        admitted, rejected = router.admit(trace)
+        assert len(admitted) == 20 and not rejected
+
+    def test_admission_sheds_overload(self):
+        """With zero queueing tolerance, a burst beyond the pool's slot
+        capacity is rejected at the door — and exactly the overflow."""
+        router = _policy_router(num_workers=1, admission_wait_s=0.0)
+        capacity = TINY.max_batch  # one worker
+        burst = [Request(0.0, 512, 64, rid=i) for i in range(capacity + 5)]
+        admitted, rejected = router.admit(burst)
+        assert len(admitted) == capacity
+        assert len(rejected) == 5
+
+    def test_admission_queue_bound(self):
+        router = _policy_router(num_workers=1, max_queue=2)
+        burst = [Request(0.0, 512, 64, rid=i) for i in range(TINY.max_batch + 10)]
+        admitted, rejected = router.admit(burst)
+        assert len(admitted) == TINY.max_batch + 2
+        assert len(rejected) == 8
+
+    def test_admission_recovers_after_idle(self):
+        """Slots free up in virtual time: a second burst after a long
+        gap is admitted even when the first filled every slot."""
+        router = _policy_router(num_workers=1, admission_wait_s=0.0)
+        first = [Request(0.0, 64, 4, rid=i) for i in range(TINY.max_batch)]
+        second = [Request(1e6, 64, 4, rid=100 + i) for i in range(TINY.max_batch)]
+        admitted, rejected = router.admit(first + second)
+        assert len(admitted) == 2 * TINY.max_batch and not rejected
+
+    def test_router_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            _policy_router(chunk_size=0)
+        with pytest.raises(ValueError):
+            WorkerPool(TINY, 0)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool end-to-end (real spawned processes)
+# ---------------------------------------------------------------------------
+
+
+class TestPoolServing:
+    def test_pool_serves_bit_exactly_vs_oracle(self):
+        """Two workers serve a Poisson trace; every digest matches the
+        single-process serial oracle and the simulated timings gate."""
+        trace = poisson_trace(
+            8, rate_rps=1000.0, prompt_tokens=32, output_tokens=3, slo_s=30.0
+        )
+        with WorkerPool(TINY, 2) as pool:
+            result = Router(pool, chunk_size=3).serve(trace, timeout_s=180.0)
+        assert result.num_completed == len(trace)
+        assert not result.rejected
+        assert result.respawns == 0
+        oracle = TINY.build_simulator().run(trace)
+        oracle_digests = {r.request.rid: r.output_digest for r in oracle.results}
+        assert result.digests() == oracle_digests
+        assert result.kernel_launches == oracle.kernel_launches
+        # Simulated metrics are populated and ordered sensibly.
+        assert 0.0 < result.latency_percentile(50) <= result.latency_percentile(99)
+        assert 0.0 < result.simulated_makespan_s
+        assert result.slo_attainment == 1.0
+        assert set(result.worker_time_s) <= {0, 1}
+
+    def test_worker_crash_loses_nothing(self):
+        """A worker killed mid-chunk: the router re-dispatches the chunk,
+        respawns the worker, and completes every request bit-exactly."""
+        trace = poisson_trace(
+            10, rate_rps=1000.0, prompt_tokens=32, output_tokens=3
+        )
+        killed = []
+
+        def chaos(worker, dispatch_count):
+            if dispatch_count == 2 and not killed:
+                killed.append(worker)
+                return "kill"
+
+        with WorkerPool(TINY, 2) as pool:
+            result = Router(pool, chunk_size=3).serve(
+                trace, timeout_s=180.0, on_dispatch=chaos
+            )
+        assert killed, "fault injection never fired"
+        assert result.respawns == 1
+        assert result.redispatched == 3
+        assert result.num_completed == len(trace)
+        rids = sorted(r.request.rid for r in result.completed)
+        assert rids == [r.rid for r in trace], "requests lost or duplicated"
+        oracle = TINY.build_simulator().run(trace)
+        assert result.digests() == {
+            r.request.rid: r.output_digest for r in oracle.results
+        }
+
+    def test_crash_message_hard_exits_worker(self):
+        """The in-band fault injection: ``crash`` makes the process die
+        with no reply (``os._exit``), and respawn brings it back."""
+        pool = WorkerPool(TINY, 1)
+        try:
+            pool.start()
+            handle = pool.handles[0]
+            process = handle.process
+            pool.inject_crash(0)
+            process.join(timeout=30.0)
+            assert process.exitcode == CRASH_EXIT_CODE
+            handle.respawn()
+            assert handle.alive
+            assert handle.respawns == 1
+            trace = poisson_trace(2, rate_rps=100.0, prompt_tokens=32,
+                                  output_tokens=2)
+            result = Router(pool, chunk_size=2).serve(trace, timeout_s=180.0)
+            assert result.num_completed == 2
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Cross-process state transfer: graph plans + profiles through a real
+# spawned worker (the ExecutionGraph/Profile JSON round-trip acceptance)
+# ---------------------------------------------------------------------------
+
+
+class TestCrossProcessState:
+    def test_plans_and_profile_round_trip_through_worker(self):
+        from repro.runtime.engine import LocalEngine
+        from repro.runtime.graphs import GraphPlan
+        from repro.runtime.profiling import Profile, spec_string
+
+        spec = WorkerSpec(
+            linear_k=64, linear_n=16, linear_dtype="i6", linear_group=32,
+            max_batch=3, num_streams=2, profile=True,
+        )
+        chunk = poisson_trace(
+            3, rate_rps=1000.0, prompt_tokens=32, output_tokens=3
+        )
+        with WorkerPool(spec, 1) as pool:
+            result = Router(pool, chunk_size=3).serve(chunk, timeout_s=180.0)
+            state = pool.pull_state(0)
+        assert result.num_completed == 3
+
+        # The parent rebuilds the identical engine from the same recipe
+        # and serves the same chunk.
+        sim = spec.build_simulator()
+        parent = sim.run(chunk)
+
+        # 1. Replay bit-exactness across the process boundary: every
+        #    worker digest equals the parent's.
+        assert result.digests() == {
+            r.request.rid: r.output_digest for r in parent.results
+        }
+
+        # 2. Graph plans: the worker captured one graph per batch size;
+        #    signature, placement, engines and hazard edges all match
+        #    the parent's captures, field for field, through JSON.
+        assert set(state["plans"]) == {str(b) for b in sim._graphs}
+        for batch, graph in sim._graphs.items():
+            worker_plan = json.loads(state["plans"][str(batch)])
+            parent_plan = json.loads(LocalEngine.plan_json(graph))
+            assert worker_plan == parent_plan
+
+        # 3. The worker's plan applies onto the parent's graph: node-level
+        #    validation passes and the re-placed graph replays.
+        batch = max(sim._graphs)
+        live = getattr(sim._graphs[batch], "live", sim._graphs[batch])
+        applied = live.apply_plan(GraphPlan.from_json(state["plans"][str(batch)]))
+        assert applied.signature == live.signature
+        assert [n.stream_index for n in applied.nodes] == [
+            n.stream_index for n in live.nodes
+        ]
+        applied.replay()  # decode kernels are pure: idempotent re-execution
+        sim.decode_linear.runtime.synchronize()
+
+        # 4. The worker's profile parses, carries the parent graph's
+        #    signature and the decode kernel's spec, and absorbs into a
+        #    fresh local engine (the fleet warm-start path).
+        worker_profile = Profile.from_json(state["profile"])
+        assert worker_profile.graph_nodes(live.signature)
+        decode_spec = spec_string(live.nodes[0].key)
+        assert worker_profile.spec_seconds(decode_spec) is not None
+        engine = LocalEngine()
+        absorbed = engine.absorb_profile_json(state["profile"])
+        assert absorbed.spec_seconds(decode_spec) is not None
+
+        # 5. Cache counters crossed as plain JSON numbers.
+        assert state["cache"]["misses"] >= 1
+        assert state["cache"]["hits"] >= 1

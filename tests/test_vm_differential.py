@@ -47,6 +47,7 @@ BASELINE_MODES = {
     "graph-replay",
     "graph-optimized",
     "adaptive",
+    "plan-roundtrip",
 }
 
 
