@@ -26,10 +26,13 @@ stack (4 spawned worker processes behind the router's admission + SLO
 scheduling serving an open-loop Poisson burst — asserting the >= 2.5x
 simulated-throughput target over the single-process simulator,
 bit-exact output digests vs the serial oracle, and the p50/p99 latency
-gates), and reports the specialization cache hit rate of a
+gates), the tiered JIT (the pass-pipeline-lowered compiled kernel vs
+the batched engine on the quantized-matmul template family — asserting
+the >= 3x target and bit-exactness, with the one-time lowering cost
+reported), and reports the specialization cache hit rate of a
 repeated-launch scenario.  ``--section
-engine|streams|graphs|pgo|adaptive|serving|all`` selects which quick
-checks run (the CI matrix runs them as separate jobs); an unknown
+engine|streams|graphs|pgo|adaptive|serving|jit|all`` selects which
+quick checks run (the CI matrix runs them as separate jobs); an unknown
 section is rejected with the list of valid ones.
 """
 
@@ -808,8 +811,60 @@ def quick_report(min_speedup: float = 3.0, launches: int = 20) -> dict:
     return report
 
 
+def jit_report(min_speedup: float = 3.0) -> dict:
+    """Measure the compiled tier against the batched engine on the
+    quantized-matmul template family and assert the >= 3x target.
+
+    Each template instantiation (direct and software-pipelined) is
+    lowered once through the pass pipeline (const-fold -> unroll ->
+    flatten) and the compiled kernel is raced against the batched
+    executor on the same device image; outputs must agree byte for
+    byte.  The one-time lowering cost is reported separately — it is
+    what the runtime's heat threshold amortizes."""
+    from repro.compiler.lower import lower_program
+
+    report: dict = {}
+    worst = float("inf")
+    for label, stages in (("direct", 1), ("pipelined", 2)):
+        interp, prog, args = _setup_matmul(m=32, n=16, k=64, stages=stages)
+        memory = interp.memory
+        batched = BatchedExecutor(memory, stats=interp.stats)
+        start = time.perf_counter()
+        kernel = lower_program(prog, args, memory)
+        lower_ms = (time.perf_counter() - start) * 1e3
+
+        batched.launch(prog, args)
+        want = interp.download(args[-1], [32, 16], float16).copy()
+        kernel.run(memory, args)
+        got = interp.download(args[-1], [32, 16], float16)
+        assert np.array_equal(want, got), (
+            f"compiled {label} matmul diverged from the batched engine"
+        )
+
+        t_bat = _time_best(lambda: batched.launch(prog, args))
+        t_jit = _time_best(lambda: kernel.run(memory, args))
+        speedup = t_bat / t_jit
+        worst = min(worst, speedup)
+        report[label] = {
+            "batched_ms": t_bat * 1e3,
+            "compiled_ms": t_jit * 1e3,
+            "lowering_ms": lower_ms,
+            "speedup": speedup,
+        }
+        print(
+            f"matmul template ({label}): batched {t_bat * 1e3:.2f} ms, "
+            f"compiled {t_jit * 1e3:.2f} ms -> {speedup:.1f}x speedup "
+            f"(lowering once: {lower_ms:.1f} ms)"
+        )
+    assert worst >= min_speedup, (
+        f"compiled-tier speedup {worst:.2f}x below the "
+        f"{min_speedup:.1f}x target"
+    )
+    return report
+
+
 #: Quick-mode sections, in run order.  ``--section all`` runs every one.
-SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive", "serving")
+SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive", "serving", "jit")
 
 
 def main() -> None:
@@ -854,6 +909,13 @@ def main() -> None:
         "throughput floor",
     )
     parser.add_argument(
+        "--min-jit-speedup",
+        type=float,
+        default=3.0,
+        help="compiled tier vs batched engine speedup floor on the "
+        "matmul template family",
+    )
+    parser.add_argument(
         "--max-serving-p99",
         type=float,
         default=60.0,
@@ -884,6 +946,8 @@ def main() -> None:
                 min_speedup=args.min_serving_speedup,
                 max_p99_s=args.max_serving_p99,
             )
+        if args.section in ("jit", "all"):
+            jit_report(min_speedup=args.min_jit_speedup)
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import AutotuneError, CompilationError
@@ -141,11 +142,45 @@ class AutotuneResult:
 
 
 class Autotuner:
-    """Memoizing tuner: one search per (workload shape, dtype, gpu)."""
+    """Memoizing tuner: one search per (workload shape, dtype, gpu).
 
-    def __init__(self, gpu: GpuSpec = L40S) -> None:
+    The memo is a bounded LRU — the same discipline as the runtime's
+    kernel specialization cache — so a long-lived tuner fed a stream of
+    distinct workloads (a serving fleet re-tuning per shape) holds at
+    most ``max_entries`` results instead of growing without bound.
+    ``hits``/``misses``/``evictions`` expose the behaviour to tests and
+    serving counters.
+    """
+
+    def __init__(self, gpu: GpuSpec = L40S, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.gpu = gpu
-        self._cache: dict[tuple, AutotuneResult] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the memo ------------------------------------------------------------
+    def _cache_get(self, key: tuple):
+        """The memoized entry for ``key`` (refreshing recency), or None.
+        Counts the hit; the miss is counted by :meth:`_cache_put` callers
+        via the ``None`` return (stale ``tune_profiled`` stamps count as
+        misses there, not here)."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        self._cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: tuple, entry) -> None:
+        self.misses += 1
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
 
     def _key(self, workload: MatmulWorkload) -> tuple:
         return (
@@ -160,8 +195,10 @@ class Autotuner:
     def tune(self, workload: MatmulWorkload) -> AutotuneResult:
         """Return the best configuration for ``workload`` (memoized)."""
         key = self._key(workload)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
         candidates = enumerate_valid_configs(workload, self.gpu)
         if not candidates:
             raise AutotuneError(
@@ -174,7 +211,7 @@ class Autotuner:
         scored.sort(key=lambda pair: pair[0])
         best_latency, best_cfg = scored[0]
         result = AutotuneResult(best_cfg, best_latency, len(candidates))
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def cache_size(self) -> int:
@@ -269,8 +306,10 @@ class Autotuner:
         from repro.runtime import Runtime
 
         key = self._key(workload) + ("measured",)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
         trials = self._trial_configs(workload, top_k)
         runtime = runtime if runtime is not None else Runtime()
         rng = np.random.default_rng(0)
@@ -280,7 +319,7 @@ class Autotuner:
             if elapsed < best_time:
                 best_cfg, best_time = cfg, elapsed
         result = AutotuneResult(best_cfg, best_time, len(trials))
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     # -- profile-guided tuning -----------------------------------------------
@@ -332,8 +371,9 @@ class Autotuner:
             profile = getattr(profile, "profile", profile)
         key = self._key(workload) + ("profiled",)
         stamp = profile.stamp() if profile is not None else None
-        cached = self._cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None and cached[0] == stamp:
+            self.hits += 1
             return cached[1]
         trials = self._trial_configs(workload, top_k)
         rng = np.random.default_rng(0)
@@ -355,5 +395,5 @@ class Autotuner:
             if elapsed < best_time:
                 best_cfg, best_time = cfg, elapsed
         result = AutotuneResult(best_cfg, best_time, len(trials))
-        self._cache[key] = (stamp, result)
+        self._cache_put(key, (stamp, result))
         return result

@@ -11,6 +11,12 @@ from repro.compiler.banks import (
 )
 from repro.compiler.codegen import cuda_type, expr_to_c, generate_cuda
 from repro.compiler.dce import eliminate_dead_code
+from repro.compiler.lower import (
+    PASS_NAMES,
+    LoweredKernel,
+    LoweringBailout,
+    lower_program,
+)
 from repro.compiler.lowprec import (
     CastRecipe,
     build_cast_recipe,
@@ -49,6 +55,10 @@ __all__ = [
     "recommend_swizzle",
     "shared_load_conflicts",
     "eliminate_dead_code",
+    "lower_program",
+    "LoweredKernel",
+    "LoweringBailout",
+    "PASS_NAMES",
     "compile_program",
     "CompiledKernel",
     "program_fingerprint",

@@ -142,6 +142,11 @@ class TraceResult:
     #: Automatic live-graph swaps the adaptive policy performed during
     #: this trace (``adaptive=True``); zero otherwise.
     auto_reoptimizations: int = 0
+    #: Compiled-tier counters (``jit=True``): hot specializations the JIT
+    #: lowered to straight-line compiled kernels during this trace, and
+    #: how many decode executions ran through them.  Zero otherwise.
+    jit_compiled: int = 0
+    jit_promotions: int = 0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -201,6 +206,12 @@ class ContinuousBatchingSimulator:
     puts the decode graphs under online auto-reoptimization and makes
     new batch sizes capture profile-guided; swaps are counted on
     ``TraceResult.auto_reoptimizations``.
+    ``jit=True`` attaches the operator runtime's compiled tier
+    (:meth:`~repro.runtime.runtime.Runtime.enable_jit`): the decode
+    kernel's specialization accumulates profiled heat and, once hot,
+    executes as a flattened compiled kernel instead of re-entering the
+    interpreter every step — bit-exact, counted on
+    ``TraceResult.jit_compiled`` / ``jit_promotions``.
     """
 
     def __init__(
@@ -213,6 +224,7 @@ class ContinuousBatchingSimulator:
         use_graphs: bool = True,
         profile: bool = False,
         adaptive=False,
+        jit: bool = False,
     ) -> None:
         self.model = model
         self.config = config
@@ -243,6 +255,10 @@ class ContinuousBatchingSimulator:
             )
         else:
             self._policy = None
+        #: Whether the compiled tier is attached to the operator runtime.
+        self._jit = bool(jit) and decode_linear is not None
+        if self._jit:
+            decode_linear.runtime.enable_jit()
         #: One captured decode-step graph per batch size, with the
         #: binding layout it was captured against.
         self._graphs: dict = {}
@@ -252,11 +268,12 @@ class ContinuousBatchingSimulator:
         pending = sorted(requests, key=lambda r: r.arrival_s)
         inflight: list[_Inflight] = []
         outcome = TraceResult()
-        # The adaptive policy is fed by profiled replays, so adaptive
-        # runs profile even when the caller did not ask to keep the
-        # profile (outcome.profile stays None unless profile=True).
+        # The adaptive policy is fed by profiled replays, and JIT
+        # promotion is driven by profiled heat, so both run profiled
+        # even when the caller did not ask to keep the profile
+        # (outcome.profile stays None unless profile=True).
         profiling = (
-            self.profile or self._policy is not None
+            self.profile or self._policy is not None or self._jit
         ) and self.decode_linear is not None
         if profiling:
             # Fresh profile per run so the trace's records are its own
@@ -270,11 +287,17 @@ class ContinuousBatchingSimulator:
             if self.profile:
                 outcome.profile = fresh
         swaps_before = self._policy.swaps if self._policy is not None else 0
+        jit = self.decode_linear.runtime.jit if self._jit else None
+        compiled_before = jit.compiled if jit is not None else 0
+        promotions_before = jit.promotions if jit is not None else 0
         try:
             return self._run_loop(pending, inflight, outcome)
         finally:
             if self._policy is not None:
                 outcome.auto_reoptimizations = self._policy.swaps - swaps_before
+            if jit is not None:
+                outcome.jit_compiled = jit.compiled - compiled_before
+                outcome.jit_promotions = jit.promotions - promotions_before
             if profiling:
                 runtime.disable_profiling()
                 if prior is not None:

@@ -3,6 +3,7 @@
 from repro.runtime.adaptive import AdaptiveGraph, AdaptivePolicy
 from repro.runtime.engine import LocalEngine
 from repro.runtime.graphs import ExecutionGraph, GraphNode, GraphPlan
+from repro.runtime.jit import JitCache, JitManager
 from repro.runtime.profiling import NodeProfile, Profile
 from repro.runtime.runtime import (
     ExecutionContext,
@@ -29,6 +30,8 @@ __all__ = [
     "ExecutionGraph",
     "GraphNode",
     "GraphPlan",
+    "JitCache",
+    "JitManager",
     "LocalEngine",
     "Stream",
     "StreamPool",

@@ -187,6 +187,12 @@ class AdaptiveGraph:
         self._lock = threading.Lock()
         #: Profiled replays observed since management began.
         self._profiled_replays = 0
+        #: Replay count at the last policy evaluation — the window
+        #: anchor.  Evaluation triggers on ``replays - last >= warmup``,
+        #: never on exact multiples: a counter that jumps past a
+        #: boundary (racing replays, external perturbation) still
+        #: evaluates within one warmup window instead of never again.
+        self._last_evaluated = 0
         #: (signature, profiler, per-ident (calls, wall)) at the last
         #: evaluation — the window baseline.  Holds the profiler object
         #: itself: an ``id()`` could be reused by a later allocation and
@@ -372,8 +378,15 @@ class AdaptivePolicy:
         self.profile = profiler  # single store: atomic
         with agraph._lock:
             agraph._profiled_replays += 1
-            if agraph._profiled_replays % self.warmup_replays != 0:
+            # Threshold check, not a modulo: a counter that skips past
+            # the exact multiple (replays racing an evaluation, or any
+            # batch of increments landing together) would never hit
+            # ``% warmup == 0`` again and the graph would never
+            # reoptimize.  The anchor makes every window boundary
+            # reachable regardless of how the count got there.
+            if agraph._profiled_replays - agraph._last_evaluated < self.warmup_replays:
                 return
+            agraph._last_evaluated = agraph._profiled_replays
             self._evaluate(agraph, image, profiler)
 
     def _evaluate(self, agraph: AdaptiveGraph, image, profiler: Profile) -> None:

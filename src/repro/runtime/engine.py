@@ -48,7 +48,10 @@ class LocalEngine:
 
     ``adaptive=True`` (or a concrete policy) attaches the online
     auto-reoptimization loop exactly as ``runtime.enable_adaptive()``
-    would; ``profile=True`` starts recording immediately.
+    would; ``profile=True`` starts recording immediately; ``jit=True``
+    attaches the compiled tier exactly as ``runtime.enable_jit()``
+    would, so hot specializations promote out of the interpreter with
+    no further API surface.
     """
 
     def __init__(
@@ -58,6 +61,7 @@ class LocalEngine:
         cache_entries: int = 128,
         profile: bool = False,
         adaptive=False,
+        jit: bool = False,
     ) -> None:
         self.runtime = Runtime(
             dram_bytes=dram_bytes, engine=engine, cache_entries=cache_entries
@@ -67,6 +71,8 @@ class LocalEngine:
             self.runtime.enable_adaptive(policy)
         if profile:
             self.runtime.enable_profiling()
+        if jit:
+            self.runtime.enable_jit()
 
     # -- execution (pure delegation) ----------------------------------------
     def upload(self, values, dtype) -> int:
@@ -101,6 +107,11 @@ class LocalEngine:
     @property
     def profiler(self) -> Profile | None:
         return self.runtime.profiler
+
+    @property
+    def jit(self):
+        """The attached JIT manager (compiled tier), or None."""
+        return self.runtime.jit
 
     # -- JSON state transport ------------------------------------------------
     def profile_json(self) -> str:
@@ -142,5 +153,6 @@ class LocalEngine:
         return (
             f"LocalEngine({self.runtime.cache!r}, "
             f"profiling={'on' if self.runtime.profiler is not None else 'off'}, "
-            f"adaptive={'on' if self.runtime.adaptive is not None else 'off'})"
+            f"adaptive={'on' if self.runtime.adaptive is not None else 'off'}, "
+            f"jit={'on' if self.runtime.jit is not None else 'off'})"
         )

@@ -334,7 +334,7 @@ class _GroupTask(StreamTask):
     waits excluded) and attributed to the group's nodes."""
 
     __slots__ = ("group", "group_index", "args_list", "dep_events",
-                 "done_event", "state", "graph")
+                 "done_event", "state", "graph", "engine_used")
 
     def __init__(self, group: _Group, group_index, args_list, dep_events,
                  done_event, state, graph) -> None:
@@ -345,16 +345,32 @@ class _GroupTask(StreamTask):
         self.done_event = done_event
         self.state = state
         self.graph = graph
+        #: Engine that actually executed (the compiled tier may promote
+        #: a single-node group past its frozen choice at replay time).
+        self.engine_used = group.engine
 
     def _execute(self, stream: Stream) -> None:
         group = self.group
         if len(self.args_list) == 1:
+            args = self.args_list[0]
+            jit = stream.pool.jit
+            if jit is not None:
+                node = self.graph.nodes[group.node_indices[0]]
+                compiled = jit.maybe_compile(
+                    group.program, args, stream.pool.profiler, key=node.key
+                )
+                if compiled is not None:
+                    self.engine_used = "compiled"
+                    jit.run(compiled, args, stream.stats)
+                    stream.launches += 1
+                    stream.executions += 1
+                    return
             engine = (
                 stream.batched
                 if group.engine == "batched"
                 else stream.interpreter
             )
-            engine.launch(group.program, self.args_list[0])
+            engine.launch(group.program, args)
         else:
             stream.batched.launch_many(group.program, self.args_list)
         stream.launches += len(self.args_list)
@@ -377,6 +393,7 @@ class _GroupTask(StreamTask):
                         timer.wall,
                         timer.delta,
                         group=self.group_index,
+                        engine=self.engine_used,
                     )
         except BaseException as exc:  # noqa: BLE001 — surfaced by replay()
             self.state.fail(exc)
@@ -475,6 +492,12 @@ class ExecutionGraph:
         choice = engine
         if choice == "auto":
             choice = self._guided_engine(program, grid, key)
+        elif choice == "compiled":
+            # The compiled tier is an execution-time decision (replay
+            # tasks promote hot nodes themselves); captured nodes only
+            # ever freeze an interpreted engine, keeping plans portable
+            # to processes without a JIT manager attached.
+            choice = "batched"
         node = GraphNode(
             index=len(self.nodes),
             program=program,
@@ -501,6 +524,12 @@ class ExecutionGraph:
         """
         if self._capture_profile is not None:
             measured = self._capture_profile.spec_engine_seconds(spec_string(key))
+            # Only the interpreted engines are capture-time choices; the
+            # compiled tier's records must not elect "compiled" as a
+            # frozen node engine (promotion happens at replay).
+            measured = {
+                e: s for e, s in measured.items() if e in ("sequential", "batched")
+            }
             if len(measured) >= 2:
                 return min(measured.items(), key=lambda kv: (kv[1], kv[0]))[0]
         return select_engine(program, grid)
@@ -780,18 +809,36 @@ class ExecutionGraph:
             stdout=pool.stdout,
         )
         profiler = pool.profiler
+        jit = pool.jit
         for node in self.nodes:
-            engine = batched if node.engine == "batched" else interpreter
+            args = self._bound_args[node.index]
+            compiled = (
+                jit.maybe_compile(node.program, args, profiler, key=node.key)
+                if jit is not None
+                else None
+            )
+
+            def execute() -> None:
+                if compiled is not None:
+                    jit.run(compiled, args, stream0.stats)
+                else:
+                    engine = batched if node.engine == "batched" else interpreter
+                    engine.launch(node.program, args)
+
             if profiler is None:
-                engine.launch(node.program, self._bound_args[node.index])
+                execute()
             else:
                 # The serial oracle is also the cheapest profile
                 # collector: one engine invocation per node gives exact
                 # (not group-amortized) per-node costs.
                 with StatsTimer(stream0.stats) as timer:
-                    engine.launch(node.program, self._bound_args[node.index])
+                    execute()
                 self._record_nodes(
-                    profiler, [node.index], timer.wall, timer.delta
+                    profiler,
+                    [node.index],
+                    timer.wall,
+                    timer.delta,
+                    engine="compiled" if compiled is not None else None,
                 )
         stream0.launches += len(self.nodes)
         stream0.executions += len(self.nodes)
@@ -804,6 +851,7 @@ class ExecutionGraph:
         wall_s: float,
         stats_delta: Mapping,
         group: int | None = None,
+        engine: str | None = None,
     ) -> None:
         """Attribute one engine invocation to the given nodes under this
         graph's signature scope (an even split across a coalesced group —
@@ -811,7 +859,10 @@ class ExecutionGraph:
         counters split remainder-exactly).  Graph nodes record under
         their *frozen* stream so every node keeps a unique profile site
         regardless of which thread executed it (the serial oracle runs
-        them all on the calling thread, for instance)."""
+        them all on the calling thread, for instance).  ``engine``
+        overrides the frozen engine choice when the compiled tier
+        promoted the execution past it — compiled time must not pollute
+        the interpreted tiers' promotion heat or capture-time costs."""
         n = len(node_indices)
         shares = split_counts(stats_delta, n)
         for ni, share in zip(node_indices, shares):
@@ -821,7 +872,7 @@ class ExecutionGraph:
                 ni,
                 node.program.name,
                 spec_string(node.key),
-                node.engine,
+                engine if engine is not None else node.engine,
                 node.stream_index,
                 wall_s / n,
                 stats_delta=share,

@@ -1,0 +1,244 @@
+"""The compiled execution tier: profile-driven promotion of hot
+specializations out of the interpreters.
+
+The two interpreted engines — the sequential interpreter and the
+grid-vectorized batched executor — both pay per-statement Python
+dispatch on every launch.  The lowering pipeline
+(:mod:`repro.compiler.lower`) removes that cost for an
+already-specialized launch by partially evaluating the batched engine's
+statement walk at compile time and emitting flat, straight-line numpy
+source.  This module is the *runtime* half of the tier:
+
+- :class:`JitCache` — a bounded LRU of
+  :class:`~repro.compiler.lower.LoweredKernel` objects keyed by
+  :func:`~repro.compiler.pipeline.specialization_key`, the same
+  discipline (and the same key) as the runtime's
+  :class:`~repro.runtime.runtime.SpecializationCache`, so a compiled
+  kernel lives alongside its interpreted specialization;
+- :class:`JitManager` — the promotion policy plus a bounded *bailout
+  memo*: specializations the pipeline declined (``LoweringBailout``) are
+  remembered so a hot-but-unloweable signature does not re-attempt the
+  whole pass pipeline on every launch.
+
+Promotion is profile-driven, closing the tiered-PGO loop: the adaptive
+runtime already records per-specialization wall time
+(:meth:`~repro.runtime.profiling.Profile.spec_heat`, fed by the same
+profiled replays that drive :class:`~repro.runtime.adaptive.
+AdaptivePolicy`); once a signature's accumulated interpreted time
+clears ``threshold_s``, the next launch compiles it and every launch
+after that runs the cached callable — interpret → batched → compiled,
+with no API change at any call site.  Cold signatures never pay a
+compile; promoted signatures stay promoted for the manager's lifetime
+(the cache hit short-circuits the heat check, so a profiler reset — the
+serving loop installs a fresh profile per trace — cannot demote them).
+
+Execution stays bit-exact: lowering either reproduces the batched
+engine's results (and error behaviour, and statistics) exactly, or
+bails out and the launch falls back to the batched engine.  The
+differential harness locks the tier in as its 8th mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+from repro.compiler.lower import LoweredKernel, LoweringBailout, lower_program
+from repro.compiler.pipeline import specialization_key
+from repro.runtime.profiling import Profile, spec_string
+from repro.vm.interp import ExecutionStats
+from repro.vm.memory import GlobalMemory
+
+#: Accumulated interpreted seconds per specialization before it promotes.
+DEFAULT_THRESHOLD_S = 0.02
+
+#: Compiled kernels kept per manager (LRU beyond this).
+DEFAULT_MAX_ENTRIES = 64
+
+
+class JitCache:
+    """Bounded LRU of compiled (lowered) kernels, keyed by
+    specialization key — the compiled twin of the runtime's
+    :class:`~repro.runtime.runtime.SpecializationCache`, with the same
+    eviction discipline and the same ``hits``/``misses``/``evictions``
+    counters."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._kernels: OrderedDict[tuple, LoweredKernel] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: tuple) -> Optional[LoweredKernel]:
+        """The cached kernel for ``key``, or None.  A hit refreshes
+        recency; a miss only counts (insertion happens via :meth:`put`
+        once compilation succeeds — bailed-out keys never consume an
+        entry)."""
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            self.hits += 1
+            self._kernels.move_to_end(key)
+            return kernel
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple, kernel: LoweredKernel) -> None:
+        self._kernels[key] = kernel
+        self._kernels.move_to_end(key)
+        while len(self._kernels) > self.max_entries:
+            self._kernels.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __repr__(self) -> str:
+        return (
+            f"JitCache({len(self)}/{self.max_entries} entries, "
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evicted)"
+        )
+
+
+class JitManager:
+    """Owns one memory's compiled tier: cache, bailout memo, promotion
+    policy, counters.
+
+    One manager per :class:`~repro.runtime.runtime.Runtime` (attached by
+    ``enable_jit()``; shared with its stream pool as ``pool.jit``), so
+    every execution path — synchronous launches, eager streams, graph
+    replays — consults the same cache and the same heat policy.
+    Thread-safe: stream workers and graph-replay tasks call into it
+    concurrently; compilation runs under the lock so one hot signature
+    compiles exactly once.
+    """
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        shared_capacity: int = 228 * 1024,
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if threshold_s < 0.0:
+            raise ValueError(f"threshold_s must be non-negative, got {threshold_s}")
+        self.memory = memory
+        self.shared_capacity = shared_capacity
+        self.threshold_s = threshold_s
+        self.cache = JitCache(max_entries)
+        #: Specializations the pipeline declined, with the bailout reason
+        #: — bounded like the cache so unloweable traffic cannot grow it.
+        self._bailed: OrderedDict[tuple, str] = OrderedDict()
+        self._max_bailed = 4 * max_entries
+        self._lock = threading.Lock()
+        #: Successful compilations (pass pipeline ran to the end).
+        self.compiled = 0
+        #: Lowering attempts that declined (``LoweringBailout``).
+        self.bailouts = 0
+        #: Launches actually executed on the compiled tier.
+        self.promotions = 0
+
+    # -- policy --------------------------------------------------------------
+    def maybe_compile(
+        self,
+        program,
+        args: Sequence,
+        profiler: Optional[Profile] = None,
+        forced: bool = False,
+        key: Optional[tuple] = None,
+    ) -> Optional[LoweredKernel]:
+        """The compiled kernel this launch should run, or None to stay
+        interpreted.
+
+        ``forced=True`` (an explicit ``engine="compiled"``) skips the
+        heat check and compiles immediately; otherwise the launch
+        promotes only when the profiler's accumulated interpreted time
+        for its specialization has reached ``threshold_s`` (no profiler
+        → never promote).  Either way a known bailed-out specialization
+        answers None from the memo without re-running the pipeline, and
+        an already-compiled one answers from the cache without
+        consulting the heat at all — promotion is sticky.
+        """
+        if key is None:
+            key = specialization_key(program, args)
+        with self._lock:
+            kernel = self.cache.lookup(key)
+            if kernel is not None:
+                return kernel
+            reason = self._bailed.get(key)
+            if reason is not None:
+                self._bailed.move_to_end(key)
+                return None
+        if not forced:
+            if profiler is None:
+                return None
+            if profiler.spec_heat(spec_string(key)) < self.threshold_s:
+                return None
+        with self._lock:
+            # Re-check under the lock: a racing launch may have compiled
+            # (or bailed) this key while the heat check ran.
+            kernel = self.cache.lookup(key)
+            if kernel is not None:
+                return kernel
+            if key in self._bailed:
+                return None
+            try:
+                kernel = lower_program(
+                    program, args, self.memory, self.shared_capacity
+                )
+            except LoweringBailout as exc:
+                self.bailouts += 1
+                self._bailed[key] = str(exc)
+                while len(self._bailed) > self._max_bailed:
+                    self._bailed.popitem(last=False)
+                return None
+            self.cache.put(key, kernel)
+            self.compiled += 1
+            return kernel
+
+    def run(
+        self,
+        kernel: LoweredKernel,
+        args: Sequence,
+        stats: Optional[ExecutionStats] = None,
+    ) -> ExecutionStats:
+        """Execute one compiled launch against the manager's memory."""
+        with self._lock:
+            self.promotions += 1
+        return kernel.run(self.memory, args, stats)
+
+    # -- introspection -------------------------------------------------------
+    def bailout_reason(self, program, args: Sequence) -> Optional[str]:
+        """Why a specialization stays interpreted, or None if it never
+        bailed (useful in tests and bug reports)."""
+        key = specialization_key(program, args)
+        with self._lock:
+            return self._bailed.get(key)
+
+    def counters(self) -> dict:
+        """JSON-friendly counter snapshot (shipped in worker state
+        exports)."""
+        with self._lock:
+            return {
+                "compiled": self.compiled,
+                "bailouts": self.bailouts,
+                "promotions": self.promotions,
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_evictions": self.cache.evictions,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"JitManager(threshold_s={self.threshold_s}, {self.cache!r}, "
+            f"{self.compiled} compiled, {self.bailouts} bailouts, "
+            f"{self.promotions} promotions)"
+        )

@@ -45,6 +45,9 @@ EAGER = "eager"
 #: Stream index recorded for synchronous (non-stream) launches.
 HOST_STREAM = -1
 
+#: Engine tag recorded for launches served by the compiled (JIT) tier.
+COMPILED = "compiled"
+
 
 def spec_string(key: tuple) -> str:
     """Canonical string form of a specialization key.
@@ -59,10 +62,14 @@ def spec_string(key: tuple) -> str:
 class NodeProfile:
     """Accumulated cost of one profiled launch site.
 
-    Identity is ``(scope, ident, stream)``: for graph-replayed nodes the
-    scope is the graph signature and ``ident`` the node index (stream is
-    the node's frozen placement); for eager launches the scope is
-    :data:`EAGER` and ``ident`` the specialization-key string.  All
+    Identity is ``(scope, ident, stream, engine)``: for graph-replayed
+    nodes the scope is the graph signature and ``ident`` the node index
+    (stream is the node's frozen placement); for eager launches the
+    scope is :data:`EAGER` and ``ident`` the specialization-key string.
+    The engine is part of the identity because one launch site can
+    execute under different tiers over its lifetime — the compiled tier
+    promotes a hot site mid-run, and its costs must not accumulate into
+    (or poison the heat of) the interpreted record.  All
     counters accumulate across calls; divide by :attr:`calls` for
     per-launch means.  ``group``/``group_size`` describe the coalescing
     membership of the *most recent* recorded execution (grouping can
@@ -118,7 +125,7 @@ class NodeProfile:
 
     @property
     def key(self) -> tuple:
-        return (self.scope, self.ident, self.stream)
+        return (self.scope, self.ident, self.stream, self.engine)
 
     @property
     def mean_wall_s(self) -> float:
@@ -249,7 +256,7 @@ class Profile:
         invocation to several launches divide it (and ``wall_s``) before
         recording each.
         """
-        key = (scope, ident, stream)
+        key = (scope, ident, stream, engine)
         with self._lock:
             node = self.nodes.get(key)
             if node is None:
@@ -370,6 +377,20 @@ class Profile:
                 wall, calls = totals.get(node.engine, (0.0, 0))
                 totals[node.engine] = (wall + node.wall_s, calls + node.calls)
         return {engine: wall / calls for engine, (wall, calls) in totals.items()}
+
+    def spec_heat(self, spec: str) -> float:
+        """Total wall seconds this specialization-key string has spent in
+        the *interpreted* tiers (every engine except ``compiled``) — the
+        promotion heat the tiered JIT consults.  Monotone while traffic
+        keeps landing on the interpreted tiers, and unchanged by compiled
+        executions, so a signature that clears the promotion threshold
+        stays cleared."""
+        heat = 0.0
+        with self._lock:
+            for node in self.nodes.values():
+                if node.spec == spec and node.engine != COMPILED:
+                    heat += node.wall_s
+        return heat
 
     def spec_seconds(self, spec: str) -> float | None:
         """Mean wall seconds per launch across every site with this

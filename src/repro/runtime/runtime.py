@@ -20,6 +20,14 @@ interpreter or the grid-vectorized batched executor — selected per launch
 by :func:`repro.vm.batched.select_engine` (policy: batched for multi-block
 grids of batchable programs).  Compilation is delegated to the compiler
 pipeline.
+
+A third, **compiled** tier sits above both (:mod:`repro.runtime.jit`):
+with :meth:`Runtime.enable_jit` (or ``engine="compiled"``), hot
+specializations are lowered to flat numpy source by
+:mod:`repro.compiler.lower` and executed as cached callables.
+Promotion is profile-driven — a signature promotes once its accumulated
+interpreted wall time clears the manager's threshold — and bit-exact:
+signatures the pipeline cannot lower fall back to the batched engine.
 """
 
 from __future__ import annotations
@@ -130,8 +138,12 @@ class Runtime:
     ``engine`` selects how kernels execute:
 
     - ``"auto"`` (default): the grid-vectorized batched executor for
-      multi-block grids, the sequential interpreter otherwise;
-    - ``"sequential"`` / ``"batched"``: force one engine for every launch.
+      multi-block grids, the sequential interpreter otherwise — and the
+      compiled tier for promoted-hot specializations once
+      :meth:`enable_jit` is on;
+    - ``"sequential"`` / ``"batched"``: force one engine for every launch;
+    - ``"compiled"``: force the JIT tier (falling back to batched for
+      specializations the lowering pipeline declines).
     """
 
     def __init__(
@@ -141,7 +153,7 @@ class Runtime:
         engine: str = "auto",
         cache_entries: int = 128,
     ) -> None:
-        if engine not in ("auto", "sequential", "batched"):
+        if engine not in ("auto", "sequential", "batched", "compiled"):
             raise ValueError(f"unknown engine {engine!r}")
         self.memory = GlobalMemory(dram_bytes)
         self.interpreter = Interpreter(self.memory, shared_capacity=shared_capacity)
@@ -160,6 +172,11 @@ class Runtime:
         self.profiler: Profile | None = None
         #: Attached adaptive policy (see :meth:`enable_adaptive`), or None.
         self.adaptive = None
+        #: Attached :class:`~repro.runtime.jit.JitManager` (see
+        #: :meth:`enable_jit`), or None.
+        self.jit = None
+        if engine == "compiled":
+            self.enable_jit()
 
     # -- profiling -----------------------------------------------------------
     def enable_profiling(self, profile: Profile | None = None) -> Profile:
@@ -226,6 +243,48 @@ class Runtime:
             self._pool.adaptive = None
         return policy
 
+    # -- tiered JIT ----------------------------------------------------------
+    def enable_jit(self, threshold_s: float | None = None, max_entries: int | None = None):
+        """Attach the compiled execution tier (:mod:`repro.runtime.jit`).
+
+        Returns the active :class:`~repro.runtime.jit.JitManager`: the
+        already-attached one (knobs updated when given), or a fresh one.
+        From here on every execution path through this runtime —
+        synchronous launches, eager streams, graph replays — promotes a
+        hot specialization to its compiled kernel once the profiler's
+        accumulated interpreted time for it clears ``threshold_s``
+        (promotion needs an active profiler: :meth:`enable_profiling` or
+        :meth:`enable_adaptive`; without one, only explicit
+        ``engine="compiled"`` launches compile).  Specializations the
+        lowering pipeline declines fall back to the batched engine,
+        bit-exactly.
+        """
+        from repro.runtime.jit import JitManager
+
+        if self.jit is None:
+            kwargs = {}
+            if threshold_s is not None:
+                kwargs["threshold_s"] = threshold_s
+            if max_entries is not None:
+                kwargs["max_entries"] = max_entries
+            self.jit = JitManager(
+                self.memory, self.interpreter.shared_capacity, **kwargs
+            )
+        elif threshold_s is not None:
+            self.jit.threshold_s = threshold_s
+        if self._pool is not None:
+            self._pool.jit = self.jit
+        return self.jit
+
+    def disable_jit(self):
+        """Detach the compiled tier; returns the manager (with its cache
+        intact, so re-enabling resumes warm)."""
+        manager = self.jit
+        self.jit = None
+        if self._pool is not None:
+            self._pool.jit = None
+        return manager
+
     # -- streams ------------------------------------------------------------
     def stream_pool(self, num_streams: int = 4) -> StreamPool:
         """The runtime's stream pool, created on first use.
@@ -242,6 +301,7 @@ class Runtime:
             )
             self._pool.profiler = self.profiler
             self._pool.adaptive = self.adaptive
+            self._pool.jit = self.jit
         return self._pool
 
     def synchronize(self) -> None:
@@ -317,7 +377,9 @@ class Runtime:
         (writes serialize, reads share), so out-of-order completion stays
         bit-exact with serial issue.
         """
-        if engine is not None and engine not in ("auto", "sequential", "batched"):
+        if engine is not None and engine not in (
+            "auto", "sequential", "batched", "compiled"
+        ):
             raise ValueError(f"unknown engine {engine!r}")
         if stream is not None and stream != "auto" and not isinstance(stream, Stream):
             raise ValueError(
@@ -350,15 +412,35 @@ class Runtime:
             self.context.launches += 1
             return handle
         choice = engine or self.engine
-        if choice == "auto":
+        auto = choice == "auto"
+        if auto:
             choice = select_engine(program, program.grid_size(args))
+        compiled = None
+        if choice == "compiled" or (auto and self.jit is not None):
+            jit = self.jit if self.jit is not None else self.enable_jit()
+            compiled = jit.maybe_compile(
+                program, args, self.profiler, forced=choice == "compiled", key=key
+            )
+            if compiled is not None:
+                choice = "compiled"
+            elif choice == "compiled":
+                # The lowering pipeline declined: the batched engine is
+                # the bit-exact fallback tier.
+                choice = "batched"
         executor = self.batched if choice == "batched" else self.interpreter
+
+        def execute() -> None:
+            if compiled is not None:
+                jit.run(compiled, args, self.interpreter.stats)
+            else:
+                executor.launch(program, args)
+
         try:
             if self.profiler is None:
-                executor.launch(program, args)
+                execute()
             else:
                 with StatsTimer(self.interpreter.stats) as timer:
-                    executor.launch(program, args)
+                    execute()
                 spec = spec_string(key)
                 self.profiler.record(
                     EAGER,

@@ -645,7 +645,9 @@ class Stream:
             return False
         if nxt.program is not first.program or nxt.engine != first.engine:
             return False
-        if first.engine == "sequential":
+        if first.engine in ("sequential", "compiled"):
+            # Stacked groups execute on the batched engine; an explicit
+            # compiled launch must not be silently demoted by merging.
             return False
         if any(not dep.done or dep.error is not None for dep in nxt.deps):
             return False
@@ -674,9 +676,34 @@ class Stream:
                     )
             else:
                 choice = "batched"
+            jit = self.pool.jit
+            compiled = None
+            if (
+                jit is not None
+                and len(group) == 1
+                and first.engine in ("auto", "compiled")
+            ):
+                # The compiled tier: an explicit engine="compiled" launch
+                # compiles immediately; an "auto" launch promotes once its
+                # specialization's profiled heat clears the manager's
+                # threshold (explicit sequential/batched are honored).  A
+                # bailout falls back bit-exactly to the batched engine.
+                compiled = jit.maybe_compile(
+                    first.program,
+                    first.args,
+                    self.pool.profiler,
+                    forced=first.engine == "compiled",
+                )
+            choice = (
+                "compiled"
+                if compiled is not None
+                else ("batched" if choice == "compiled" else choice)
+            )
 
             def execute() -> None:
-                if len(group) == 1:
+                if compiled is not None:
+                    jit.run(compiled, first.args, self.stats)
+                elif len(group) == 1:
                     engine = self.batched if choice == "batched" else self.interpreter
                     engine.launch(first.program, first.args)
                 else:
@@ -779,6 +806,12 @@ class StreamPool:
         #: DAG auto-reoptimizes after the policy's warmup window.  See
         #: :mod:`repro.runtime.adaptive`.
         self.adaptive = None
+        #: Attached :class:`~repro.runtime.jit.JitManager`, or None.
+        #: When set, single-launch executions on every stream (eager
+        #: groups and graph-replay tasks alike) promote hot
+        #: specializations to their compiled kernels.  See
+        #: :mod:`repro.runtime.jit`.
+        self.jit = None
 
     # -- graph capture ------------------------------------------------------
     @property

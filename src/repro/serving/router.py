@@ -21,12 +21,16 @@ request trace into per-worker chunks:
    chunks, handed to idle workers as they free up, and results are
    collected as each worker answers.
 4. **Crash recovery** — a worker that dies mid-chunk (its pipe drops or
-   its process exits without answering) has its chunk requeued *at the
-   front* of the schedule and is respawned from its spec.  Requests are
-   never lost and never double-counted: a chunk's results are recorded
-   only when its ``done`` message arrives, so a half-served chunk
-   simply runs again — decode outputs are deterministic per ``rid``,
-   so a re-dispatched request produces the identical digest.
+   its process exits without answering) has its chunk *reinserted into
+   the schedule by policy order* — the same ``(-priority, deadline,
+   arrival, rid)`` key that built the queue, FIFO among equals — and is
+   respawned from its spec.  (Front-inserting the recovered chunk would
+   let a low-priority chunk starve higher-priority queued work under
+   strict-priority scheduling.)  Requests are never lost and never
+   double-counted: a chunk's results are recorded only when its
+   ``done`` message arrives, so a half-served chunk simply runs again —
+   decode outputs are deterministic per ``rid``, so a re-dispatched
+   request produces the identical digest.
 
 The router holds **no engine state**: everything it knows about a shard
 arrived as JSON (``done`` results, ``state`` exports), and everything a
@@ -203,6 +207,10 @@ class RouterResult:
     graph_captures: int = 0
     graph_replays: int = 0
     auto_reoptimizations: int = 0
+    #: Compiled-tier counters summed over worker chunks (``jit=True``
+    #: specs): specializations compiled and compiled executions run.
+    jit_compiled: int = 0
+    jit_promotions: int = 0
 
     @property
     def num_completed(self) -> int:
@@ -320,6 +328,27 @@ class Router:
             admitted, key=lambda r: (-r.priority, r.deadline_s, r.arrival_s, r.rid)
         )
 
+    @staticmethod
+    def _chunk_key(chunk: list[Request]) -> tuple:
+        """A chunk's schedule key: its head request's policy key.  Chunks
+        are contiguous slices of the policy-sorted schedule, so the head
+        is the chunk's minimum and head-to-head comparison preserves the
+        global policy order."""
+        head = chunk[0]
+        return (-head.priority, head.deadline_s, head.arrival_s, head.rid)
+
+    def _requeue(self, queue: list[list[Request]], chunk: list[Request]) -> None:
+        """Reinsert a recovered chunk by policy order (strict priority /
+        EDF / arrival / rid), FIFO among equal keys — never at the
+        queue front, which would let a recovered low-priority chunk
+        starve higher-priority queued work."""
+        key = self._chunk_key(chunk)
+        for i, pending in enumerate(queue):
+            if self._chunk_key(pending) > key:
+                queue.insert(i, chunk)
+                return
+        queue.append(chunk)
+
     # -- dispatch loop -------------------------------------------------------
     def serve(
         self,
@@ -373,7 +402,7 @@ class Router:
                     )
                 except (BrokenPipeError, OSError):
                     # Dead before it even took the chunk: recover, retry.
-                    queue.insert(0, chunk)
+                    self._requeue(queue, chunk)
                     self._recover(handle, outcome, redispatch=0)
                     continue
                 busy[handle.index] = chunk
@@ -407,7 +436,7 @@ class Router:
                     crashed = True
                 if crashed:
                     chunk = busy.pop(index)
-                    queue.insert(0, chunk)
+                    self._requeue(queue, chunk)
                     self._recover(handle, outcome, redispatch=len(chunk))
                     progressed = True
             if not progressed and not busy and queue:
@@ -444,6 +473,8 @@ class Router:
         outcome.graph_captures += counters.get("graph_captures", 0)
         outcome.graph_replays += counters.get("graph_replays", 0)
         outcome.auto_reoptimizations += counters.get("auto_reoptimizations", 0)
+        outcome.jit_compiled += counters.get("jit_compiled", 0)
+        outcome.jit_promotions += counters.get("jit_promotions", 0)
 
     def _recover(
         self, handle: WorkerHandle, outcome: RouterResult, redispatch: int

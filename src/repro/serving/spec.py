@@ -55,6 +55,9 @@ class WorkerSpec:
     use_graphs: bool = True
     adaptive: bool = False
     profile: bool = False
+    #: Attach the compiled tier: hot decode specializations promote out
+    #: of the interpreter (see :mod:`repro.runtime.jit`).
+    jit: bool = False
 
     # -- JSON round-trip -----------------------------------------------------
     def to_json(self) -> str:
@@ -134,4 +137,5 @@ class WorkerSpec:
             use_graphs=self.use_graphs,
             profile=self.profile,
             adaptive=self.adaptive,
+            jit=self.jit,
         )

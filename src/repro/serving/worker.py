@@ -46,12 +46,16 @@ def _state_payload(sim, cumulative_profile) -> dict:
     for batch, graph in sorted(sim._graphs.items()):
         plans[str(batch)] = LocalEngine.plan_json(graph)
     profile = cumulative_profile if cumulative_profile is not None else Profile()
-    cache = sim.decode_linear.runtime.cache
-    return {
+    runtime = sim.decode_linear.runtime
+    cache = runtime.cache
+    payload = {
         "plans": plans,
         "profile": profile.to_json(),
         "cache": {"hits": cache.hits, "misses": cache.misses},
     }
+    if runtime.jit is not None:
+        payload["jit"] = runtime.jit.counters()
+    return payload
 
 
 def worker_main(conn, spec_json: str) -> None:
@@ -88,6 +92,8 @@ def worker_main(conn, spec_json: str) -> None:
                         "graph_captures": outcome.graph_captures,
                         "graph_replays": outcome.graph_replays,
                         "auto_reoptimizations": outcome.auto_reoptimizations,
+                        "jit_compiled": outcome.jit_compiled,
+                        "jit_promotions": outcome.jit_promotions,
                     },
                 )
             except Exception as exc:  # noqa: BLE001 — forwarded to router

@@ -10,7 +10,7 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Seven modes are locked together:
+Eight modes are locked together:
 
 - ``sequential``   — the block-loop interpreter, the semantic reference;
 - ``batched``      — the grid-vectorized executor, forced for every launch;
@@ -46,6 +46,15 @@ Seven modes are locked together:
   capture's specialization keys, grids and hazard edges — and the
   re-instantiated graph is replayed; a schedule surviving the wire
   must change nothing observable.
+- ``jit``          — the compiled tier: every launch is lowered through
+  the :mod:`repro.compiler.lower` pass pipeline (const-fold the bound
+  scalars → unroll the block loop → flatten to straight-line vectorized
+  source) and the ``compile()``-d kernel executes instead of the
+  interpreter; launches the pipeline bails out on (data-dependent
+  control flow, unsupported ops) fall back to the batched executor.
+  Bit patterns *and* execution statistics must match the sequential
+  reference — the compiled kernel is required to count blocks,
+  instructions and global traffic exactly as if it had interpreted.
 
 The adaptive mode's swap dynamics (warmup windows, hysteresis,
 atomicity) are exercised separately by ``tests/test_adaptive.py`` —
@@ -75,6 +84,7 @@ MODES = (
     "graph-optimized",
     "adaptive",
     "plan-roundtrip",
+    "jit",
 )
 
 
@@ -189,6 +199,19 @@ def _run_engine(case: GeneratedCase, mode: str):
             managed.replay()
             pool.synchronize()
         stats = pool.aggregate_stats()
+    elif mode == "jit":
+        from repro.compiler.lower import LoweringBailout, lower_program
+
+        fallback = BatchedExecutor(memory, stats=host.stats)
+        for program, spec in plan:
+            args = _resolve_args(spec, buffers)
+            try:
+                kernel = lower_program(program, args, memory)
+            except LoweringBailout:
+                fallback.launch(program, args)
+                continue
+            kernel.run(memory, args, host.stats)
+        stats = host.stats
     elif mode == "plan-roundtrip":
         from repro.runtime.graphs import GraphPlan
 

@@ -221,6 +221,84 @@ class TestConvergenceSoak:
             pool.synchronize()
             assert policy.evaluations == 0 and policy.swaps == 0
 
+    def test_counter_skipping_a_boundary_still_evaluates(self):
+        """Regression: evaluation used to fire only when the profiled
+        replay count was an exact multiple of ``warmup_replays`` — a
+        counter that jumped past the boundary (racing replays whose
+        increments land together before either checks) would never hit
+        the multiple again, and the graph would never reoptimize.  The
+        last-evaluated anchor makes every window reachable no matter
+        how the count got there."""
+        memory, host, pairs = device(2)
+        programs = [work_program(f"skip{i}") for i in range(2)]
+        with StreamPool(memory, num_streams=2) as pool:
+            graph = capture_workload(pool, programs, pairs)
+            policy = AdaptivePolicy(warmup_replays=4, min_gain=0.5)
+            managed = policy.manage(graph)
+            pool.profiler = Profile()
+            for _ in range(3):
+                managed.replay()
+            pool.synchronize()
+            assert policy.evaluations == 0
+            # Simulate the race: the count skips straight past the
+            # boundary multiple (3 -> 5, never 4).
+            with managed._lock:
+                managed._profiled_replays += 2
+            managed.replay()  # count 6: 6 - 0 >= 4 -> evaluates
+            pool.synchronize()
+            assert policy.evaluations == 1, (
+                "a skipped window boundary silenced the policy forever"
+            )
+            # The next window anchors at the evaluation point (6), not
+            # at multiples of the warmup: 4 more replays re-evaluate.
+            for _ in range(3):
+                managed.replay()
+            pool.synchronize()
+            assert policy.evaluations == 1
+            managed.replay()
+            pool.synchronize()
+            assert policy.evaluations == 2
+
+    def test_racing_replays_never_silence_evaluation(self):
+        """Many threads replaying one managed graph concurrently: the
+        window anchor must advance exactly once per ``warmup_replays``
+        profiled replays (counting is serialized under the graph lock),
+        and outputs stay bit-exact under the storm."""
+        memory, host, pairs = device(4)
+        programs = [work_program(f"race{i}", steps=4) for i in range(4)]
+        threads_n, per_thread, warmup = 4, 6, 3
+        with StreamPool(memory, num_streams=4) as pool:
+            graph = capture_workload(pool, programs, pairs)
+            graph.replay(serial=True)
+            want = downloads(host, pairs)
+            policy = AdaptivePolicy(warmup_replays=warmup, min_gain=0.5)
+            managed = policy.manage(graph)
+            pool.profiler = Profile()
+            errors: list[BaseException] = []
+
+            def storm():
+                try:
+                    for _ in range(per_thread):
+                        managed.replay()
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=storm) for _ in range(threads_n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            pool.synchronize()
+            assert not errors, errors
+            total = threads_n * per_thread
+            assert managed._profiled_replays == total
+            # Every boundary was reached: the anchor sits at the last
+            # full window regardless of interleaving.
+            assert managed._last_evaluated == (total // warmup) * warmup
+            assert policy.evaluations >= 1 and policy.swaps >= 1
+            for w, g in zip(want, downloads(host, pairs)):
+                assert np.array_equal(g, w)
+
     def test_policy_validates_knobs(self):
         with pytest.raises(ValueError, match="warmup_replays"):
             AdaptivePolicy(warmup_replays=0)

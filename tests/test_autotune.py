@@ -67,6 +67,65 @@ class TestTuning:
         tuner.tune(w.with_batch(1))
         assert tuner.cache_size() == 2
 
+    def test_cache_is_bounded_lru(self):
+        """Regression: the memo grew without bound — one entry per
+        distinct workload forever (a serving fleet re-tuning per shape
+        leaks).  It is now an LRU capped at ``max_entries``, with the
+        same discipline as the runtime spec cache, and counters."""
+        tuner = Autotuner(L40S, max_entries=2)
+        w1 = MatmulWorkload.of(16, 8192, 8192, "u4")
+        w2 = MatmulWorkload.of(32, 8192, 8192, "u4")
+        w3 = MatmulWorkload.of(64, 8192, 8192, "u4")
+        r1 = tuner.tune(w1)
+        tuner.tune(w2)
+        assert (tuner.hits, tuner.misses, tuner.evictions) == (0, 2, 0)
+        # Touch w1 so w2 becomes least-recently-used, then overflow.
+        assert tuner.tune(w1) is r1
+        assert tuner.hits == 1
+        tuner.tune(w3)
+        assert tuner.cache_size() == 2
+        assert tuner.evictions == 1
+        # w1 survived (recently used), w2 was the victim.
+        assert tuner.tune(w1) is r1
+        assert tuner.hits == 2
+        before = tuner.misses
+        tuner.tune(w2)
+        assert tuner.misses == before + 1  # re-tuned from scratch
+
+    def test_cache_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            Autotuner(L40S, max_entries=0)
+
+    def test_profiled_stale_stamp_counts_as_miss(self):
+        """``tune_profiled`` keyed to the profile's content stamp: new
+        traffic re-ranks (a miss), an unchanged profile hits."""
+        from repro.runtime import Runtime
+
+        tuner = Autotuner(L40S)
+        w = MatmulWorkload.of(16, 16, 64, "i6")
+        runtime = Runtime()
+        first = tuner.tune_profiled(w, None, runtime=runtime, top_k=1, repeats=1)
+        assert (tuner.hits, tuner.misses) == (0, 1)
+        again = tuner.tune_profiled(w, None, runtime=runtime, top_k=1, repeats=1)
+        assert again is first
+        assert (tuner.hits, tuner.misses) == (1, 1)
+        # A profile whose stamp moved since the memoized ranking is a
+        # miss (re-rank), and one workload still holds one entry.
+        from repro.runtime import Profile
+
+        profile = Profile()
+        profile.record("t", 0, "p", "spec", "batched", 0, 0.01)
+        tuner.tune_profiled(w, profile, runtime=runtime, top_k=1, repeats=1)
+        assert (tuner.hits, tuner.misses) == (1, 2)
+        tuner.tune_profiled(w, profile, runtime=runtime, top_k=1, repeats=1)
+        assert (tuner.hits, tuner.misses) == (2, 2)
+        profile.record("t", 1, "p", "spec", "batched", 0, 0.01)
+        tuner.tune_profiled(w, profile, runtime=runtime, top_k=1, repeats=1)
+        assert (tuner.hits, tuner.misses) == (2, 3)
+        # One workload, one profiled slot: each new stamp overwrote the
+        # previous entry in place — no growth under live traffic.
+        assert tuner.cache_size() == 1
+
     def test_impossible_workload(self):
         with pytest.raises(AutotuneError):
             Autotuner(L40S).tune(MatmulWorkload.of(1, 7, 13, "u4"))

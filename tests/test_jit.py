@@ -1,0 +1,472 @@
+"""The tiered JIT: pass-pipeline lowering (:mod:`repro.compiler.lower`)
+and profile-driven promotion (:mod:`repro.runtime.jit`).
+
+Covers the lowering contract (bit-exact outputs *and* execution-stat
+parity against the interpreter, argument/buffer validation, bailout on
+unloweable programs), the runtime tier (bounded LRU kernel cache,
+bailout memo, heat-threshold promotion policy, stickiness across
+profiler resets), and every execution path that can promote — the
+synchronous launch, the eager stream, the captured graph replay — plus
+the serving integration (``jit`` knobs on LocalEngine /
+ContinuousBatchingSimulator / WorkerSpec, counters through the sharded
+router).  The exhaustive bit-exactness sweep lives in the differential
+harness (``jit`` is its 8th locked mode); these tests pin the policy
+and the plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lower import (
+    PASS_NAMES,
+    LoweringBailout,
+    lower_program,
+)
+from repro.compiler.pipeline import specialization_key
+from repro.dtypes import float16
+from repro.errors import VMError
+from repro.lang import ProgramBuilder, pointer
+from repro.layout import spatial
+from repro.runtime import JitCache, JitManager, LocalEngine, Profile, Runtime
+from repro.runtime.profiling import COMPILED, spec_string
+from repro.vm import GlobalMemory, Interpreter
+
+ROWS, COLS = 16, 8
+OUT_BYTES = ROWS * COLS * 2
+
+
+def work_program(name: str, steps: int = 2):
+    """``out = f(a)`` over a 2x2 grid; ``steps`` scales its cost."""
+    pb = ProgramBuilder(name, grid=[2, 2])
+    a_ptr = pb.param("a", pointer(float16))
+    out_ptr = pb.param("out", pointer(float16))
+    bi, bj = pb.block_indices()
+    g_a = pb.view_global(a_ptr, dtype=float16, shape=[ROWS, COLS])
+    g_out = pb.view_global(out_ptr, dtype=float16, shape=[ROWS, COLS])
+    tile = pb.load_global(g_a, layout=spatial(8, 4), offset=[bi * 8, bj * 4])
+    acc = pb.allocate_register("f32", layout=spatial(8, 4), init=0.0)
+    contrib = pb.cast(pb.add(pb.mul(tile, 2.0), 1.0), "f32")
+    with pb.for_range(steps):
+        pb.add(acc, contrib, out=acc)
+    result = pb.cast(acc, "f16")
+    pb.store_global(result, g_out, offset=[bi * 8, bj * 4])
+    return pb.finish()
+
+
+def print_program(name: str = "printer"):
+    """A program the lowering pipeline must decline (``PrintTensor``)."""
+    pb = ProgramBuilder(name, grid=[1])
+    a_ptr = pb.param("a", pointer(float16))
+    g_a = pb.view_global(a_ptr, dtype=float16, shape=[ROWS, COLS])
+    tile = pb.load_global(g_a, layout=spatial(8, 4), offset=[0, 0])
+    pb.print_tensor(tile, "dbg")
+    return pb.finish()
+
+
+def device(seed: int = 0):
+    """A fresh image with one input and one zeroed output buffer.
+    Identical seeds and upload order ⇒ identical addresses and bits."""
+    memory = GlobalMemory(1 << 22)
+    host = Interpreter(memory)
+    rng = np.random.default_rng(seed)
+    a = host.upload(float16.quantize(rng.standard_normal((ROWS, COLS))), float16)
+    out = host.alloc_output([ROWS, COLS], float16)
+    return memory, host, a, out
+
+
+def output_bits(memory, host, out):
+    return host.download(out, [ROWS, COLS], float16).copy()
+
+
+# ---------------------------------------------------------------------------
+# Lowering: the compiled kernel is the interpreter, minus the interpreter
+# ---------------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_compiled_matches_interpreter_bit_exactly_with_stat_parity(self):
+        program = work_program("lower_me", steps=3)
+        memory1, host1, a1, out1 = device()
+        host1.launch(program, [a1, out1])
+        want = output_bits(memory1, host1, out1)
+        want_stats = host1.stats.snapshot()
+
+        memory2, host2, a2, out2 = device()
+        assert (a2, out2) == (a1, out1)  # twin image, twin addresses
+        kernel = lower_program(program, [a2, out2], memory2)
+        kernel.run(memory2, [a2, out2], host2.stats)
+        got = output_bits(memory2, host2, out2)
+        assert np.array_equal(want, got)
+        assert host2.stats.snapshot() == want_stats
+
+    def test_lowered_kernel_shape(self):
+        program = work_program("shape")
+        memory, host, a, out = device()
+        kernel = lower_program(program, [a, out], memory)
+        assert kernel.passes == PASS_NAMES
+        assert kernel.program_name == "shape"
+        assert kernel.nblocks == 4  # the 2x2 grid, fully unrolled
+        assert kernel.source  # straight-line numpy source survived
+        assert kernel.spec == specialization_key(program, [a, out])
+
+    def test_run_validates_arg_count(self):
+        program = work_program("argcheck")
+        memory, host, a, out = device()
+        kernel = lower_program(program, [a, out], memory)
+        with pytest.raises(VMError, match="expects 2 args, got 1"):
+            kernel.run(memory, [a])
+
+    def test_run_validates_buffer_identity(self):
+        program = work_program("bufcheck")
+        memory, host, a, out = device()
+        kernel = lower_program(program, [a, out], memory)
+        other = GlobalMemory(1 << 20)
+        with pytest.raises(VMError, match="lowered against"):
+            kernel.run(other, [a, out])
+
+    def test_unloweable_program_bails(self):
+        memory, host, a, out = device()
+        with pytest.raises(LoweringBailout):
+            lower_program(print_program(), [a], memory)
+
+
+# ---------------------------------------------------------------------------
+# The kernel cache and the manager's policy
+# ---------------------------------------------------------------------------
+
+
+class TestJitCache:
+    def test_lru_eviction_and_counters(self):
+        cache = JitCache(max_entries=2)
+        assert cache.lookup(("k1",)) is None
+        cache.put(("k1",), "a")
+        cache.put(("k2",), "b")
+        assert cache.lookup(("k1",)) == "a"  # refreshes recency
+        cache.put(("k3",), "c")  # evicts k2, the LRU
+        assert len(cache) == 2
+        assert cache.lookup(("k2",)) is None
+        assert cache.lookup(("k3",)) == "c"
+        assert (cache.hits, cache.misses, cache.evictions) == (2, 2, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            JitCache(max_entries=0)
+
+
+class TestJitManager:
+    def test_cold_specialization_never_compiles(self):
+        """No profiler, no forced engine: the launch stays interpreted
+        and never pays a compile."""
+        memory, host, a, out = device()
+        manager = JitManager(memory)
+        program = work_program("cold")
+        for _ in range(3):
+            assert manager.maybe_compile(program, [a, out]) is None
+        assert manager.compiled == 0
+
+    def test_heat_threshold_gates_promotion(self):
+        memory, host, a, out = device()
+        manager = JitManager(memory, threshold_s=0.01)
+        program = work_program("heat")
+        profiler = Profile()
+        key = specialization_key(program, [a, out])
+        spec = spec_string(key)
+        profiler.record("s", 0, program.name, spec, "batched", 0, 0.005)
+        assert manager.maybe_compile(program, [a, out], profiler) is None
+        profiler.record("s", 1, program.name, spec, "batched", 0, 0.006)
+        kernel = manager.maybe_compile(program, [a, out], profiler)
+        assert kernel is not None and manager.compiled == 1
+
+    def test_compiled_time_is_not_heat(self):
+        """Wall time already spent on the compiled tier must not count
+        toward the interpreted-heat threshold — otherwise every promoted
+        spec looks eternally hot and a cache eviction immediately
+        recompiles it even when its interpreted traffic never justified
+        the first compile."""
+        profiler = Profile()
+        profiler.record("s", 0, "p", "spec", COMPILED, 0, 5.0)
+        assert profiler.spec_heat("spec") == 0.0
+        profiler.record("s", 1, "p", "spec", "batched", 0, 0.25)
+        assert profiler.spec_heat("spec") == 0.25
+
+    def test_promotion_is_sticky_across_profiler_resets(self):
+        """Once compiled, the cache answers before the heat check — a
+        fresh (empty) profiler cannot demote the specialization.  The
+        serving loop installs a fresh profile per trace, so without
+        stickiness every trace would restart the warmup."""
+        memory, host, a, out = device()
+        manager = JitManager(memory, threshold_s=0.0)
+        program = work_program("sticky")
+        hot = Profile()
+        hot.record("s", 0, program.name,
+                   spec_string(specialization_key(program, [a, out])),
+                   "batched", 0, 1.0)
+        kernel = manager.maybe_compile(program, [a, out], hot)
+        assert kernel is not None
+        cold = Profile()  # knows nothing about this spec
+        assert manager.maybe_compile(program, [a, out], cold) is kernel
+        assert manager.maybe_compile(program, [a, out], None) is kernel
+        assert manager.compiled == 1  # never recompiled
+
+    def test_bailout_memo_bounds_reattempts(self):
+        memory, host, a, out = device()
+        manager = JitManager(memory)
+        program = print_program()
+        assert manager.maybe_compile(program, [a], forced=True) is None
+        assert manager.bailouts == 1
+        assert "PrintTensor" in manager.bailout_reason(program, [a])
+        # The memo answers without re-running the pipeline.
+        assert manager.maybe_compile(program, [a], forced=True) is None
+        assert manager.bailouts == 1
+        counters = manager.counters()
+        assert counters["bailouts"] == 1 and counters["compiled"] == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold_s"):
+            JitManager(GlobalMemory(1 << 16), threshold_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Runtime integration: every execution path promotes identically
+# ---------------------------------------------------------------------------
+
+
+def _linear_fixture():
+    """A tiny quantized linear with its runtime — the serving decode
+    kernel in miniature."""
+    from repro import ops
+    from repro.dtypes.registry import dtype_from_name
+
+    weight = np.random.default_rng(0).standard_normal((64, 16))
+    linear = ops.prepare_linear(weight, dtype_from_name("i6"), group_size=32)
+    runtime = linear.runtime
+    act = np.random.default_rng(1).standard_normal((1, 64))
+    a = runtime.upload(linear.act_dtype.quantize(act), linear.act_dtype)
+    return linear, runtime, a
+
+
+class TestRuntimeTier:
+    def test_explicit_compiled_engine_is_bit_exact(self):
+        linear, runtime, a = _linear_fixture()
+        program = linear.program_for(1)
+        out1 = runtime.empty([1, linear.n], linear.act_dtype)
+        runtime.launch(program, [a, linear.b_addr, linear.s_addr, out1],
+                       engine="batched")
+        want = runtime.download(out1, [1, linear.n], linear.act_dtype).copy()
+        out2 = runtime.empty([1, linear.n], linear.act_dtype)
+        runtime.launch(program, [a, linear.b_addr, linear.s_addr, out2],
+                       engine="compiled")
+        got = runtime.download(out2, [1, linear.n], linear.act_dtype)
+        assert np.array_equal(want, got)
+        assert runtime.jit is not None  # engine knob attached the tier
+        assert runtime.jit.compiled == 1 and runtime.jit.promotions == 1
+
+    def test_compiled_engine_falls_back_on_bailout(self, capsys):
+        runtime = Runtime(engine="compiled")
+        rng = np.random.default_rng(0)
+        a = runtime.upload(float16.quantize(rng.standard_normal((ROWS, COLS))),
+                           float16)
+        runtime.launch(print_program(), [a], engine="compiled")
+        assert runtime.jit.bailouts == 1 and runtime.jit.compiled == 0
+        assert "dbg" in capsys.readouterr().out  # the batched fallback ran
+
+    def test_runtime_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Runtime(engine="turbo")
+        runtime = Runtime()
+        with pytest.raises(ValueError):
+            runtime.launch(work_program("bad"), [0, 0], engine="turbo")
+
+    def test_cold_auto_launches_stay_interpreted(self):
+        linear, runtime, a = _linear_fixture()
+        runtime.enable_profiling()
+        runtime.enable_jit(threshold_s=1e9)  # unreachable heat
+        program = linear.program_for(1)
+        out = runtime.empty([1, linear.n], linear.act_dtype)
+        for _ in range(5):
+            runtime.launch(program, [a, linear.b_addr, linear.s_addr, out])
+        assert runtime.jit.compiled == 0 and runtime.jit.promotions == 0
+
+    def test_hot_auto_launches_promote_bit_exactly_across_the_boundary(self):
+        """The promotion path end to end: launches below the heat
+        threshold stay interpreted, the launch that clears it compiles,
+        and outputs are bit-identical before, at, and after the
+        boundary."""
+        linear, runtime, a = _linear_fixture()
+        program = linear.program_for(1)
+        out = runtime.empty([1, linear.n], linear.act_dtype)
+        runtime.launch(program, [a, linear.b_addr, linear.s_addr, out],
+                       engine="batched")
+        want = runtime.download(out, [1, linear.n], linear.act_dtype).copy()
+        profiler = runtime.enable_profiling()
+        runtime.enable_jit(threshold_s=1e-4)
+        interpreted_first = None
+        for step in range(50):
+            runtime.launch(program, [a, linear.b_addr, linear.s_addr, out])
+            got = runtime.download(out, [1, linear.n], linear.act_dtype)
+            assert np.array_equal(want, got), f"step {step} diverged"
+            if interpreted_first is None and runtime.jit.compiled:
+                interpreted_first = step
+        assert runtime.jit.compiled == 1, "heat never cleared the threshold"
+        assert runtime.jit.promotions >= 1
+        # The profiler kept the tiers apart: compiled wall time recorded
+        # under its own engine, not folded into the interpreted site.
+        spec = spec_string(specialization_key(
+            program, [a, linear.b_addr, linear.s_addr, out]))
+        means = profiler.spec_engine_seconds(spec)
+        assert COMPILED in means
+        assert set(means) - {COMPILED}, "interpreted records vanished"
+
+    def test_explicit_interpreted_engines_never_promote(self):
+        linear, runtime, a = _linear_fixture()
+        runtime.enable_profiling()
+        runtime.enable_jit(threshold_s=0.0)  # promote at the first chance
+        program = linear.program_for(1)
+        out = runtime.empty([1, linear.n], linear.act_dtype)
+        for engine in ("batched", "sequential"):
+            for _ in range(3):
+                runtime.launch(program,
+                               [a, linear.b_addr, linear.s_addr, out],
+                               engine=engine)
+        assert runtime.jit.compiled == 0, (
+            "an explicit engine choice must be honored"
+        )
+
+    def test_stream_submission_promotes(self):
+        linear, runtime, a = _linear_fixture()
+        program = linear.program_for(1)
+        out1 = runtime.empty([1, linear.n], linear.act_dtype)
+        runtime.launch(program, [a, linear.b_addr, linear.s_addr, out1],
+                       engine="batched")
+        want = runtime.download(out1, [1, linear.n], linear.act_dtype).copy()
+        runtime.enable_jit()
+        pool = runtime.stream_pool(2)
+        assert pool.jit is runtime.jit  # the pool shares the manager
+        out2 = runtime.empty([1, linear.n], linear.act_dtype)
+        runtime.launch(program, [a, linear.b_addr, linear.s_addr, out2],
+                       engine="compiled", stream=pool.streams[0])
+        pool.synchronize()
+        got = runtime.download(out2, [1, linear.n], linear.act_dtype)
+        assert np.array_equal(want, got)
+        assert runtime.jit.promotions == 1
+
+    def test_graph_replay_promotes_bit_exactly(self):
+        """The captured-graph path: replays of a graph whose nodes grew
+        hot run the compiled tier, bit-exactly vs. the serial oracle."""
+        from repro.runtime import StreamPool
+
+        memory, host, a, out = device()
+        rng = np.random.default_rng(3)
+        b = host.upload(float16.quantize(rng.standard_normal((ROWS, COLS))),
+                        float16)
+        out_b = host.alloc_output([ROWS, COLS], float16)
+        # Distinct programs so capture cannot coalesce them into a
+        # multi-launch group (only single-launch groups promote).
+        p1, p2 = work_program("g1", steps=3), work_program("g2", steps=5)
+        with StreamPool(memory, num_streams=2) as pool:
+            with pool.capture() as graph:
+                pool.submit(p1, [a, out], engine="batched",
+                            stream=pool.streams[0])
+                pool.submit(p2, [b, out_b], engine="batched",
+                            stream=pool.streams[1])
+            graph.replay(serial=True)  # pool.jit unset: the pure oracle
+            want = (output_bits(memory, host, out),
+                    output_bits(memory, host, out_b))
+
+            profiler = pool.profiler = Profile()
+            jit = JitManager(memory, threshold_s=0.0)
+            pool.jit = jit
+            for _ in range(3):
+                graph.replay()
+                pool.synchronize()
+                got = (output_bits(memory, host, out),
+                       output_bits(memory, host, out_b))
+                for w, g in zip(want, got):
+                    assert np.array_equal(w, g)
+        assert jit.compiled == 2  # one kernel per distinct node
+        assert jit.promotions >= 2
+        # Promoted replays recorded under the compiled engine, at the
+        # same graph sites.
+        engines = {node.engine for node in profiler.nodes.values()}
+        assert COMPILED in engines
+
+
+# ---------------------------------------------------------------------------
+# Serving integration: the jit knob end to end
+# ---------------------------------------------------------------------------
+
+
+class TestServingTier:
+    def test_local_engine_jit_knob(self):
+        engine = LocalEngine(jit=True)
+        assert engine.jit is not None
+        assert "jit=on" in repr(engine)
+        assert LocalEngine().jit is None
+
+    def test_simulator_jit_digests_match_and_promote(self):
+        from repro.llm.batching import uniform_trace
+        from repro.serving import WorkerSpec
+
+        trace = uniform_trace(6, 0.001, prompt_tokens=32, output_tokens=16)
+        spec = WorkerSpec(linear_k=64, linear_n=16, linear_dtype="i6",
+                          linear_group=32, max_batch=4, num_streams=2)
+        plain = spec.build_simulator().run(trace)
+        jitted = WorkerSpec(
+            linear_k=64, linear_n=16, linear_dtype="i6", linear_group=32,
+            max_batch=4, num_streams=2, jit=True,
+        ).build_simulator().run(trace)
+        assert jitted.jit_compiled >= 1
+        assert jitted.jit_promotions >= 1
+        assert plain.jit_compiled == 0 and plain.jit_promotions == 0
+        want = {r.request.rid: r.output_digest for r in plain.results}
+        got = {r.request.rid: r.output_digest for r in jitted.results}
+        assert want == got, "the compiled tier changed decode bits"
+
+    def test_spec_jit_knob_round_trips_and_defaults_off(self):
+        from repro.serving import WorkerSpec
+
+        spec = WorkerSpec(jit=True)
+        assert WorkerSpec.from_json(spec.to_json()) == spec
+        assert WorkerSpec().jit is False
+
+    def test_state_payload_reports_jit_counters(self):
+        from repro.llm.batching import uniform_trace
+        from repro.serving import WorkerSpec
+        from repro.serving.worker import _state_payload
+
+        spec = WorkerSpec(linear_k=64, linear_n=16, linear_dtype="i6",
+                          linear_group=32, max_batch=4, num_streams=2,
+                          jit=True)
+        sim = spec.build_simulator()
+        sim.run(uniform_trace(6, 0.001, prompt_tokens=32, output_tokens=32))
+        payload = _state_payload(sim, None)
+        assert payload["jit"]["compiled"] >= 1
+        assert payload["jit"]["promotions"] >= 1
+        plain = WorkerSpec(linear_k=64, linear_n=16, linear_dtype="i6",
+                           linear_group=32, max_batch=4, num_streams=2)
+        sim2 = plain.build_simulator()
+        sim2.run(uniform_trace(2, 0.001, prompt_tokens=32, output_tokens=2))
+        assert "jit" not in _state_payload(sim2, None)
+
+    def test_router_aggregates_jit_counters_bit_exactly(self):
+        """Spawned jit workers promote identically: digests match the
+        non-jit serial oracle and the router's counters see the tier."""
+        from repro.serving import Router, WorkerPool, WorkerSpec, poisson_trace
+
+        spec = WorkerSpec(linear_k=64, linear_n=16, linear_dtype="i6",
+                          linear_group=32, max_batch=4, num_streams=2,
+                          jit=True)
+        trace = poisson_trace(6, rate_rps=1000.0, prompt_tokens=32,
+                              output_tokens=16)
+        with WorkerPool(spec, 2) as pool:
+            result = Router(pool, chunk_size=3).serve(trace, timeout_s=180.0)
+        assert result.num_completed == len(trace)
+        assert result.jit_compiled >= 1
+        assert result.jit_promotions >= 1
+        oracle_spec = WorkerSpec(linear_k=64, linear_n=16, linear_dtype="i6",
+                                 linear_group=32, max_batch=4, num_streams=2)
+        oracle = oracle_spec.build_simulator().run(trace)
+        assert result.digests() == {
+            r.request.rid: r.output_digest for r in oracle.results
+        }

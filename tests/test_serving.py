@@ -249,6 +249,37 @@ class TestRouterPolicy:
         admitted, rejected = router.admit(first + second)
         assert len(admitted) == 2 * TINY.max_batch and not rejected
 
+    def test_requeue_inserts_by_policy_order(self):
+        """A recovered chunk rejoins the queue where the schedule would
+        have placed it: strict priority, then deadline, then arrival —
+        never at the front unconditionally."""
+        router = _policy_router()
+        high = [Request(0.0, 8, 1, rid=0, priority=5)]
+        mid = [Request(0.1, 8, 1, rid=1, priority=1)]
+        low = [Request(0.2, 8, 1, rid=2, priority=0)]
+        queue = [mid, low]
+        router._requeue(queue, high)
+        assert queue == [high, mid, low]
+        late_mid = [Request(0.5, 8, 1, rid=3, priority=1)]
+        router._requeue(queue, late_mid)
+        assert queue == [high, mid, late_mid, low]
+        tail = [Request(9.0, 8, 1, rid=4, priority=0)]
+        router._requeue(queue, tail)
+        assert queue[-1] == tail
+
+    def test_requeue_is_fifo_among_equal_keys(self):
+        """A chunk never jumps ahead of an equal-key chunk already
+        queued: insertion is before the first *strictly greater* key."""
+        router = _policy_router()
+        a = [Request(0.0, 8, 1, rid=1)]
+        b = [Request(0.0, 8, 1, rid=2)]
+        queue = [a]
+        router._requeue(queue, b)
+        assert queue == [a, b]  # rid is the tiebreak: b sorts after a
+        twin = [Request(0.0, 8, 1, rid=1)]  # same key as a
+        router._requeue(queue, twin)
+        assert queue == [a, twin, b]
+
     def test_router_rejects_bad_config(self):
         with pytest.raises(ValueError):
             _policy_router(chunk_size=0)
@@ -306,6 +337,43 @@ class TestPoolServing:
         assert result.num_completed == len(trace)
         rids = sorted(r.request.rid for r in result.completed)
         assert rids == [r.rid for r in trace], "requests lost or duplicated"
+        oracle = TINY.build_simulator().run(trace)
+        assert result.digests() == {
+            r.request.rid: r.output_digest for r in oracle.results
+        }
+
+    def test_dual_crash_recovery_preserves_priority_order(self):
+        """Both workers die holding chunks of *different* priorities;
+        the recovered chunks must rejoin the queue in policy order.
+        The old recovery path pushed each recovered chunk to the queue
+        front unconditionally — two crashes in one sweep replayed them
+        in detection order, so the low-priority chunk cut ahead of the
+        high-priority one (and of any higher-priority work still
+        queued): a priority inversion on exactly the path meant to make
+        crashes invisible."""
+        high = Request(0.0, 32, 2, rid=0, priority=1)
+        low = [Request(0.0, 32, 2, rid=i, priority=0) for i in (1, 2, 3)]
+        trace = [high] + low
+
+        def chaos(worker, dispatch_count):
+            # Kill both workers on their first chunk: worker 0 dies
+            # holding the high-priority chunk, worker 1 the low.
+            if dispatch_count <= 2:
+                return "kill"
+
+        with WorkerPool(TINY, 2) as pool:
+            result = Router(pool, chunk_size=1).serve(
+                trace, timeout_s=180.0, on_dispatch=chaos
+            )
+        assert result.respawns == 2
+        assert result.redispatched == 2
+        assert result.num_completed == len(trace)
+        served = {r.request.rid: r for r in result.completed}
+        # The high-priority chunk went back to the *head* of the queue,
+        # so the first respawned worker (index 0) re-serves it; with
+        # front-insertion the second-detected crash (worker 1's
+        # low-priority chunk) would have claimed that slot instead.
+        assert served[0].worker == 0
         oracle = TINY.build_simulator().run(trace)
         assert result.digests() == {
             r.request.rid: r.output_digest for r in oracle.results

@@ -8,10 +8,12 @@ the sequential interpreter, the grid-vectorized batched executor, the
 multi-stream runtime, the execution-graph capture-and-replay path, the
 profile-guided optimized-graph path (measured-cost LPT placement), and
 the adaptive runtime's profile-guided capture under policy management,
-and compared **bit-for-bit**, plus execution-stat parity.  This is the
-safety net behind the batched executor, the stream subsystem, the graph
-subsystem, the PGO pass, the adaptive runtime, and any future refactor
-of any engine.
+and the JIT compiled tier (pass-pipeline lowering to straight-line
+compiled kernels, with batched fallback on bailout), and compared
+**bit-for-bit**, plus execution-stat parity.  This is the safety net
+behind the batched executor, the stream subsystem, the graph subsystem,
+the PGO pass, the adaptive runtime, the compiled tier, and any future
+refactor of any engine.
 """
 
 from collections import Counter
@@ -48,6 +50,7 @@ BASELINE_MODES = {
     "graph-optimized",
     "adaptive",
     "plan-roundtrip",
+    "jit",
 }
 
 
