@@ -863,8 +863,128 @@ def jit_report(min_speedup: float = 3.0) -> dict:
     return report
 
 
+def obs_report(num_workers: int = 2, num_requests: int = 16) -> dict:
+    """Validate the observability layer end to end and measure its cost.
+
+    Part one runs a traced ``num_workers``-worker serving burst (every
+    worker with the process tracer installed, JIT promoting on first
+    profiled sight so compiled-tier events appear even in a short run)
+    and validates the merged fleet trace: one Chrome trace object that
+    survives a JSON round-trip, with one pid per process (router +
+    workers), every event category the stack emits (router, worker,
+    stream, graph, jit), and clock-normalized timestamps starting at
+    t=0.  The unified ``metrics()`` snapshots (router contract and each
+    worker's simulator contract) are validated against their frozen key
+    sets, and the per-worker breakdown must account for every completed
+    request.
+
+    Part two measures tracing's *enabled* overhead on the multi-stream
+    launch workload (reported, not gated: wall-clock noise in CI makes a
+    tight enabled-overhead gate flaky).  The tracing-**disabled**
+    overhead gate lives in the ``streams`` section: its 1.5x speedup
+    floor runs with the emit-point guards present and no tracer
+    installed, so a disabled-path regression fails that gate.
+    """
+    import json as _json
+
+    from repro.obs import ROUTER_METRICS_KEYS, SIMULATOR_METRICS_KEYS
+    from repro.obs import trace as obs_trace
+    from repro.obs.trace import load_trace, summarize_trace
+    from repro.serving import Router, WorkerPool, WorkerSpec, poisson_trace
+
+    # -- traced fleet run ---------------------------------------------------
+    spec = WorkerSpec(
+        linear_k=64, linear_n=16, linear_dtype="i6", linear_group=32,
+        max_batch=1, num_streams=2, profile=True, jit=True,
+        jit_threshold_s=0.0, trace=True,
+    )
+    trace_requests = poisson_trace(
+        num_requests, rate_rps=10_000.0, prompt_tokens=128,
+        output_tokens=8, seed=11, slo_s=60.0,
+    )
+    obs_trace.install()
+    try:
+        with WorkerPool(spec, num_workers) as pool:
+            router = Router(pool, chunk_size=2)
+            result = router.serve(trace_requests, timeout_s=300.0)
+            fleet = router.fleet_trace()
+            worker_metrics = [
+                pool.pull_trace(i)["metrics"] for i in range(num_workers)
+            ]
+    finally:
+        obs_trace.uninstall()
+
+    assert result.num_completed == num_requests, (
+        f"completed {result.num_completed} of {num_requests}"
+    )
+    router_metrics = result.metrics()
+    assert set(router_metrics) == set(ROUTER_METRICS_KEYS)
+    for snapshot in worker_metrics:
+        assert set(snapshot) == set(SIMULATOR_METRICS_KEYS)
+    breakdown = result.per_worker()
+    assert sum(row["requests"] for row in breakdown.values()) == num_requests
+
+    # The merged trace must survive a JSON round-trip and be coherent.
+    roundtrip = load_trace(_json.dumps(fleet))
+    events = roundtrip["traceEvents"]
+    assert events, "fleet trace is empty"
+    pids = {e["pid"] for e in events}
+    assert pids == set(range(num_workers + 1)), (
+        f"expected pids 0..{num_workers}, got {sorted(pids)}"
+    )
+    cats = {e.get("cat") for e in events if e.get("ph") in ("X", "i")}
+    for category in ("router", "worker", "stream", "graph", "jit"):
+        assert category in cats, f"no {category!r} events in the fleet trace"
+    stamps = [e["ts"] for e in events if e.get("ph") in ("X", "i")]
+    assert min(stamps) >= 0.0, "clock normalization produced negative timestamps"
+    summary = summarize_trace(roundtrip)
+
+    # -- enabled-overhead measurement (streams workload) --------------------
+    prog, _, mem, _, launch_args = _stream_workload(4, 8)
+    pool = StreamPool(mem, num_streams=4)
+
+    def streamed():
+        for i, (a, o) in enumerate(launch_args):
+            pool.submit(prog, [a, o], stream=pool.streams[i % 4])
+        pool.synchronize()
+
+    try:
+        t_off = _time_best(streamed, repeats=7)
+        obs_trace.install(capacity=1 << 20)
+        try:
+            t_on = _time_best(streamed, repeats=7)
+        finally:
+            obs_trace.uninstall()
+    finally:
+        pool.shutdown()
+    overhead = t_on / t_off - 1.0
+
+    report = {
+        "workers": num_workers,
+        "trace_events": len(events),
+        "trace_pids": len(pids),
+        "trace_categories": sorted(c for c in cats if c),
+        "phases": summary["phases"],
+        "router_metrics": router_metrics,
+        "tracing_off_ms": t_off * 1e3,
+        "tracing_on_ms": t_on * 1e3,
+        "tracing_enabled_overhead": overhead,
+    }
+    print(
+        f"observability: {num_workers}-worker traced burst -> "
+        f"{len(events)} events across {len(pids)} processes "
+        f"({', '.join(report['trace_categories'])}); metrics contracts "
+        f"validated ({len(ROUTER_METRICS_KEYS)} router + "
+        f"{len(SIMULATOR_METRICS_KEYS)} simulator keys); streams workload "
+        f"{t_off * 1e3:.2f} ms untraced vs {t_on * 1e3:.2f} ms traced "
+        f"({overhead:+.1%} enabled overhead; disabled-path cost is gated "
+        f"by the streams section floor)"
+    )
+    return report
+
+
 #: Quick-mode sections, in run order.  ``--section all`` runs every one.
-SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive", "serving", "jit")
+SECTIONS = ("engine", "streams", "graphs", "pgo", "adaptive", "serving", "jit", "obs")
 
 
 def main() -> None:
@@ -929,25 +1049,61 @@ def main() -> None:
         help="which quick checks to run (CI runs these as a matrix); "
         "an unknown value is rejected with the valid choices listed",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the per-section report dicts (plus the gate "
+        "thresholds in force) as machine-readable JSON — the CI bench "
+        "artifact",
+    )
     args = parser.parse_args()
     if args.quick:
+        sections: dict[str, dict] = {}
         if args.section in ("engine", "all"):
-            quick_report(min_speedup=args.min_speedup)
+            sections["engine"] = quick_report(min_speedup=args.min_speedup)
         if args.section in ("streams", "all"):
-            stream_report(min_speedup=args.min_stream_speedup)
+            sections["streams"] = stream_report(min_speedup=args.min_stream_speedup)
         if args.section in ("graphs", "all"):
-            graph_report(min_speedup=args.min_graph_speedup)
+            sections["graphs"] = graph_report(min_speedup=args.min_graph_speedup)
         if args.section in ("pgo", "all"):
-            pgo_report(min_speedup=args.min_pgo_speedup)
+            sections["pgo"] = pgo_report(min_speedup=args.min_pgo_speedup)
         if args.section in ("adaptive", "all"):
-            adaptive_report(min_speedup=args.min_adaptive_speedup)
+            sections["adaptive"] = adaptive_report(
+                min_speedup=args.min_adaptive_speedup
+            )
         if args.section in ("serving", "all"):
-            serving_report(
+            sections["serving"] = serving_report(
                 min_speedup=args.min_serving_speedup,
                 max_p99_s=args.max_serving_p99,
             )
         if args.section in ("jit", "all"):
-            jit_report(min_speedup=args.min_jit_speedup)
+            sections["jit"] = jit_report(min_speedup=args.min_jit_speedup)
+        if args.section in ("obs", "all"):
+            sections["obs"] = obs_report()
+        if args.json is not None:
+            import json
+
+            payload = {
+                "bench": "bench_vm_execution",
+                "unix_time": time.time(),
+                "section": args.section,
+                "gates": {
+                    "min_speedup": args.min_speedup,
+                    "min_stream_speedup": args.min_stream_speedup,
+                    "min_graph_speedup": args.min_graph_speedup,
+                    "min_pgo_speedup": args.min_pgo_speedup,
+                    "min_adaptive_speedup": args.min_adaptive_speedup,
+                    "min_serving_speedup": args.min_serving_speedup,
+                    "min_jit_speedup": args.min_jit_speedup,
+                    "max_serving_p99": args.max_serving_p99,
+                },
+                "sections": sections,
+            }
+            with open(args.json, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"wrote machine-readable report: {args.json}")
     else:
         parser.error("use pytest for full benchmarks, or pass --quick")
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro fig14
     python -m repro headline
     python -m repro demo          # run the Figure-2 kernel on the VM
+    python -m repro trace summarize <trace.json>   # per-phase/per-process
+                                  # breakdown of an exported Chrome trace
 """
 
 from __future__ import annotations
@@ -148,6 +150,33 @@ def cmd_demo(args: argparse.Namespace) -> None:
     print(f"fp16 x int6 matmul on the VM: shape {out.shape}, rel err {err:.5f}")
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Summarize an exported Chrome trace (see :mod:`repro.obs.trace`)."""
+    from repro.obs.trace import load_trace, summarize_trace
+
+    with open(args.trace) as f:
+        trace = load_trace(f.read())
+    summary = summarize_trace(trace)
+    print(f"{args.trace}: {len(trace['traceEvents'])} events")
+    print()
+    _print_table(
+        ["phase", "spans", "instants", "busy_ms", "mean_ms"],
+        [
+            [p["cat"], p["spans"], p["instants"],
+             f"{p['busy_ms']:.3f}", f"{p['mean_ms']:.4f}"]
+            for p in summary["phases"]
+        ],
+    )
+    print()
+    _print_table(
+        ["pid", "process", "lanes", "events", "busy_ms"],
+        [
+            [p["pid"], p["process"], p["lanes"], p["events"], f"{p['busy_ms']:.3f}"]
+            for p in summary["processes"]
+        ],
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tilus reproduction: regenerate paper figures"
@@ -162,6 +191,13 @@ def main(argv: list[str] | None = None) -> int:
     ):
         p = sub.add_parser(name)
         p.set_defaults(func=func)
+    ptrace = sub.add_parser("trace", help="inspect exported traces")
+    trace_sub = ptrace.add_subparsers(dest="trace_command", required=True)
+    psummarize = trace_sub.add_parser(
+        "summarize", help="per-phase and per-process breakdown of a Chrome trace"
+    )
+    psummarize.add_argument("trace", help="path to an exported trace JSON file")
+    psummarize.set_defaults(func=cmd_trace)
     args = parser.parse_args(argv)
     args.func(args)
     return 0

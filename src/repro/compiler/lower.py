@@ -52,6 +52,7 @@ from repro.compiler.pipeline import specialization_key
 from repro.errors import IRError, VMError
 from repro.ir import instructions as insts
 from repro.ir.expr import Binary, CastExpr, Expr, Var
+from repro.obs import trace as obs_trace
 from repro.ir.program import Program
 from repro.ir.stmt import (
     AssignStmt,
@@ -1513,6 +1514,17 @@ def lower_program(
     key.  Raises :class:`LoweringBailout` when the program cannot be
     flattened; callers fall back to the batched engine.
     """
+    recorder = obs_trace.ACTIVE
+    start = recorder.now() if recorder is not None else 0.0
     state = SpecializeConstants.run(program, args, memory, shared_capacity)
     tracer = UnrollAndTrace.run(state)
-    return FlattenToSource.run(state, tracer)
+    kernel = FlattenToSource.run(state, tracer)
+    if recorder is not None:
+        recorder.complete(
+            f"jit.lower:{program.name}",
+            "jit",
+            obs_trace.HOST_TID,
+            start,
+            recorder.now() - start,
+        )
+    return kernel

@@ -225,6 +225,7 @@ class ContinuousBatchingSimulator:
         profile: bool = False,
         adaptive=False,
         jit: bool = False,
+        jit_threshold_s: float | None = None,
     ) -> None:
         self.model = model
         self.config = config
@@ -258,10 +259,39 @@ class ContinuousBatchingSimulator:
         #: Whether the compiled tier is attached to the operator runtime.
         self._jit = bool(jit) and decode_linear is not None
         if self._jit:
-            decode_linear.runtime.enable_jit()
+            decode_linear.runtime.enable_jit(threshold_s=jit_threshold_s)
         #: One captured decode-step graph per batch size, with the
         #: binding layout it was captured against.
         self._graphs: dict = {}
+
+    def metrics(self) -> dict:
+        """One flat snapshot of the simulator's counters under the
+        frozen dot-namespaced contract
+        (:data:`repro.obs.metrics.SIMULATOR_METRICS_KEYS`): the
+        kernel-in-the-loop runtime's full ``runtime.*``/``jit.*``/
+        ``adaptive.*`` snapshot (zeros when decode runs analytically,
+        with no kernel in the loop) plus the ``batching.*`` graph
+        census.  This is what workers ship on ``pull_trace`` next to
+        their event buffers."""
+        from repro.obs.metrics import (
+            RUNTIME_METRICS_KEYS,
+            SIMULATOR_METRICS_KEYS,
+            validate_metrics,
+            zero_metrics,
+        )
+
+        if self.decode_linear is not None:
+            snapshot = self.decode_linear.runtime.metrics()
+        else:
+            snapshot = zero_metrics(RUNTIME_METRICS_KEYS)
+        snapshot.update({
+            "batching.graphs_captured": len(self._graphs),
+            "batching.max_batch": self.max_batch,
+            "batching.num_streams": self.num_streams,
+        })
+        return validate_metrics(
+            snapshot, SIMULATOR_METRICS_KEYS, "ContinuousBatchingSimulator"
+        )
 
     def run(self, requests: list[Request]) -> TraceResult:
         """Simulate until every request finishes."""

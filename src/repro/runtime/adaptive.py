@@ -58,6 +58,7 @@ import threading
 from typing import Iterable, Mapping
 
 from repro.errors import VMError
+from repro.obs import trace as obs_trace
 from repro.runtime.profiling import NodeProfile, Profile
 
 #: Stream-count capping slack: the smallest stream count whose estimated
@@ -289,6 +290,14 @@ class AdaptiveGraph:
             self._snapshot = (None, None, {})
         self._live = optimized
         self.swaps += 1
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "adaptive.swap",
+                "adaptive",
+                obs_trace.HOST_TID,
+                {"signature": optimized.signature, "swaps": self.swaps},
+            )
 
     def __getattr__(self, name: str):
         if name.startswith("_"):
@@ -402,6 +411,14 @@ class AdaptivePolicy:
         with self._lock:  # policy-wide counters only; never held long
             self.evaluations += 1
         agraph.evaluations += 1
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "adaptive.evaluate",
+                "adaptive",
+                obs_trace.HOST_TID,
+                {"signature": image.signature, "swaps": agraph.swaps},
+            )
         first = agraph.swaps == 0
         if not first:
             costs, matched = image._profiled_costs(window)

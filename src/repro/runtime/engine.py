@@ -113,6 +113,11 @@ class LocalEngine:
         """The attached JIT manager (compiled tier), or None."""
         return self.runtime.jit
 
+    def metrics(self) -> dict:
+        """The owned runtime's unified counter snapshot (frozen
+        dot-namespaced keys; see :mod:`repro.obs.metrics`)."""
+        return self.runtime.metrics()
+
     # -- JSON state transport ------------------------------------------------
     def profile_json(self) -> str:
         """The engine's recorded profile as versioned JSON (an empty

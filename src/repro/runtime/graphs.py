@@ -80,6 +80,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.compiler.pipeline import specialization_key
 from repro.errors import VMError
 from repro.ir import instructions as insts
+from repro.obs import trace as obs_trace
 from repro.ir.program import Program
 from repro.runtime.adaptive import (
     STREAM_CAP_SLACK,
@@ -382,6 +383,8 @@ class _GroupTask(StreamTask):
                 event.wait()
             if self.state.error is None:
                 profiler = stream.pool.profiler
+                tracer = obs_trace.ACTIVE
+                trace_start = tracer.now() if tracer is not None else 0.0
                 if profiler is None:
                     self._execute(stream)
                 else:
@@ -394,6 +397,18 @@ class _GroupTask(StreamTask):
                         timer.delta,
                         group=self.group_index,
                         engine=self.engine_used,
+                    )
+                if tracer is not None:
+                    # Lane-level execution spans carry cat "stream" (like
+                    # live stream groups); "graph" is the lifecycle lane
+                    # (capture / host-side replay spans).
+                    tracer.complete(
+                        f"replay:{self.group.program.name}",
+                        "stream",
+                        stream.index + 1,
+                        trace_start,
+                        tracer.now() - trace_start,
+                        {"launches": len(self.args_list), "engine": self.engine_used},
                     )
         except BaseException as exc:  # noqa: BLE001 — surfaced by replay()
             self.state.fail(exc)
@@ -601,6 +616,18 @@ class ExecutionGraph:
                 )
             )
         self._groups = groups
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "graph.capture",
+                "graph",
+                obs_trace.HOST_TID,
+                {
+                    "signature": self.signature,
+                    "nodes": len(self.nodes),
+                    "groups": len(groups),
+                },
+            )
 
     def _apply_capture_profile(self, profile: Profile) -> None:
         """Profile-guided placement at capture time.
@@ -765,10 +792,25 @@ class ExecutionGraph:
                 "capture must have completed without error"
             )
         self._apply_bindings(bindings or {})
+        tracer = obs_trace.ACTIVE
+        trace_start = tracer.now() if tracer is not None else 0.0
         if serial:
             self._replay_serial()
         else:
             self._replay_streamed()
+        if tracer is not None:
+            tracer.complete(
+                "graph.replay",
+                "graph",
+                obs_trace.HOST_TID,
+                trace_start,
+                tracer.now() - trace_start,
+                {
+                    "signature": self.signature,
+                    "nodes": len(self.nodes),
+                    "serial": serial,
+                },
+            )
         self.replays += 1
 
     def _replay_streamed(self) -> None:

@@ -46,6 +46,7 @@ from typing import Optional, Sequence
 
 from repro.compiler.lower import LoweredKernel, LoweringBailout, lower_program
 from repro.compiler.pipeline import specialization_key
+from repro.obs import trace as obs_trace
 from repro.runtime.profiling import Profile, spec_string
 from repro.vm.interp import ExecutionStats
 from repro.vm.memory import GlobalMemory
@@ -190,6 +191,7 @@ class JitManager:
                 return kernel
             if key in self._bailed:
                 return None
+            tracer = obs_trace.ACTIVE
             try:
                 kernel = lower_program(
                     program, args, self.memory, self.shared_capacity
@@ -199,9 +201,23 @@ class JitManager:
                 self._bailed[key] = str(exc)
                 while len(self._bailed) > self._max_bailed:
                     self._bailed.popitem(last=False)
+                if tracer is not None:
+                    tracer.instant(
+                        f"jit.bailout:{program.name}",
+                        "jit",
+                        obs_trace.HOST_TID,
+                        {"reason": str(exc)},
+                    )
                 return None
             self.cache.put(key, kernel)
             self.compiled += 1
+            if tracer is not None:
+                tracer.instant(
+                    f"jit.promote:{program.name}",
+                    "jit",
+                    obs_trace.HOST_TID,
+                    {"forced": forced, "compiled": self.compiled},
+                )
             return kernel
 
     def run(

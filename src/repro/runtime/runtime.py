@@ -46,6 +46,7 @@ from repro.compiler.pipeline import (
 from repro.dtypes import DataType
 from repro.errors import VMError
 from repro.ir.program import Program
+from repro.obs import trace as obs_trace
 from repro.runtime.profiling import (
     EAGER,
     HOST_STREAM,
@@ -207,6 +208,23 @@ class Runtime:
         if self._pool is not None:
             self._pool.profiler = None
         return profile
+
+    # -- tracing -------------------------------------------------------------
+    def enable_tracing(self, tracer=None, capacity: int = obs_trace.DEFAULT_CAPACITY):
+        """Install (and return) the process tracer
+        (:mod:`repro.obs.trace`).  Tracing is process-scoped — the
+        trace's pid axis is the process, and one ring buffer collects
+        the host thread plus every stream lane — so this delegates to
+        :func:`repro.obs.trace.install`; the emit points across the
+        stack (launches, stream groups, graph replays, JIT promotions,
+        adaptive swaps) fire only while a tracer is installed and cost
+        one ``is None`` test otherwise."""
+        return obs_trace.install(tracer, capacity=capacity)
+
+    def disable_tracing(self):
+        """Uninstall and return the process tracer (buffer intact), or
+        None if tracing was off."""
+        return obs_trace.uninstall()
 
     # -- adaptive reoptimization ---------------------------------------------
     def enable_adaptive(self, policy=None):
@@ -435,6 +453,8 @@ class Runtime:
             else:
                 executor.launch(program, args)
 
+        tracer = obs_trace.ACTIVE
+        trace_start = tracer.now() if tracer is not None else 0.0
         try:
             if self.profiler is None:
                 execute()
@@ -454,6 +474,15 @@ class Runtime:
                 )
         except VMError as exc:
             raise VMError(f"kernel {program.name!r} failed: {exc}") from exc
+        if tracer is not None:
+            tracer.complete(
+                f"launch:{program.name}",
+                "runtime",
+                obs_trace.HOST_TID,
+                trace_start,
+                tracer.now() - trace_start,
+                {"engine": choice},
+            )
         self.context.launches += 1
         self.context.stats = self.interpreter.stats
         return kernel
@@ -467,3 +496,51 @@ class Runtime:
         total.merge(self.interpreter.stats)
         total.merge(self._pool.aggregate_stats())
         return total
+
+    def metrics(self) -> dict:
+        """One flat snapshot of every runtime-level counter, under the
+        frozen dot-namespaced contract
+        (:data:`repro.obs.metrics.RUNTIME_METRICS_KEYS`).  Subsumes the
+        per-subsystem counter objects — the specialization cache, the
+        merged :class:`~repro.vm.interp.ExecutionStats`, the stream
+        pool, the JIT manager, the adaptive policy — without replacing
+        them; absent subsystems report zeros so the key set never
+        varies."""
+        from repro.obs.metrics import RUNTIME_METRICS_KEYS, validate_metrics
+
+        stats = self.stats()
+        pool = self._pool
+        jit = self.jit
+        adaptive = self.adaptive
+        snapshot = {
+            "runtime.launches": self.context.launches,
+            "runtime.spec_cache.entries": len(self.cache),
+            "runtime.spec_cache.hits": self.cache.hits,
+            "runtime.spec_cache.misses": self.cache.misses,
+            "runtime.spec_cache.evictions": self.cache.evictions,
+            "runtime.stats.blocks_run": stats.blocks_run,
+            "runtime.stats.instructions": stats.instructions,
+            "runtime.stats.global_bits_loaded": stats.global_bits_loaded,
+            "runtime.stats.global_bits_stored": stats.global_bits_stored,
+            "runtime.stats.shared_bits_loaded": stats.shared_bits_loaded,
+            "runtime.stats.shared_bits_stored": stats.shared_bits_stored,
+            "runtime.stats.copy_async_issued": stats.copy_async_issued,
+            "runtime.stats.dot_ops": stats.dot_ops,
+            "runtime.stats.synchronizations": stats.synchronizations,
+            "streams.count": len(pool.streams) if pool is not None else 0,
+            "streams.launches": pool.launches if pool is not None else 0,
+            "streams.executions": pool.executions if pool is not None else 0,
+            "jit.enabled": int(jit is not None),
+            "jit.compiled": jit.compiled if jit is not None else 0,
+            "jit.bailouts": jit.bailouts if jit is not None else 0,
+            "jit.promotions": jit.promotions if jit is not None else 0,
+            "jit.cache.hits": jit.cache.hits if jit is not None else 0,
+            "jit.cache.misses": jit.cache.misses if jit is not None else 0,
+            "jit.cache.evictions": jit.cache.evictions if jit is not None else 0,
+            "adaptive.enabled": int(adaptive is not None),
+            "adaptive.swaps": adaptive.swaps if adaptive is not None else 0,
+            "adaptive.evaluations": (
+                adaptive.evaluations if adaptive is not None else 0
+            ),
+        }
+        return validate_metrics(snapshot, RUNTIME_METRICS_KEYS, "Runtime")

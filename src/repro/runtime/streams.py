@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.errors import VMError
 from repro.ir import instructions as insts
+from repro.obs import trace as obs_trace
 from repro.ir.evaluator import evaluate
 from repro.ir.expr import Expr, Var
 from repro.ir.program import Program
@@ -709,6 +710,8 @@ class Stream:
                 else:
                     self.batched.launch_many(first.program, [h.args for h in group])
 
+            tracer = obs_trace.ACTIVE
+            trace_start = tracer.now() if tracer is not None else 0.0
             if profiler is None:
                 execute()
             else:
@@ -717,6 +720,15 @@ class Stream:
                 with StatsTimer(self.stats) as timer:
                     execute()
                 self._record_group(profiler, group, choice, timer)
+            if tracer is not None:
+                tracer.complete(
+                    f"exec:{first.program.name}",
+                    "stream",
+                    self.index + 1,
+                    trace_start,
+                    tracer.now() - trace_start,
+                    {"engine": choice, "launches": len(group)},
+                )
             self.executions += 1
         except BaseException as exc:  # noqa: BLE001 — propagated to waiters
             for handle in group:

@@ -16,9 +16,13 @@ Message envelope::
 Types: ``ready`` (worker → router, once after boot), ``run`` (router →
 worker, a chunk of requests), ``done`` (worker → router, per-request
 results + counters), ``pull_state`` / ``state`` (graph plans + profile
-export), ``crash`` (router → worker, fault injection: hard-exit
-mid-loop), ``shutdown`` (router → worker, clean exit), ``error``
-(worker → router, an exception message instead of results).
+export), ``pull_trace`` / ``trace`` (the worker's buffered trace
+events + metrics snapshot + its monotonic-clock reading, its own
+``trace_v`` version stamp inside the envelope — the fleet-trace merge
+frame, see :mod:`repro.obs.trace`), ``crash`` (router → worker, fault
+injection: hard-exit mid-loop), ``shutdown`` (router → worker, clean
+exit), ``error`` (worker → router, an exception message instead of
+results).
 """
 
 from __future__ import annotations
@@ -33,7 +37,10 @@ MSG_JSON_VERSION = 1
 
 #: Message types either side may legally emit.
 MSG_TYPES = frozenset(
-    {"ready", "run", "done", "pull_state", "state", "crash", "shutdown", "error"}
+    {
+        "ready", "run", "done", "pull_state", "state",
+        "pull_trace", "trace", "crash", "shutdown", "error",
+    }
 )
 
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import VMError
 from repro.llm.batching import Request, _percentile
+from repro.obs import trace as obs_trace
 from repro.serving.messages import recv_msg, request_to_wire, send_msg
 from repro.serving.spec import WorkerSpec
 
@@ -167,6 +168,33 @@ class WorkerPool:
             raise VMError(f"worker {index} answered {msg['type']!r} to pull_state")
         return msg
 
+    def pull_trace(self, index: int, timeout_s: float = 60.0) -> dict:
+        """One worker's trace buffer + metrics snapshot, with its clock
+        offset onto *this* process's ``perf_counter`` estimated
+        NTP-style: the request/reply is bracketed locally and the
+        worker's reported reading is assumed to fall at the bracket
+        midpoint — ``offset = clock_now - (t_send + t_recv) / 2``.
+        Subtracting ``clock_offset_s`` from the worker's raw timestamps
+        maps them onto the router clock (the pipe round-trip is tens of
+        microseconds, far finer than the millisecond-scale spans being
+        merged)."""
+        handle = self.handles[index]
+        t_send = time.perf_counter()
+        send_msg(handle.conn, "pull_trace")
+        if not handle.conn.poll(timeout_s):
+            raise VMError(f"worker {index} did not answer pull_trace")
+        msg = recv_msg(handle.conn)
+        t_recv = time.perf_counter()
+        if msg["type"] != "trace":
+            raise VMError(f"worker {index} answered {msg['type']!r} to pull_trace")
+        if msg.get("trace_v") != obs_trace.TRACE_JSON_VERSION:
+            raise VMError(
+                f"worker {index} trace version mismatch: got "
+                f"{msg.get('trace_v')!r}, expected {obs_trace.TRACE_JSON_VERSION}"
+            )
+        msg["clock_offset_s"] = float(msg["clock_now"]) - 0.5 * (t_send + t_recv)
+        return msg
+
 
 @dataclass
 class ServedRequest:
@@ -211,6 +239,9 @@ class RouterResult:
     #: specs): specializations compiled and compiled executions run.
     jit_compiled: int = 0
     jit_promotions: int = 0
+    #: Raw per-worker counter sums (every ``done``-frame counter, keyed
+    #: by worker index) — the source :meth:`per_worker` reads.
+    worker_counters: dict = field(default_factory=dict)
 
     @property
     def num_completed(self) -> int:
@@ -244,6 +275,61 @@ class RouterResult:
 
     def digests(self) -> dict:
         return {r.request.rid: r.digest for r in self.completed}
+
+    def per_worker(self) -> dict:
+        """Per-worker breakdown: requests served, simulated latency/TTFT
+        percentiles over that worker's completions, its simulated busy
+        time, and its summed chunk counters (kernel launches, graph
+        captures/replays, JIT promotions, specialization-cache
+        hits/misses, …) — not just the fleet aggregates."""
+        workers = sorted(
+            set(self.worker_time_s)
+            | set(self.worker_counters)
+            | {r.worker for r in self.completed}
+        )
+        breakdown = {}
+        for worker in workers:
+            served = [r for r in self.completed if r.worker == worker]
+            latencies = [r.latency_s for r in served]
+            ttfts = [r.ttft_s for r in served]
+            row = {
+                "requests": len(served),
+                "latency_p50_s": _percentile(latencies, 50),
+                "latency_p99_s": _percentile(latencies, 99),
+                "ttft_p50_s": _percentile(ttfts, 50),
+                "ttft_p99_s": _percentile(ttfts, 99),
+                "time_s": self.worker_time_s.get(worker, 0.0),
+            }
+            for key, value in sorted(self.worker_counters.get(worker, {}).items()):
+                if key != "total_time_s":  # already surfaced as time_s
+                    row[key] = value
+            breakdown[worker] = row
+        return breakdown
+
+    def metrics(self) -> dict:
+        """Fleet-wide counters under the frozen dot-namespaced contract
+        (:data:`repro.obs.metrics.ROUTER_METRICS_KEYS`).  ``router.shed``
+        is the admission-reject count — overload is measured at the
+        door, where it was shed."""
+        from repro.obs.metrics import ROUTER_METRICS_KEYS, validate_metrics
+
+        snapshot = {
+            "router.completed": self.num_completed,
+            "router.shed": len(self.rejected),
+            "router.redispatched": self.redispatched,
+            "router.respawns": self.respawns,
+            "router.total_tokens": self.total_tokens,
+            "router.kernel_launches": self.kernel_launches,
+            "router.graph_captures": self.graph_captures,
+            "router.graph_replays": self.graph_replays,
+            "router.auto_reoptimizations": self.auto_reoptimizations,
+            "router.jit_compiled": self.jit_compiled,
+            "router.jit_promotions": self.jit_promotions,
+            "router.slo_attainment": self.slo_attainment,
+            "router.simulated_makespan_s": self.simulated_makespan_s,
+            "router.wall_s": self.wall_s,
+        }
+        return validate_metrics(snapshot, ROUTER_METRICS_KEYS, "RouterResult")
 
 
 class Router:
@@ -369,8 +455,19 @@ class Router:
         the router forever.
         """
         self.pool.start()
+        tracer = obs_trace.ACTIVE
+        serve_start = tracer.now() if tracer is not None else 0.0
         outcome = RouterResult()
         admitted, outcome.rejected = self.admit(requests)
+        if tracer is not None:
+            tracer.complete(
+                "router.admit",
+                "router",
+                obs_trace.HOST_TID,
+                serve_start,
+                tracer.now() - serve_start,
+                {"admitted": len(admitted), "shed": len(outcome.rejected)},
+            )
         scheduled = self.schedule(admitted)
         chunks = [
             scheduled[i : i + self.chunk_size]
@@ -407,6 +504,17 @@ class Router:
                     continue
                 busy[handle.index] = chunk
                 dispatch_count += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "router.dispatch",
+                        "router",
+                        obs_trace.HOST_TID,
+                        {
+                            "worker": handle.index,
+                            "chunk": len(chunk),
+                            "dispatch": dispatch_count,
+                        },
+                    )
                 if on_dispatch is not None:
                     if on_dispatch(handle.index, dispatch_count) == "kill":
                         handle.process.kill()
@@ -443,6 +551,19 @@ class Router:
                 # All workers idle with work queued: loop immediately.
                 continue
         outcome.wall_s = time.perf_counter() - started
+        if tracer is not None:
+            tracer.complete(
+                "router.serve",
+                "router",
+                obs_trace.HOST_TID,
+                serve_start,
+                tracer.now() - serve_start,
+                {
+                    "completed": outcome.num_completed,
+                    "shed": len(outcome.rejected),
+                    "dispatches": dispatch_count,
+                },
+            )
         return outcome
 
     def _record(
@@ -465,6 +586,9 @@ class Router:
                 )
             )
         counters = msg.get("counters", {})
+        sums = outcome.worker_counters.setdefault(worker, {})
+        for key, value in counters.items():
+            sums[key] = sums.get(key, 0) + value
         outcome.worker_time_s[worker] = outcome.worker_time_s.get(
             worker, 0.0
         ) + counters.get("total_time_s", 0.0)
@@ -483,3 +607,48 @@ class Router:
         handle.respawn()
         outcome.respawns += 1
         outcome.redispatched += redispatch
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "router.recover",
+                "router",
+                obs_trace.HOST_TID,
+                {"worker": handle.index, "redispatched": redispatch},
+            )
+
+    # -- fleet trace ---------------------------------------------------------
+    def fleet_trace(self) -> dict:
+        """One coherent Chrome trace for the whole fleet.
+
+        Pulls every worker's buffered events (:meth:`WorkerPool.pull_trace`),
+        normalizes each process's monotonic timestamps onto the router
+        clock via the per-worker NTP-midpoint offset, and merges them
+        with the router's own events: the router is pid 0, worker *i* is
+        pid ``i + 1``, and within each process tid 0 is the host lane
+        with streams on lanes 1+.  The result loads directly in
+        Perfetto / ``chrome://tracing`` and round-trips through
+        :func:`repro.obs.trace.load_trace`."""
+        local = obs_trace.ACTIVE
+        processes = [
+            {
+                "name": "router",
+                "pid": 0,
+                "events": local.events() if local is not None else [],
+                "offset_s": 0.0,
+            }
+        ]
+        dropped = local.dropped if local is not None else 0
+        for handle in self.pool.handles:
+            msg = self.pool.pull_trace(handle.index)
+            processes.append(
+                {
+                    "name": f"worker-{handle.index}",
+                    "pid": handle.index + 1,
+                    "events": msg["events"],
+                    "offset_s": msg["clock_offset_s"],
+                }
+            )
+            dropped += msg.get("dropped", 0)
+        trace = obs_trace.merge_process_traces(processes)
+        trace["otherData"]["dropped"] = dropped
+        return trace

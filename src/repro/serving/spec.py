@@ -58,6 +58,15 @@ class WorkerSpec:
     #: Attach the compiled tier: hot decode specializations promote out
     #: of the interpreter (see :mod:`repro.runtime.jit`).
     jit: bool = False
+    #: Promotion threshold override (accumulated interpreted seconds);
+    #: None keeps the manager default.  ``0.0`` promotes on first
+    #: profiled sight — what trace smoke tests use to guarantee a JIT
+    #: event in a short run.
+    jit_threshold_s: float | None = None
+    #: Install a process tracer in the worker (see
+    #: :mod:`repro.obs.trace`): the worker buffers span/instant events
+    #: and ships them on ``pull_trace`` for the router's fleet merge.
+    trace: bool = False
 
     # -- JSON round-trip -----------------------------------------------------
     def to_json(self) -> str:
@@ -138,4 +147,5 @@ class WorkerSpec:
             profile=self.profile,
             adaptive=self.adaptive,
             jit=self.jit,
+            jit_threshold_s=self.jit_threshold_s,
         )

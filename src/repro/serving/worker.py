@@ -14,6 +14,15 @@ State export (``pull_state``) returns the worker's cumulative decode
 the JSON the router uses for cross-shard warm-starts and for checking
 a shard's placement decisions against its own.
 
+Trace export (``pull_trace``) is the observability half: with
+``spec.trace`` the worker installs a process tracer at boot
+(:mod:`repro.obs.trace`), wraps each served chunk in a ``worker.chunk``
+span (stream/graph/JIT emit points inside the simulator record on
+their own lanes), and ships the raw event buffer plus its unified
+``metrics()`` snapshot and a ``perf_counter`` reading — the clock
+reference the router's fleet merge uses to normalize this process's
+timestamps onto its own.
+
 The ``crash`` message is the fault-injection hook: the worker replies
 nothing and hard-exits (``os._exit``), indistinguishable from a kill —
 the router's crash-recovery path is exercised by a *real* dead process,
@@ -23,8 +32,10 @@ not a simulated flag.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 
+from repro.obs import trace as obs_trace
 from repro.serving.messages import (
     recv_msg,
     request_from_wire,
@@ -65,6 +76,8 @@ def worker_main(conn, spec_json: str) -> None:
     spec = WorkerSpec.from_json(spec_json)
     sim = spec.build_simulator()
     cumulative = Profile() if spec.profile else None
+    tracer = obs_trace.install() if spec.trace else None
+    cache = sim.decode_linear.runtime.cache if sim.decode_linear is not None else None
     send_msg(conn, "ready", pid=os.getpid())
     while True:
         msg = recv_msg(conn)
@@ -78,7 +91,19 @@ def worker_main(conn, spec_json: str) -> None:
         if kind == "run":
             try:
                 requests = [request_from_wire(r) for r in msg["requests"]]
+                hits0 = cache.hits if cache is not None else 0
+                misses0 = cache.misses if cache is not None else 0
+                trace_start = tracer.now() if tracer is not None else 0.0
                 outcome = sim.run(requests)
+                if tracer is not None:
+                    tracer.complete(
+                        "worker.chunk",
+                        "worker",
+                        obs_trace.HOST_TID,
+                        trace_start,
+                        tracer.now() - trace_start,
+                        {"requests": len(requests)},
+                    )
                 if cumulative is not None and outcome.profile is not None:
                     cumulative.merge(outcome.profile)
                 send_msg(
@@ -94,6 +119,13 @@ def worker_main(conn, spec_json: str) -> None:
                         "auto_reoptimizations": outcome.auto_reoptimizations,
                         "jit_compiled": outcome.jit_compiled,
                         "jit_promotions": outcome.jit_promotions,
+                        # Per-chunk specialization-cache deltas, so the
+                        # router's per-worker breakdown sums correctly
+                        # across chunks and respawns.
+                        "cache_hits": (cache.hits - hits0) if cache is not None else 0,
+                        "cache_misses": (
+                            (cache.misses - misses0) if cache is not None else 0
+                        ),
                     },
                 )
             except Exception as exc:  # noqa: BLE001 — forwarded to router
@@ -105,6 +137,20 @@ def worker_main(conn, spec_json: str) -> None:
                 )
         elif kind == "pull_state":
             send_msg(conn, "state", **_state_payload(sim, cumulative))
+        elif kind == "pull_trace":
+            # The fleet-trace frame: raw events (this process's
+            # monotonic clock), the unified metrics snapshot, and the
+            # clock reading the router pairs with its own send/receive
+            # bracket to estimate this worker's clock offset.
+            send_msg(
+                conn,
+                "trace",
+                trace_v=obs_trace.TRACE_JSON_VERSION,
+                events=tracer.events() if tracer is not None else [],
+                dropped=tracer.dropped if tracer is not None else 0,
+                metrics=sim.metrics(),
+                clock_now=time.perf_counter(),
+            )
         else:
             send_msg(conn, "error", message=f"unexpected message: {kind!r}")
     conn.close()

@@ -130,6 +130,11 @@ class Interpreter:
         self.launch_env: dict[Var, object] = {}
         self.stats = ExecutionStats()
         self._stdout = stdout
+        #: Buffered ``PrintTensor`` output for the launch in flight,
+        #: flushed at launch retire (created on first print) — the same
+        #: ordered-sink contract as the batched engine, so callers can
+        #: capture either engine's prints by swapping ``stdout``.
+        self._prints: list[str] | None = None
 
     # -- host-side helpers ---------------------------------------------------
     def upload(self, values: np.ndarray, dtype) -> int:
@@ -164,14 +169,33 @@ class Interpreter:
         grid = program.grid_size(args)
         nblocks = int(np.prod(grid)) if grid else 1
         coords = decompose_linear(tuple(grid))
-        for linear in range(nblocks):
-            ctx = BlockContext(self, tuple(int(c[linear]) for c in coords))
-            self.stats.blocks_run += 1
-            try:
-                self._run_stmt(program.body, ctx)
-            except _Exit:
-                pass
+        self._prints = None
+        try:
+            for linear in range(nblocks):
+                ctx = BlockContext(self, tuple(int(c[linear]) for c in coords))
+                self.stats.blocks_run += 1
+                try:
+                    self._run_stmt(program.body, ctx)
+                except _Exit:
+                    pass
+        finally:
+            self._flush_prints()
         return self.stats
+
+    def _flush_prints(self) -> None:
+        """Emit buffered print output in block (retire) order.  Blocks
+        already run sequentially, so buffering changes nothing about the
+        interleaving — it makes the launch's output atomic and routes it
+        through the swappable ``stdout`` sink, mirroring
+        :meth:`repro.vm.batched.BatchedExecutor._flush_prints`."""
+        prints, self._prints = self._prints, None
+        if prints is None:
+            return
+        for text in prints:
+            if self._stdout is not None:
+                self._stdout.write(text + "\n")
+            else:
+                print(text)
 
     # -- statement execution -----------------------------------------------------
     def _run_stmt(self, stmt: Stmt, ctx: BlockContext) -> None:
@@ -500,7 +524,8 @@ def _exec_print_tensor(vm: Interpreter, inst: insts.PrintTensor, ctx: BlockConte
     rendered = value.to_logical() if isinstance(value, RegisterValue) else value.read_all()
     prefix = f"{inst.message}: " if inst.message else ""
     text = f"{prefix}{inst.tensor.name} =\n{rendered}"
-    if vm._stdout is not None:
-        vm._stdout.write(text + "\n")
-    else:
-        print(text)
+    # Rendered now (per-block state at this point), flushed in block
+    # order at launch retire — see Interpreter._flush_prints.
+    if vm._prints is None:
+        vm._prints = []
+    vm._prints.append(text)
