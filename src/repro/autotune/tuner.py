@@ -152,7 +152,13 @@ class Autotuner:
     serving counters.
     """
 
-    def __init__(self, gpu: GpuSpec = L40S, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        gpu: GpuSpec = L40S,
+        max_entries: int = 64,
+        store=None,
+        store_scope: str = "tuner",
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.gpu = gpu
@@ -161,6 +167,14 @@ class Autotuner:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        if store is not None and isinstance(store, str):
+            from repro.store import TuningStore
+
+            store = TuningStore(store)
+        #: Optional persistent tuning store: ``tune_profiled`` rankings
+        #: stamped by their profile survive the process through it.
+        self.store = store
+        self.store_scope = store_scope
 
     # -- the memo ------------------------------------------------------------
     def _cache_get(self, key: tuple):
@@ -216,6 +230,58 @@ class Autotuner:
 
     def cache_size(self) -> int:
         return len(self._cache)
+
+    def counters(self) -> dict:
+        """JSON-friendly memo counter snapshot.  ``evictions`` counts
+        both LRU overflow and ``tune_profiled`` stale-stamp slots — a
+        re-rank under a new profile stamp evicts the old ranking."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+        }
+
+    # -- persistent rankings -------------------------------------------------
+    def _store_load(self, key: tuple, stamp):
+        """A stored ranking for (key, exact stamp) reconstructed as an
+        :class:`AutotuneResult`, or None (store off / absent / corrupt /
+        stale — every failure degrades to a fresh ranking)."""
+        if self.store is None or stamp is None:
+            return None
+        from repro.errors import VMError
+
+        try:
+            payload = self.store.load_rankings(
+                self.store_scope, repr(key), list(stamp)
+            )
+        except VMError:
+            return None
+        if payload is None:
+            return None
+        try:
+            config = MatmulConfig(**payload["config"])
+            return AutotuneResult(
+                config,
+                float(payload["estimated_latency"]),
+                int(payload["num_candidates"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _store_publish(self, key: tuple, stamp, result: AutotuneResult) -> None:
+        if self.store is None or stamp is None:
+            return
+        from dataclasses import asdict
+
+        payload = {
+            "config": asdict(result.config),
+            "estimated_latency": result.estimated_latency,
+            "num_candidates": result.num_candidates,
+        }
+        self.store.publish_rankings(
+            self.store_scope, repr(key), payload, list(stamp)
+        )
 
     # -- measured tuning -----------------------------------------------------
     def _trial_configs(self, workload: MatmulWorkload, top_k: int) -> list[MatmulConfig]:
@@ -375,6 +441,15 @@ class Autotuner:
         if cached is not None and cached[0] == stamp:
             self.hits += 1
             return cached[1]
+        if cached is not None:
+            # Stale stamp: the slot is replaced below.  That replacement
+            # is an eviction of the old ranking, and counting it keeps
+            # ``evictions`` an honest census of every discarded entry.
+            self.evictions += 1
+        stored = self._store_load(key, stamp)
+        if stored is not None:
+            self._cache_put(key, (stamp, stored))
+            return stored
         trials = self._trial_configs(workload, top_k)
         rng = np.random.default_rng(0)
         best_cfg, best_time = None, math.inf
@@ -396,4 +471,5 @@ class Autotuner:
                 best_cfg, best_time = cfg, elapsed
         result = AutotuneResult(best_cfg, best_time, len(trials))
         self._cache_put(key, (stamp, result))
+        self._store_publish(key, stamp, result)
         return result

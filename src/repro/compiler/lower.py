@@ -1429,6 +1429,10 @@ class LoweredKernel:
     num_consts: int
     num_params: int
     _fn: Callable = field(repr=False, default=None)
+    #: The constant pool the source closes over (C0, C1, ...).  Carried
+    #: so the tuning store can persist a kernel as source + consts and
+    #: rehydrate it in a fresh process without re-running the passes.
+    consts: dict = field(repr=False, default=None)
 
     def run(self, memory: GlobalMemory, args: Sequence,
             stats: Optional[ExecutionStats] = None) -> ExecutionStats:
@@ -1491,6 +1495,7 @@ class FlattenToSource:
             num_consts=len(em.consts),
             num_params=len(state.program.params),
             _fn=namespace["_jit_kernel"],
+            consts=dict(em.consts),
         )
 
 

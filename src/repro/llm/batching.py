@@ -226,6 +226,8 @@ class ContinuousBatchingSimulator:
         adaptive=False,
         jit: bool = False,
         jit_threshold_s: float | None = None,
+        store=None,
+        store_scope: str = "serving",
     ) -> None:
         self.model = model
         self.config = config
@@ -263,6 +265,51 @@ class ContinuousBatchingSimulator:
         #: One captured decode-step graph per batch size, with the
         #: binding layout it was captured against.
         self._graphs: dict = {}
+        #: Persistent tuning store (see :mod:`repro.store`), or None.
+        #: A warm boot loads the previous generation's profile and JIT
+        #: state here; :meth:`publish_store` writes this generation's
+        #: back.  Every load failure degrades to a cold boot.
+        self._store_scope = store_scope
+        self._warm_profile = None
+        #: Profiles accumulated across this simulator's runs, merged for
+        #: publication (each run installs a fresh per-trace profile).
+        self._store_profile = None
+        if store is not None:
+            from repro.store import TuningStore
+
+            if not isinstance(store, TuningStore):
+                store = TuningStore(store)
+        self._store = store
+        if self._store is not None and decode_linear is not None:
+            self._warm_boot(decode_linear.runtime)
+
+    def _warm_boot(self, runtime) -> None:
+        """Spend the store's persisted state: the stored profile arms
+        profile-guided capture (zero-swap convergence) and stored JIT
+        heat/kernels pre-promote the decode specialization.  Corrupt
+        entries are swallowed — the boot proceeds cold."""
+        from repro.errors import VMError
+
+        runtime.store = self._store
+        try:
+            self._warm_profile = self._store.load_profile(self._store_scope)
+        except VMError:
+            self._warm_profile = None
+        if self._jit:
+            try:
+                payload = self._store.load_jit(self._store_scope)
+            except VMError:
+                payload = None
+            if payload is not None:
+                heat = {
+                    spec: seconds
+                    for spec, seconds in payload["heat"].items()
+                    if isinstance(spec, str)
+                    and isinstance(seconds, (int, float))
+                    and not isinstance(seconds, bool)
+                }
+                runtime.jit.preheat(heat)
+                runtime.jit.stage_kernels(payload["kernels"])
 
     def metrics(self) -> dict:
         """One flat snapshot of the simulator's counters under the
@@ -303,7 +350,10 @@ class ContinuousBatchingSimulator:
         # even when the caller did not ask to keep the profile
         # (outcome.profile stays None unless profile=True).
         profiling = (
-            self.profile or self._policy is not None or self._jit
+            self.profile
+            or self._policy is not None
+            or self._jit
+            or self._store is not None
         ) and self.decode_linear is not None
         if profiling:
             # Fresh profile per run so the trace's records are its own
@@ -329,7 +379,11 @@ class ContinuousBatchingSimulator:
                 outcome.jit_compiled = jit.compiled - compiled_before
                 outcome.jit_promotions = jit.promotions - promotions_before
             if profiling:
-                runtime.disable_profiling()
+                recorded = runtime.disable_profiling()
+                if self._store is not None and recorded is not None:
+                    if self._store_profile is None:
+                        self._store_profile = Profile()
+                    self._store_profile.merge(recorded)
                 if prior is not None:
                     runtime.enable_profiling(prior)
 
@@ -464,16 +518,22 @@ class ContinuousBatchingSimulator:
         ``program_for(1)`` spec) — an unrelated profile must not be
         offered, since profile-guided capture rejects a profile that
         matches nothing."""
-        if self._policy is None:
-            return None
-        profiler = self.decode_linear.runtime.profiler
-        if profiler is None:
+        if self._policy is None and self._warm_profile is None:
             return None
         from repro.compiler.pipeline import specialization_key
         from repro.runtime.profiling import spec_string
 
         spec = spec_string(specialization_key(program, args))
-        return profiler if profiler.spec_seconds(spec) is not None else None
+        if self._policy is not None:
+            profiler = self.decode_linear.runtime.profiler
+            if profiler is not None and profiler.spec_seconds(spec) is not None:
+                return profiler
+        warm = self._warm_profile
+        if warm is not None and warm.spec_seconds(spec) is not None:
+            # Store-warm boot: a profile recorded by a previous process
+            # stands in until this one has measured anything itself.
+            return warm
+        return None
 
     def _decode_step_graphed(self, pool, inflight, outcome: TraceResult) -> None:
         """One decode step through the graph subsystem: capture the
@@ -507,8 +567,17 @@ class ContinuousBatchingSimulator:
             for idx, flight in enumerate(inflight):
                 graph.bind(f"act{idx}", flight.act_addr, act_bytes)
                 graph.bind(f"out{idx}", flight.out_addr, out_bytes)
+            warm_capture = hint is not None and hint is self._warm_profile
+            if self._store is not None:
+                applied = self._apply_stored_plan(graph)
+                if applied is not None:
+                    graph = applied
+                    warm_capture = True
             if self._policy is not None:
-                graph = self._policy.manage(graph)
+                # A warm capture already sits on a converged placement:
+                # the policy's unconditional first swap is disabled so a
+                # warm boot replays with zero adaptive swaps.
+                graph = self._policy.manage(graph, warm=warm_capture)
             self._graphs[batch] = graph
             outcome.graph_captures += 1
             graph.replay()  # identity bindings: captured from this step
@@ -523,6 +592,59 @@ class ContinuousBatchingSimulator:
         outcome.max_concurrent_streams = max(
             outcome.max_concurrent_streams, len(graph.stream_indices)
         )
+
+    # -- persistent tuning store ---------------------------------------------
+    def _apply_stored_plan(self, graph):
+        """This scope's stored placement for ``graph``'s signature
+        applied to it, or None (absent / corrupt / no longer applicable
+        — every miss degrades to the freshly captured placement)."""
+        from repro.errors import VMError
+
+        try:
+            plan = self._store.load_plan(self._store_scope, graph.signature)
+            if plan is None:
+                return None
+            return graph.apply_plan(plan)
+        except VMError:
+            return None
+
+    def publish_store(self) -> dict:
+        """Persist this simulator's converged serving state — merged
+        profile (warm inheritance + every run served here), each decode
+        graph's live placement, and the JIT tier's heat and kernel
+        sources — so the next process boots converged.  Returns a
+        summary dict; publication is best-effort per artifact."""
+        summary = {"profile": False, "plans": 0, "jit_kernels": 0}
+        if self._store is None or self.decode_linear is None:
+            return summary
+        from repro.errors import VMError
+        from repro.runtime.profiling import Profile
+
+        runtime = self.decode_linear.runtime
+        merged = Profile()
+        if self._warm_profile is not None:
+            merged.merge(self._warm_profile)
+        if self._store_profile is not None:
+            merged.merge(self._store_profile)
+        if runtime.profiler is not None:
+            merged.merge(runtime.profiler)
+        if len(merged) > 0:
+            self._store.publish_profile(self._store_scope, merged)
+            summary["profile"] = True
+        for graph in self._graphs.values():
+            live = getattr(graph, "live", graph)
+            try:
+                self._store.publish_plan(
+                    self._store_scope, live.signature, live.plan()
+                )
+                summary["plans"] += 1
+            except VMError:
+                continue
+        if self._jit and runtime.jit is not None:
+            summary["jit_kernels"] = self._store.publish_jit(
+                self._store_scope, runtime.jit, merged
+            )
+        return summary
 
 
 def uniform_trace(

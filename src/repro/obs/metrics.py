@@ -15,6 +15,7 @@ Namespaces:
 - ``streams.*``   — pool width, launches, post-coalescing executions
 - ``jit.*``       — compiled tier: promotion/bailout/cache counters
 - ``adaptive.*``  — online reoptimization: swaps, evaluations
+- ``store.*``     — persistent tuning store: hit/miss/publish/gc
 - ``batching.*``  — the continuous-batching simulator's graph census
 - ``router.*``    — fleet aggregates (``router.shed`` is the admission
   reject count — the door is where overload is measured)
@@ -60,6 +61,11 @@ RUNTIME_METRICS_KEYS = frozenset({
     "adaptive.enabled",
     "adaptive.swaps",
     "adaptive.evaluations",
+    "store.enabled",
+    "store.hits",
+    "store.misses",
+    "store.publishes",
+    "store.gc_evictions",
 })
 
 #: ``ContinuousBatchingSimulator.metrics()`` keys: the runtime contract

@@ -177,10 +177,16 @@ class AdaptiveGraph:
     that image's signature.
     """
 
-    def __init__(self, policy: "AdaptivePolicy", graph, outputs=None) -> None:
+    def __init__(
+        self, policy: "AdaptivePolicy", graph, outputs=None, warm=False
+    ) -> None:
         self._policy = policy
         self._outputs = tuple(outputs) if outputs is not None else None
         self._live = graph
+        #: Captured from a trusted (store-loaded) profile: the
+        #: first-window free swap is disabled, so an already-converged
+        #: placement only swaps when measured costs clear ``min_gain``.
+        self._warm = bool(warm)
         #: Guards this graph's replay counting, evaluation and swap.
         #: Per-facade, not policy-wide: one graph's (potentially long)
         #: optimize pass must not stall the bookkeeping of every other
@@ -358,11 +364,15 @@ class AdaptivePolicy:
         self.profile: Profile | None = None
         self._lock = threading.Lock()
 
-    def manage(self, graph, outputs=None) -> AdaptiveGraph:
+    def manage(self, graph, outputs=None, warm=False) -> AdaptiveGraph:
         """Put a captured graph under management; returns the
         :class:`AdaptiveGraph` facade to replay instead of the raw graph.
         ``outputs`` forwards to ``optimize`` (names the pointer bindings
         that are externally observable; ``None`` = all of them).
+        ``warm=True`` marks a graph captured from a trusted store-loaded
+        profile: the unconditional first-window swap is skipped, so a
+        warm boot that is already converged performs **zero** swaps and
+        only re-places if live measurements beat ``min_gain``.
         Managing a graph this policy already manages returns it
         unchanged; a facade bound to a *different* policy is re-homed —
         its live image is wrapped under this policy, so the caller's
@@ -372,7 +382,7 @@ class AdaptivePolicy:
             if graph.policy is self:
                 return graph
             graph = graph.live
-        return AdaptiveGraph(self, graph, outputs=outputs)
+        return AdaptiveGraph(self, graph, outputs=outputs, warm=warm)
 
     # -- the feedback loop ---------------------------------------------------
     def _after_replay(self, agraph: AdaptiveGraph, image) -> None:
@@ -419,7 +429,7 @@ class AdaptivePolicy:
                 obs_trace.HOST_TID,
                 {"signature": image.signature, "swaps": agraph.swaps},
             )
-        first = agraph.swaps == 0
+        first = agraph.swaps == 0 and not agraph._warm
         if not first:
             costs, matched = image._profiled_costs(window)
             if matched == 0:

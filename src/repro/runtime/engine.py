@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import VMError
 from repro.runtime.graphs import ExecutionGraph, GraphPlan
 from repro.runtime.profiling import Profile
 from repro.runtime.runtime import Runtime
+from repro.store import TuningStore
 
 
 class LocalEngine:
@@ -52,6 +54,15 @@ class LocalEngine:
     attaches the compiled tier exactly as ``runtime.enable_jit()``
     would, so hot specializations promote out of the interpreter with
     no further API surface.
+
+    ``store=`` (a directory path or a live
+    :class:`~repro.store.TuningStore`) attaches the persistent tuning
+    store; :meth:`warm_start` then spends state another process
+    published — profiles merge into the profiler, stored JIT heat and
+    kernels pre-promote — and :meth:`publish_store` persists this
+    engine's converged state for the next process.  Every load path
+    degrades: a corrupt entry raises ``VMError`` inside the store, the
+    engine counts it and proceeds cold.
     """
 
     def __init__(
@@ -62,6 +73,8 @@ class LocalEngine:
         profile: bool = False,
         adaptive=False,
         jit: bool = False,
+        store=None,
+        store_scope: str = "engine",
     ) -> None:
         self.runtime = Runtime(
             dram_bytes=dram_bytes, engine=engine, cache_entries=cache_entries
@@ -73,6 +86,11 @@ class LocalEngine:
             self.runtime.enable_profiling()
         if jit:
             self.runtime.enable_jit()
+        self.store_scope = store_scope
+        if store is not None and not isinstance(store, TuningStore):
+            store = TuningStore(store)
+        self.store = store
+        self.runtime.store = store
 
     # -- execution (pure delegation) ----------------------------------------
     def upload(self, values, dtype) -> int:
@@ -117,6 +135,87 @@ class LocalEngine:
         """The owned runtime's unified counter snapshot (frozen
         dot-namespaced keys; see :mod:`repro.obs.metrics`)."""
         return self.runtime.metrics()
+
+    # -- persistent tuning store ---------------------------------------------
+    def warm_start(self) -> dict:
+        """Spend the store's persisted state in this process: merge the
+        stored profile into the active profiler and seed the JIT manager
+        with stored heat and kernels.  Returns a summary dict
+        (``profile``/``jit_heat``/``jit_kernels``/``errors``).  Corrupt
+        entries are counted in ``errors`` and skipped — warm start never
+        fails; the worst outcome is a cold boot."""
+        summary = {"profile": False, "jit_heat": 0, "jit_kernels": 0, "errors": 0}
+        if self.store is None:
+            return summary
+        try:
+            profile = self.store.load_profile(self.store_scope)
+        except VMError:
+            profile, summary["errors"] = None, summary["errors"] + 1
+        if profile is not None:
+            self.runtime.enable_profiling().merge(profile)
+            summary["profile"] = True
+        if self.runtime.jit is not None:
+            try:
+                payload = self.store.load_jit(self.store_scope)
+            except VMError:
+                payload, summary["errors"] = None, summary["errors"] + 1
+            if payload is not None:
+                heat = {
+                    spec: seconds
+                    for spec, seconds in payload["heat"].items()
+                    if isinstance(spec, str)
+                    and isinstance(seconds, (int, float))
+                    and not isinstance(seconds, bool)
+                }
+                self.runtime.jit.preheat(heat)
+                summary["jit_heat"] = len(heat)
+                summary["jit_kernels"] = self.runtime.jit.stage_kernels(
+                    payload["kernels"]
+                )
+        return summary
+
+    def load_stored_plan(self, graph):
+        """Re-place ``graph`` under this scope's stored plan for its
+        signature, or return None (store off / no entry / corrupt entry
+        / plan no longer applicable — every miss degrades)."""
+        if self.store is None:
+            return None
+        live = getattr(graph, "live", graph)
+        try:
+            plan = self.store.load_plan(self.store_scope, live.signature)
+            if plan is None:
+                return None
+            return live.apply_plan(plan)
+        except VMError:
+            return None
+
+    def publish_store(self, graphs: Sequence = ()) -> dict:
+        """Persist this engine's converged state: the recorded profile,
+        each given graph's live placement, and (when the compiled tier
+        is attached) JIT heat + kernel sources.  Returns a summary dict.
+        Publication is best-effort per artifact; one failure does not
+        block the others."""
+        summary = {"profile": False, "plans": 0, "jit_kernels": 0}
+        if self.store is None:
+            return summary
+        profiler = self.runtime.profiler
+        if profiler is not None and len(profiler.nodes) > 0:
+            self.store.publish_profile(self.store_scope, profiler)
+            summary["profile"] = True
+        for graph in graphs:
+            live = getattr(graph, "live", graph)
+            try:
+                self.store.publish_plan(
+                    self.store_scope, live.signature, live.plan()
+                )
+                summary["plans"] += 1
+            except VMError:
+                continue
+        if self.runtime.jit is not None:
+            summary["jit_kernels"] = self.store.publish_jit(
+                self.store_scope, self.runtime.jit, profiler
+            )
+        return summary
 
     # -- JSON state transport ------------------------------------------------
     def profile_json(self) -> str:

@@ -146,6 +146,15 @@ class JitManager:
         self.bailouts = 0
         #: Launches actually executed on the compiled tier.
         self.promotions = 0
+        #: Kernels restored from a tuning store (no pass pipeline run).
+        self.rehydrated = 0
+        #: Store-loaded heat per spec string — counts toward the
+        #: promotion threshold alongside live profiler heat, so a fresh
+        #: process promotes hot specializations on first launch.
+        self._preheat: dict[str, float] = {}
+        #: Store-loaded kernel records per spec string, decoded lazily
+        #: at promotion time (a corrupt record degrades to a compile).
+        self._stored: dict[str, dict] = {}
 
     # -- policy --------------------------------------------------------------
     def maybe_compile(
@@ -161,9 +170,11 @@ class JitManager:
 
         ``forced=True`` (an explicit ``engine="compiled"``) skips the
         heat check and compiles immediately; otherwise the launch
-        promotes only when the profiler's accumulated interpreted time
-        for its specialization has reached ``threshold_s`` (no profiler
-        → never promote).  Either way a known bailed-out specialization
+        promotes only when the accumulated interpreted time for its
+        specialization — live profiler heat plus any store-seeded
+        :meth:`preheat` — has reached ``threshold_s`` (no profiler and
+        no preheat → never promote).  Either way a known bailed-out
+        specialization
         answers None from the memo without re-running the pipeline, and
         an already-compiled one answers from the cache without
         consulting the heat at all — promotion is sticky.
@@ -179,9 +190,14 @@ class JitManager:
                 self._bailed.move_to_end(key)
                 return None
         if not forced:
-            if profiler is None:
+            spec = spec_string(key)
+            pre = self._preheat.get(spec)
+            if profiler is None and pre is None:
                 return None
-            if profiler.spec_heat(spec_string(key)) < self.threshold_s:
+            heat = pre or 0.0
+            if profiler is not None:
+                heat += profiler.spec_heat(spec)
+            if heat < self.threshold_s:
                 return None
         with self._lock:
             # Re-check under the lock: a racing launch may have compiled
@@ -192,6 +208,26 @@ class JitManager:
             if key in self._bailed:
                 return None
             tracer = obs_trace.ACTIVE
+            record = self._stored.pop(spec_string(key), None)
+            if record is not None:
+                from repro.errors import VMError
+                from repro.store import decode_kernel
+
+                try:
+                    kernel = decode_kernel(record, self.memory, key)
+                except VMError:
+                    kernel = None  # corrupt record: fall through and compile
+                if kernel is not None:
+                    self.cache.put(key, kernel)
+                    self.rehydrated += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            f"jit.rehydrate:{program.name}",
+                            "jit",
+                            obs_trace.HOST_TID,
+                            {"rehydrated": self.rehydrated},
+                        )
+                    return kernel
             try:
                 kernel = lower_program(
                     program, args, self.memory, self.shared_capacity
@@ -231,6 +267,32 @@ class JitManager:
             self.promotions += 1
         return kernel.run(self.memory, args, stats)
 
+    # -- store warm-start ----------------------------------------------------
+    def preheat(self, heats: dict) -> None:
+        """Seed per-spec heat from a tuning store: a fresh process
+        promotes store-hot specializations on their first launch instead
+        of re-paying interpreted warmup.  Adds to (never replaces) any
+        previously seeded heat."""
+        with self._lock:
+            for spec, seconds in heats.items():
+                self._preheat[spec] = self._preheat.get(spec, 0.0) + float(seconds)
+
+    def stage_kernels(self, records: list) -> int:
+        """Stage store-loaded kernel records for lazy rehydration: when a
+        staged specialization promotes, its kernel is decoded from the
+        record instead of re-lowered.  Malformed list entries are
+        skipped; a record that later fails to decode degrades to a cold
+        compile.  Returns the number staged."""
+        staged = 0
+        with self._lock:
+            for record in records:
+                spec = record.get("spec") if isinstance(record, dict) else None
+                if not isinstance(spec, str):
+                    continue
+                self._stored[spec] = record
+                staged += 1
+        return staged
+
     # -- introspection -------------------------------------------------------
     def bailout_reason(self, program, args: Sequence) -> Optional[str]:
         """Why a specialization stays interpreted, or None if it never
@@ -247,6 +309,7 @@ class JitManager:
                 "compiled": self.compiled,
                 "bailouts": self.bailouts,
                 "promotions": self.promotions,
+                "rehydrated": self.rehydrated,
                 "cache_hits": self.cache.hits,
                 "cache_misses": self.cache.misses,
                 "cache_evictions": self.cache.evictions,

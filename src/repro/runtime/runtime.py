@@ -176,6 +176,10 @@ class Runtime:
         #: Attached :class:`~repro.runtime.jit.JitManager` (see
         #: :meth:`enable_jit`), or None.
         self.jit = None
+        #: Attached :class:`~repro.store.TuningStore` (wired by
+        #: :class:`~repro.runtime.engine.LocalEngine` or the serving
+        #: simulator), or None.  Only read for ``store.*`` metrics.
+        self.store = None
         if engine == "compiled":
             self.enable_jit()
 
@@ -512,6 +516,7 @@ class Runtime:
         pool = self._pool
         jit = self.jit
         adaptive = self.adaptive
+        store = self.store
         snapshot = {
             "runtime.launches": self.context.launches,
             "runtime.spec_cache.entries": len(self.cache),
@@ -542,5 +547,10 @@ class Runtime:
             "adaptive.evaluations": (
                 adaptive.evaluations if adaptive is not None else 0
             ),
+            "store.enabled": int(store is not None),
+            "store.hits": store.hits if store is not None else 0,
+            "store.misses": store.misses if store is not None else 0,
+            "store.publishes": store.publishes if store is not None else 0,
+            "store.gc_evictions": store.gc_evictions if store is not None else 0,
         }
         return validate_metrics(snapshot, RUNTIME_METRICS_KEYS, "Runtime")

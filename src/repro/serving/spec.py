@@ -67,6 +67,13 @@ class WorkerSpec:
     #: :mod:`repro.obs.trace`): the worker buffers span/instant events
     #: and ships them on ``pull_trace`` for the router's fleet merge.
     trace: bool = False
+    #: Directory of a persistent :class:`~repro.store.TuningStore`.
+    #: A worker built from a spec with a path boots *converged*:
+    #: profile-guided capture from the stored profile (zero adaptive
+    #: swaps), staged JIT kernels, and it publishes its own converged
+    #: state back on shutdown.  None (the default — old specs parse
+    #: unchanged) serves cold.
+    store_path: str | None = None
 
     # -- JSON round-trip -----------------------------------------------------
     def to_json(self) -> str:
@@ -116,6 +123,22 @@ class WorkerSpec:
         except KeyError as exc:
             raise VMError(f"unknown model in worker spec: {self.model!r}") from exc
 
+    def store_scope(self) -> str:
+        """The tuning-store scope every worker sharing this recipe's
+        *engine identity* reads and writes.  Hashes only the fields that
+        determine what executes (model, dtypes, shapes, seed) — not
+        observability or store knobs — so a respawned or scaled-out
+        worker lands on the state its identical siblings published."""
+        import hashlib
+
+        identity = (
+            self.model, self.system, self.weight_dtype, self.gpu,
+            self.group_size, self.linear_k, self.linear_n,
+            self.linear_dtype, self.linear_group, self.weight_seed,
+        )
+        digest = hashlib.sha256(repr(identity).encode("utf-8")).hexdigest()
+        return f"worker-{digest[:16]}"
+
     def build_simulator(self):
         """Build this spec's kernel-in-the-loop
         :class:`~repro.llm.batching.ContinuousBatchingSimulator`.
@@ -148,4 +171,6 @@ class WorkerSpec:
             adaptive=self.adaptive,
             jit=self.jit,
             jit_threshold_s=self.jit_threshold_s,
+            store=self.store_path,
+            store_scope=self.store_scope(),
         )

@@ -1,0 +1,15 @@
+"""Persistent tuning store (see :mod:`repro.store.store`)."""
+
+from repro.store.store import (
+    STORE_JSON_VERSION,
+    TuningStore,
+    decode_kernel,
+    encode_kernel,
+)
+
+__all__ = [
+    "STORE_JSON_VERSION",
+    "TuningStore",
+    "decode_kernel",
+    "encode_kernel",
+]

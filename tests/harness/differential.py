@@ -10,7 +10,7 @@ negative zeros and sub-byte padding must all agree.  Execution
 statistics are compared as well: every mode is required to count work
 exactly as if blocks had run one at a time.
 
-Eight modes are locked together:
+Nine modes are locked together:
 
 - ``sequential``   — the block-loop interpreter, the semantic reference;
 - ``batched``      — the grid-vectorized executor, forced for every launch;
@@ -46,6 +46,14 @@ Eight modes are locked together:
   capture's specialization keys, grids and hazard edges — and the
   re-instantiated graph is replayed; a schedule surviving the wire
   must change nothing observable.
+- ``warm-store``   — the fleet-warm-boot path used by the persistent
+  tuning store: the throwaway-image profile is *published to* and
+  *loaded back from* an on-disk :class:`~repro.store.TuningStore`
+  (versioned JSON, checksummed, atomically renamed), the loaded copy
+  drives profile-guided capture exactly as ``adaptive`` does, and the
+  graph is replayed under ``manage(warm=True)`` — a profile surviving
+  the disk round-trip, and the zero-first-swap warm policy, must
+  change nothing observable.
 - ``jit``          — the compiled tier: every launch is lowered through
   the :mod:`repro.compiler.lower` pass pipeline (const-fold the bound
   scalars → unroll the block loop → flatten to straight-line vectorized
@@ -84,6 +92,7 @@ MODES = (
     "graph-optimized",
     "adaptive",
     "plan-roundtrip",
+    "warm-store",
     "jit",
 )
 
@@ -195,6 +204,27 @@ def _run_engine(case: GeneratedCase, mode: str):
             # observes but never swaps mid-case (replaying the plan
             # twice would double-execute it and break stat parity).
             managed = AdaptivePolicy(warmup_replays=8, min_gain=0.5).manage(graph)
+            pool.profiler = Profile()
+            managed.replay()
+            pool.synchronize()
+        stats = pool.aggregate_stats()
+    elif mode == "warm-store":
+        import tempfile
+
+        from repro.store import TuningStore
+
+        profile = _collect_profile(case)
+        with tempfile.TemporaryDirectory() as root:
+            store = TuningStore(root)
+            store.publish_profile("diff", profile)
+            loaded = store.load_profile("diff")
+        assert loaded.stamp() == profile.stamp()
+        with StreamPool(memory, num_streams=4) as pool:
+            graph = _capture_plan(pool, plan, buffers, profile=loaded)
+            assert len(graph) == len(plan)
+            managed = AdaptivePolicy(warmup_replays=8, min_gain=0.5).manage(
+                graph, warm=True
+            )
             pool.profiler = Profile()
             managed.replay()
             pool.synchronize()

@@ -188,6 +188,11 @@ BASELINE_RUNTIME_KEYS = {
     "adaptive.enabled",
     "adaptive.swaps",
     "adaptive.evaluations",
+    "store.enabled",
+    "store.hits",
+    "store.misses",
+    "store.publishes",
+    "store.gc_evictions",
 }
 
 BASELINE_SIMULATOR_KEYS = BASELINE_RUNTIME_KEYS | {

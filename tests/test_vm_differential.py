@@ -50,6 +50,7 @@ BASELINE_MODES = {
     "graph-optimized",
     "adaptive",
     "plan-roundtrip",
+    "warm-store",
     "jit",
 }
 
